@@ -1,0 +1,78 @@
+// Command hiddend is the hidden-component server: the process that runs on
+// the secure machine (or device) in the paper's deployment. It loads a
+// MiniJ program, performs the same splitting transformation as the open
+// side, keeps only the hidden components, and serves fragment executions
+// over TCP.
+//
+// Usage:
+//
+//	hiddend -listen :7070 -split f[:seed][,g[:seed]...] program.mj
+//
+// The open side connects with:
+//
+//	slicehide run -split f[:seed] -server host:7070 program.mj
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"slicehide/internal/core"
+	"slicehide/internal/hrt"
+	"slicehide/internal/ir"
+	"slicehide/internal/slicer"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7070", "address to serve hidden components on")
+	split := flag.String("split", "", "comma-separated f[:seed] functions whose hidden components to host (required)")
+	flag.Parse()
+	if err := run(*listen, *split, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "hiddend:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen, split string, args []string) error {
+	if split == "" || len(args) != 1 {
+		return fmt.Errorf("usage: hiddend -listen addr -split f[:seed],... program.mj")
+	}
+	src, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	prog, err := ir.Compile(string(src))
+	if err != nil {
+		return err
+	}
+	var specs []core.Spec
+	for _, part := range strings.Split(split, ",") {
+		fn, seed, _ := strings.Cut(part, ":")
+		specs = append(specs, core.Spec{Func: strings.TrimSpace(fn), Seed: strings.TrimSpace(seed)})
+	}
+	res, err := core.SplitProgram(prog, specs, slicer.Policy{})
+	if err != nil {
+		return err
+	}
+	server := &hrt.TCPServer{Server: hrt.NewServer(hrt.NewRegistry(res))}
+	addr, err := server.ListenAndServe(listen)
+	if err != nil {
+		return err
+	}
+	for _, name := range res.SplitNames() {
+		sf := res.Splits[name]
+		fmt.Printf("hosting hidden component of %s (seed %s, %d fragments, %d hidden vars)\n",
+			name, sf.Seed, len(sf.Hidden.Frags), len(sf.Hidden.Vars))
+	}
+	fmt.Printf("hiddend listening on %s\n", addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	return server.Close()
+}

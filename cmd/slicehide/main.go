@@ -1,0 +1,345 @@
+// Command slicehide is the driver for the slicing-based software-splitting
+// toolchain: it analyzes MiniJ programs for hiding opportunities, splits
+// functions into open and hidden components, characterizes the security of
+// the split (ILP complexities), runs split programs against a local or
+// remote hidden-component server, mounts the automated-recovery attack, and
+// regenerates the paper's evaluation tables.
+//
+// Usage:
+//
+//	slicehide tables  [-table 1|2|3|4|5|attack|all] [-scale f] [-kernel-scale n] [-rtt d]
+//	slicehide analyze <file.mj>
+//	slicehide split   -func f [-seed v] [-no-cfh] <file.mj>
+//	slicehide ilp     -func f [-seed v] <file.mj>
+//	slicehide run     [-split f[:v],g[:v],...] [-rtt d] [-server addr] <file.mj>
+//	slicehide attack  -func f [-seed v] [-calls n] [-window k] <file.mj>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"slicehide/internal/attack"
+	"slicehide/internal/complexity"
+	"slicehide/internal/core"
+	"slicehide/internal/experiments"
+	"slicehide/internal/hrt"
+	"slicehide/internal/interp"
+	"slicehide/internal/ir"
+	"slicehide/internal/report"
+	"slicehide/internal/slicer"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "tables":
+		err = cmdTables(os.Args[2:])
+	case "analyze":
+		err = cmdAnalyze(os.Args[2:])
+	case "split":
+		err = cmdSplit(os.Args[2:])
+	case "ilp":
+		err = cmdILP(os.Args[2:])
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "attack":
+		err = cmdAttack(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "slicehide: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "slicehide:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `slicehide — hiding program slices for software security
+
+commands:
+  tables    regenerate the paper's evaluation tables on synthetic corpora
+  analyze   report per-method hiding opportunities for a MiniJ program
+  split     split a function into open and hidden components and print both
+  ilp       report ILP arithmetic/control-flow complexities for a split
+  run       execute a program (optionally split, optionally vs a remote hiddend)
+  attack    observe a split program's traffic and attempt automated recovery
+`)
+}
+
+func loadProgram(path string) (*ir.Program, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ir.Compile(string(src))
+}
+
+func parseSpecs(s string) []core.Spec {
+	if s == "" {
+		return nil
+	}
+	var specs []core.Spec
+	for _, part := range strings.Split(s, ",") {
+		fn, seed, _ := strings.Cut(part, ":")
+		specs = append(specs, core.Spec{Func: strings.TrimSpace(fn), Seed: strings.TrimSpace(seed)})
+	}
+	return specs
+}
+
+func cmdTables(args []string) error {
+	fs := flag.NewFlagSet("tables", flag.ExitOnError)
+	table := fs.String("table", "all", "which table: 1,2,3,4,5,attack,all")
+	scale := fs.Float64("scale", 1.0, "corpus scale factor (1.0 = paper-size method counts)")
+	kscale := fs.Int("kernel-scale", 1, "divide kernel input sizes by this factor")
+	rtt := fs.Duration("rtt", 200*time.Microsecond, "simulated round-trip latency for Table 5")
+	noCFH := fs.Bool("no-cfh", false, "ablation: disable control-flow hiding")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := experiments.Defaults()
+	cfg.Scale = *scale
+	cfg.KernelScale = *kscale
+	cfg.RTT = *rtt
+	cfg.NoControlFlowHiding = *noCFH
+
+	want := func(t string) bool { return *table == "all" || *table == t }
+	if want("1") {
+		fmt.Println(experiments.RenderTable1(experiments.Table1(cfg)))
+	}
+	if want("2") || want("3") || want("4") {
+		splits, err := experiments.Tables234(cfg)
+		if err != nil {
+			return err
+		}
+		if want("2") {
+			fmt.Println(experiments.RenderTable2(splits))
+		}
+		if want("3") {
+			fmt.Println(experiments.RenderTable3(splits))
+		}
+		if want("4") {
+			fmt.Println(experiments.RenderTable4(splits))
+		}
+	}
+	if want("5") {
+		rows, err := experiments.Table5(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderTable5(rows))
+	}
+	if want("attack") {
+		cases, err := experiments.AttackMatrix(cfg, 20030601)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderAttack(cases))
+	}
+	return nil
+}
+
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("analyze: expected one source file")
+	}
+	prog, err := loadProgram(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	row, infos := core.AnalyzeProgram(fs.Arg(0), prog)
+	t := report.New("Per-method hiding opportunities (§2.1).",
+		"method", "statements", "self-contained", "initializer")
+	sort.Slice(infos, func(i, j int) bool { return infos[i].QName < infos[j].QName })
+	for _, in := range infos {
+		t.Row(in.QName, in.Statements, in.SelfContained, in.Initializer)
+	}
+	fmt.Println(t.String())
+	fmt.Printf("methods=%d self-contained=%d (>%d stmts: %d; excluding initializers: %d)\n",
+		row.Methods, row.SelfContained, core.SmallThreshold, row.SelfContainedBig, row.ExclInitializers)
+	return nil
+}
+
+func cmdSplit(args []string) error {
+	fs := flag.NewFlagSet("split", flag.ExitOnError)
+	fn := fs.String("func", "", "function to split (required)")
+	seed := fs.String("seed", "", "seed variable (default: auto)")
+	noCFH := fs.Bool("no-cfh", false, "disable control-flow hiding")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *fn == "" || fs.NArg() != 1 {
+		return fmt.Errorf("split: need -func and one source file")
+	}
+	prog, err := loadProgram(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	res, err := core.SplitProgramOpts(prog, []core.Spec{{Func: *fn, Seed: *seed}},
+		slicer.Policy{}, core.Options{NoControlFlowHiding: *noCFH})
+	if err != nil {
+		return err
+	}
+	sf := res.Splits[*fn]
+	fmt.Printf("=== original %s ===\n%s\n", *fn, ir.FormatFunc(sf.Orig))
+	fmt.Printf("=== open component Of ===\n%s\n", ir.FormatFunc(sf.Open))
+	fmt.Printf("=== hidden component Hf ===\n%s\n", sf.Hidden)
+	st := sf.Stats()
+	fmt.Printf("seed=%s slice-statements=%d fragments=%d ILPs=%d hidden-vars=%d (fully hidden: %d)\n",
+		sf.Seed, st.SliceStatements, st.Fragments, st.ILPs, st.HiddenVars, st.FullyHidden)
+	return nil
+}
+
+func cmdILP(args []string) error {
+	fs := flag.NewFlagSet("ilp", flag.ExitOnError)
+	fn := fs.String("func", "", "function to split (required)")
+	seed := fs.String("seed", "", "seed variable (default: auto)")
+	minUses := fs.Bool("min-at-uses", false, "ablation: literal Fig.3 MIN aggregation")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *fn == "" || fs.NArg() != 1 {
+		return fmt.Errorf("ilp: need -func and one source file")
+	}
+	prog, err := loadProgram(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	res, err := core.SplitProgram(prog, []core.Spec{{Func: *fn, Seed: *seed}}, slicer.Policy{})
+	if err != nil {
+		return err
+	}
+	sf := res.Splits[*fn]
+	reports := complexity.AnalyzeOpts(sf, complexity.Options{MinAtUses: *minUses})
+	t := report.New(fmt.Sprintf("ILP complexity for %s (seed %s).", *fn, sf.Seed),
+		"ilp", "kind", "leaked expression", "AC <type, inputs, degree>", "CC <paths, preds, flow>")
+	for _, r := range reports {
+		t.Row(r.ILP.ID, r.ILP.Kind, ir.ExprString(r.ILP.HiddenExpr), r.AC.String(), r.CC.String())
+	}
+	fmt.Println(t.String())
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	split := fs.String("split", "", "comma-separated f[:seed] functions to split")
+	rtt := fs.Duration("rtt", 0, "simulated round-trip latency")
+	server := fs.String("server", "", "address of a remote hiddend (default: in-process)")
+	stats := fs.Bool("stats", false, "print interaction statistics")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("run: expected one source file")
+	}
+	prog, err := loadProgram(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	specs := parseSpecs(*split)
+	if len(specs) == 0 {
+		in := interp.New(prog, interp.Options{Out: os.Stdout})
+		return in.Run()
+	}
+	res, err := core.SplitProgram(prog, specs, slicer.Policy{})
+	if err != nil {
+		return err
+	}
+	var t hrt.Transport
+	if *server != "" {
+		tr, err := hrt.DialTCP(*server)
+		if err != nil {
+			return err
+		}
+		defer tr.Close()
+		t = tr
+	} else {
+		t = &hrt.Local{Server: hrt.NewServer(hrt.NewRegistry(res))}
+	}
+	if *rtt > 0 {
+		t = &hrt.Latency{Inner: t, RTT: *rtt}
+	}
+	counters := &hrt.Counters{}
+	t = &hrt.Counting{Inner: t, Counters: counters}
+	in := interp.New(res.Open, interp.Options{
+		Out:        os.Stdout,
+		Hidden:     &hrt.Session{T: t},
+		SplitFuncs: res.SplitSet(),
+	})
+	start := time.Now()
+	if err := in.Run(); err != nil {
+		return err
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "interactions=%d values-sent=%d activations=%d elapsed=%s\n",
+			counters.Interactions(), counters.ValuesSent.Load(), counters.Enters.Load(),
+			time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+func cmdAttack(args []string) error {
+	fs := flag.NewFlagSet("attack", flag.ExitOnError)
+	fn := fs.String("func", "", "split function to attack (required)")
+	seed := fs.String("seed", "", "seed variable (default: auto)")
+	calls := fs.Int("calls", 200, "number of random invocations to observe")
+	window := fs.Int("window", 4, "observation window (recent sent values per sample)")
+	rngSeed := fs.Int64("rng", 1, "random seed for generated inputs")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *fn == "" || fs.NArg() != 1 {
+		return fmt.Errorf("attack: need -func and one source file")
+	}
+	prog, err := loadProgram(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	res, err := core.SplitProgram(prog, []core.Spec{{Func: *fn, Seed: *seed}}, slicer.Policy{})
+	if err != nil {
+		return err
+	}
+	f := prog.Func(*fn)
+	server := hrt.NewServer(hrt.NewRegistry(res))
+	obs := attack.NewObserver(&hrt.Local{Server: server}, *window)
+	in := interp.New(res.Open, interp.Options{
+		Hidden:     &hrt.Session{T: obs},
+		SplitFuncs: res.SplitSet(),
+		MaxSteps:   1_000_000_000,
+	})
+	rng := rand.New(rand.NewSource(*rngSeed))
+	for i := 0; i < *calls; i++ {
+		argv := make([]interp.Value, len(f.Params))
+		for j := range argv {
+			argv[j] = interp.IntV(int64(rng.Intn(60) - 30))
+		}
+		if _, err := in.Call(*fn, argv); err != nil {
+			return fmt.Errorf("driving %s: %w", *fn, err)
+		}
+	}
+	results := obs.AttackAll(attack.RecoveryOptions{})
+	t := report.New(fmt.Sprintf("Automated recovery against %s after %d observed calls.", *fn, *calls),
+		"fragment", "samples", "outcome")
+	for _, k := range obs.Fragments() {
+		t.Row(k.String(), len(obs.Samples(k)), results[k].String())
+	}
+	fmt.Println(t.String())
+	return nil
+}

@@ -1,0 +1,94 @@
+// Security report: the full pipeline on one workload — select functions via
+// the call-graph cut, pick the seed with the highest maximum ILP arithmetic
+// complexity (the paper's §4 selection rule), split, and print a per-ILP
+// complexity report plus the aggregated table rows.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"slicehide/internal/callgraph"
+	"slicehide/internal/complexity"
+	"slicehide/internal/core"
+	"slicehide/internal/corpus"
+	"slicehide/internal/ir"
+	"slicehide/internal/report"
+	"slicehide/internal/slicer"
+)
+
+func main() {
+	// Use the jess-like workload kernel (a forward-chaining rule engine).
+	kernel, err := corpus.KernelByName("jess")
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := ir.Compile(kernel.Source(2000))
+	if err != nil {
+		log.Fatal(err)
+	}
+	policy := slicer.Policy{}
+
+	// 1. Function selection: a cut across the call graph, avoiding
+	// recursive and loop-called functions (§2.2).
+	g := callgraph.Build(prog)
+	chosen, uncovered := g.Cut("main", callgraph.CutOptions{
+		AvoidRecursive:  true,
+		AvoidLoopCalled: true,
+		Eligible: func(q string) bool {
+			f := prog.Func(q)
+			if f == nil || q == "main" {
+				return false
+			}
+			seed, sl := slicer.BestSeed(f, policy)
+			return seed != nil && sl.Size() >= 3
+		},
+	})
+	fmt.Printf("call-graph cut selected: %v (uncovered leaves: %v)\n\n", chosen, uncovered)
+
+	var allReports []complexity.Report
+	for _, fn := range chosen {
+		f := prog.Func(fn)
+
+		// 2. Seed selection: maximize the maximum ILP arithmetic complexity
+		// across candidate local variables (§4).
+		var best *core.SplitFunc
+		var bestReports []complexity.Report
+		var bestAC complexity.AC
+		for _, v := range append(append([]*ir.Var(nil), f.Locals...), f.Params...) {
+			if !policy.HideableVar(v) {
+				continue
+			}
+			sf, err := core.Split(f, v, policy)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if len(sf.ILPs) == 0 {
+				continue
+			}
+			reports := complexity.Analyze(sf)
+			if max := complexity.MaxAC(reports); best == nil || complexity.Less(bestAC, max) {
+				best, bestReports, bestAC = sf, reports, max
+			}
+		}
+		if best == nil {
+			continue
+		}
+		fmt.Printf("split %s at seed %s: slice=%d stmts, fragments=%d, ILPs=%d, max AC=%s\n",
+			fn, best.Seed, best.Slice.Size(), len(best.Hidden.Frags), len(best.ILPs), bestAC)
+
+		t := report.New("", "ilp", "kind", "leaked expression", "AC", "CC")
+		for _, r := range bestReports {
+			t.Row(r.ILP.ID, r.ILP.Kind, ir.ExprString(r.ILP.HiddenExpr), r.AC.String(), r.CC.String())
+		}
+		fmt.Println(t.String())
+		allReports = append(allReports, bestReports...)
+	}
+
+	// 3. Aggregate the per-benchmark rows (Tables 3 and 4 methodology).
+	t3, t4 := complexity.Aggregate("jess-kernel", allReports)
+	fmt.Printf("arithmetic complexity distribution: constant=%d linear=%d polynomial=%d rational=%d arbitrary=%d (max degree %d)\n",
+		t3.Constant, t3.Linear, t3.Polynomial, t3.Rational, t3.Arbitrary, t3.MaxDegree)
+	fmt.Printf("control-flow complexity: paths-variable=%d predicates-hidden=%d flow-hidden=%d of %d ILPs\n",
+		t4.PathsVariable, t4.PredicatesHidden, t4.FlowHidden, t3.Total())
+}

@@ -1,0 +1,3 @@
+module slicehide
+
+go 1.22

@@ -1,0 +1,301 @@
+// Package attack implements the automated-recovery toolkit the paper's §3
+// reasons about: multivariate linear regression, polynomial interpolation,
+// and rational-function fitting, plus a harness that observes the traffic
+// between open and hidden components and attempts to reconstruct the hidden
+// function behind each fragment. It turns the paper's qualitative security
+// argument ("linear leaks are recoverable; arbitrary functions and hidden
+// control flow defeat automatic methods") into a measurable experiment.
+package attack
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sample is one observed input/output pair for a hidden fragment.
+type Sample struct {
+	Inputs []float64
+	Output float64
+}
+
+// ErrSingular is returned when the observation matrix is rank deficient
+// (not enough independent samples).
+var ErrSingular = errors.New("attack: singular system; need more independent samples")
+
+// solveLeastSquares solves min ||Ax - b|| via the normal equations with
+// Gaussian elimination and partial pivoting. rows = len(b); cols = len(x).
+func solveLeastSquares(a [][]float64, b []float64) ([]float64, error) {
+	rows := len(a)
+	if rows == 0 {
+		return nil, ErrSingular
+	}
+	cols := len(a[0])
+	if rows < cols {
+		return nil, ErrSingular
+	}
+	// Normal equations: (AᵀA) x = Aᵀb.
+	ata := make([][]float64, cols)
+	atb := make([]float64, cols)
+	for i := 0; i < cols; i++ {
+		ata[i] = make([]float64, cols)
+		for j := 0; j < cols; j++ {
+			s := 0.0
+			for r := 0; r < rows; r++ {
+				s += a[r][i] * a[r][j]
+			}
+			ata[i][j] = s
+		}
+		s := 0.0
+		for r := 0; r < rows; r++ {
+			s += a[r][i] * b[r]
+		}
+		atb[i] = s
+	}
+	return gauss(ata, atb)
+}
+
+// gauss solves a square system in place with partial pivoting.
+func gauss(m [][]float64, rhs []float64) ([]float64, error) {
+	n := len(rhs)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(m[pivot][col]) < 1e-9 {
+			return nil, ErrSingular
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		rhs[col], rhs[pivot] = rhs[pivot], rhs[col]
+		// Eliminate below.
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] / m[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+			rhs[r] -= f * rhs[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := rhs[r]
+		for c := r + 1; c < n; c++ {
+			s -= m[r][c] * x[c]
+		}
+		x[r] = s / m[r][r]
+	}
+	return x, nil
+}
+
+// ---------------------------------------------------------------------------
+// Models
+
+// Model is a recovered candidate for a hidden function.
+type Model interface {
+	// Predict evaluates the model on one input vector.
+	Predict(inputs []float64) float64
+	// Describe names the model class and its parameters.
+	Describe() string
+}
+
+// monomial is an exponent vector over the input variables.
+type monomial []int
+
+func (m monomial) eval(x []float64) float64 {
+	v := 1.0
+	for i, e := range m {
+		for k := 0; k < e; k++ {
+			v *= x[i]
+		}
+	}
+	return v
+}
+
+func (m monomial) String() string {
+	s := ""
+	for i, e := range m {
+		if e == 0 {
+			continue
+		}
+		if s != "" {
+			s += "*"
+		}
+		if e == 1 {
+			s += fmt.Sprintf("x%d", i)
+		} else {
+			s += fmt.Sprintf("x%d^%d", i, e)
+		}
+	}
+	if s == "" {
+		return "1"
+	}
+	return s
+}
+
+// monomials enumerates all exponent vectors over nvars with total degree at
+// most deg, constant term first.
+func monomials(nvars, deg int) []monomial {
+	var out []monomial
+	cur := make(monomial, nvars)
+	var rec func(pos, remaining int)
+	rec = func(pos, remaining int) {
+		if pos == nvars {
+			out = append(out, append(monomial(nil), cur...))
+			return
+		}
+		for e := 0; e <= remaining; e++ {
+			cur[pos] = e
+			rec(pos+1, remaining-e)
+		}
+		cur[pos] = 0
+	}
+	rec(0, deg)
+	// Order by total degree so the constant model comes first.
+	ordered := make([]monomial, 0, len(out))
+	for d := 0; d <= deg; d++ {
+		for _, m := range out {
+			t := 0
+			for _, e := range m {
+				t += e
+			}
+			if t == d {
+				ordered = append(ordered, m)
+			}
+		}
+	}
+	return ordered
+}
+
+// PolyModel is a fitted multivariate polynomial.
+type PolyModel struct {
+	Degree int
+	Terms  []monomial
+	Coeffs []float64
+}
+
+// Predict evaluates the polynomial.
+func (p *PolyModel) Predict(x []float64) float64 {
+	s := 0.0
+	for i, t := range p.Terms {
+		s += p.Coeffs[i] * t.eval(x)
+	}
+	return s
+}
+
+// Describe renders the polynomial with small coefficients rounded.
+func (p *PolyModel) Describe() string {
+	s := fmt.Sprintf("poly(deg=%d):", p.Degree)
+	for i, t := range p.Terms {
+		c := p.Coeffs[i]
+		if math.Abs(c) < 1e-9 {
+			continue
+		}
+		s += fmt.Sprintf(" %+.4g*%s", c, t)
+	}
+	return s
+}
+
+// FitConstant fits a constant model (the arithmetic class Constant).
+func FitConstant(samples []Sample) (Model, error) {
+	if len(samples) == 0 {
+		return nil, ErrSingular
+	}
+	c := samples[0].Output
+	for _, s := range samples {
+		if s.Output != c {
+			return nil, fmt.Errorf("attack: outputs not constant")
+		}
+	}
+	return &PolyModel{Degree: 0, Terms: []monomial{make(monomial, len(samples[0].Inputs))}, Coeffs: []float64{c}}, nil
+}
+
+// FitLinear fits a multivariate linear model (degree-1 polynomial); this is
+// the paper's "linear regression" recovery technique.
+func FitLinear(samples []Sample) (Model, error) { return FitPolynomial(samples, 1) }
+
+// FitPolynomial fits a multivariate polynomial of the given total degree;
+// this is the paper's "polynomial interpolation" recovery technique.
+func FitPolynomial(samples []Sample, degree int) (Model, error) {
+	if len(samples) == 0 {
+		return nil, ErrSingular
+	}
+	nvars := len(samples[0].Inputs)
+	terms := monomials(nvars, degree)
+	a := make([][]float64, len(samples))
+	b := make([]float64, len(samples))
+	for i, s := range samples {
+		row := make([]float64, len(terms))
+		for j, t := range terms {
+			row[j] = t.eval(s.Inputs)
+		}
+		a[i] = row
+		b[i] = s.Output
+	}
+	coeffs, err := solveLeastSquares(a, b)
+	if err != nil {
+		return nil, err
+	}
+	return &PolyModel{Degree: degree, Terms: terms, Coeffs: coeffs}, nil
+}
+
+// RationalModel is a fitted ratio of polynomials with q's constant term
+// normalized to 1.
+type RationalModel struct {
+	Num, Den *PolyModel
+}
+
+// Predict evaluates p(x)/q(x).
+func (r *RationalModel) Predict(x []float64) float64 {
+	d := r.Den.Predict(x)
+	if d == 0 {
+		return math.Inf(1)
+	}
+	return r.Num.Predict(x) / d
+}
+
+// Describe renders both polynomials.
+func (r *RationalModel) Describe() string {
+	return fmt.Sprintf("rational[%s / 1 %s]", r.Num.Describe(), r.Den.Describe())
+}
+
+// FitRational fits f = p/q with deg(p) <= pd, deg(q) <= qd via the standard
+// linearization lv*q(x) = p(x) with q's constant coefficient fixed at 1;
+// this is the paper's "rational interpolation" recovery technique.
+func FitRational(samples []Sample, pd, qd int) (Model, error) {
+	if len(samples) == 0 {
+		return nil, ErrSingular
+	}
+	nvars := len(samples[0].Inputs)
+	pTerms := monomials(nvars, pd)
+	qTerms := monomials(nvars, qd)[1:] // skip the constant (normalized to 1)
+	cols := len(pTerms) + len(qTerms)
+	a := make([][]float64, len(samples))
+	b := make([]float64, len(samples))
+	for i, s := range samples {
+		row := make([]float64, cols)
+		for j, t := range pTerms {
+			row[j] = t.eval(s.Inputs)
+		}
+		for j, t := range qTerms {
+			row[len(pTerms)+j] = -s.Output * t.eval(s.Inputs)
+		}
+		a[i] = row
+		b[i] = s.Output // lv * 1 (q's constant term)
+	}
+	coeffs, err := solveLeastSquares(a, b)
+	if err != nil {
+		return nil, err
+	}
+	num := &PolyModel{Degree: pd, Terms: pTerms, Coeffs: coeffs[:len(pTerms)]}
+	denTerms := append([]monomial{make(monomial, nvars)}, qTerms...)
+	denCoeffs := append([]float64{1}, coeffs[len(pTerms):]...)
+	den := &PolyModel{Degree: qd, Terms: denTerms, Coeffs: denCoeffs}
+	return &RationalModel{Num: num, Den: den}, nil
+}

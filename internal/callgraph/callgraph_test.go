@@ -1,0 +1,228 @@
+package callgraph
+
+import (
+	"sort"
+	"testing"
+
+	"slicehide/internal/ir"
+)
+
+func build(t *testing.T, src string) *Graph {
+	t.Helper()
+	p, err := ir.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return Build(p)
+}
+
+func TestEdges(t *testing.T) {
+	g := build(t, `
+func a() { b(); c(); }
+func b() { c(); }
+func c() { }
+func main() { a(); }
+`)
+	want := map[string][]string{"a": {"b", "c"}, "b": {"c"}, "main": {"a"}}
+	for caller, callees := range want {
+		for _, c := range callees {
+			if !g.Callees[caller][c] {
+				t.Errorf("missing edge %s -> %s\n%s", caller, c, g)
+			}
+		}
+	}
+	if !g.Callers["c"]["a"] || !g.Callers["c"]["b"] {
+		t.Errorf("callers of c wrong: %v", g.Callers["c"])
+	}
+}
+
+func TestMethodEdges(t *testing.T) {
+	g := build(t, `
+class C {
+    field v: int;
+    method m(): int { return n() + 1; }
+    method n(): int { return v; }
+}
+func main() { var c: C = new C(); print(c.m()); }
+`)
+	if !g.Callees["main"]["C.m"] {
+		t.Errorf("main should call C.m\n%s", g)
+	}
+	if !g.Callees["C.m"]["C.n"] {
+		t.Errorf("C.m should call C.n\n%s", g)
+	}
+}
+
+func TestDirectRecursion(t *testing.T) {
+	g := build(t, `
+func fib(n: int): int { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }
+func main() { print(fib(10)); }
+`)
+	if !g.Recursive["fib"] {
+		t.Error("fib must be recursive")
+	}
+	if g.Recursive["main"] {
+		t.Error("main must not be recursive")
+	}
+}
+
+func TestIndirectRecursion(t *testing.T) {
+	g := build(t, `
+func even(n: int): bool { if (n == 0) { return true; } return odd(n-1); }
+func odd(n: int): bool { if (n == 0) { return false; } return even(n-1); }
+func main() { print(even(7)); }
+`)
+	if !g.Recursive["even"] || !g.Recursive["odd"] {
+		t.Error("even/odd must be mutually recursive")
+	}
+}
+
+func TestLoopCalled(t *testing.T) {
+	g := build(t, `
+func work(i: int): int { return i * 2; }
+func once(): int { return 7; }
+func main() {
+    var s: int = once();
+    for (var i: int = 0; i < 10; i++) { s = s + work(i); }
+    print(s);
+}
+`)
+	if !g.LoopCalled["work"] {
+		t.Error("work is called in a loop")
+	}
+	if g.LoopCalled["once"] {
+		t.Error("once is not called in a loop")
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g := build(t, `
+func a() { b(); }
+func b() { }
+func dead() { }
+func main() { a(); }
+`)
+	r := g.Reachable("main")
+	if !r["a"] || !r["b"] || !r["main"] {
+		t.Errorf("reachable: %v", r)
+	}
+	if r["dead"] {
+		t.Error("dead must not be reachable")
+	}
+}
+
+func TestDominators(t *testing.T) {
+	g := build(t, `
+func a() { c(); }
+func b() { c(); }
+func c() { d(); }
+func d() { }
+func main() { a(); b(); }
+`)
+	dom := g.Dominators("main")
+	// c dominates d; a does not dominate c (b also reaches c).
+	if !dom["d"]["c"] {
+		t.Error("c must dominate d")
+	}
+	if dom["c"]["a"] {
+		t.Error("a must not dominate c")
+	}
+	if !dom["d"]["main"] {
+		t.Error("main dominates everything")
+	}
+}
+
+func TestCutCoversLeaves(t *testing.T) {
+	g := build(t, `
+func a() { c(); }
+func b() { c(); }
+func c() { }
+func main() { a(); b(); }
+`)
+	chosen, uncovered := g.Cut("main", CutOptions{})
+	if len(uncovered) != 0 {
+		t.Fatalf("uncovered: %v", uncovered)
+	}
+	// c dominates the only leaf (c itself); greedy should pick one function.
+	if len(chosen) != 1 {
+		t.Fatalf("chosen: %v", chosen)
+	}
+}
+
+func TestCutRespectsEligibility(t *testing.T) {
+	g := build(t, `
+func work(i: int): int { return i; }
+func main() { for (var i: int = 0; i < 3; i++) { print(work(i)); } }
+`)
+	chosen, _ := g.Cut("main", CutOptions{AvoidLoopCalled: true})
+	for _, c := range chosen {
+		if c == "work" {
+			t.Error("loop-called function selected despite AvoidLoopCalled")
+		}
+	}
+}
+
+func TestCutAvoidsRecursive(t *testing.T) {
+	g := build(t, `
+func fact(n: int): int { if (n < 2) { return 1; } return n * fact(n-1); }
+func main() { print(fact(5)); }
+`)
+	chosen, _ := g.Cut("main", CutOptions{AvoidRecursive: true})
+	sort.Strings(chosen)
+	for _, c := range chosen {
+		if c == "fact" {
+			t.Error("recursive function selected despite AvoidRecursive")
+		}
+	}
+	// main itself remains an eligible dominator of the leaf.
+	if len(chosen) == 0 {
+		t.Error("expected main to be chosen")
+	}
+}
+
+func TestCutCustomFilter(t *testing.T) {
+	g := build(t, `
+func a() { }
+func main() { a(); }
+`)
+	chosen, uncovered := g.Cut("main", CutOptions{Eligible: func(q string) bool { return q == "a" }})
+	if len(chosen) != 1 || chosen[0] != "a" {
+		t.Errorf("chosen: %v (uncovered %v)", chosen, uncovered)
+	}
+}
+
+func TestCutUncoverable(t *testing.T) {
+	g := build(t, `
+func a() { }
+func main() { a(); }
+`)
+	_, uncovered := g.Cut("main", CutOptions{Eligible: func(q string) bool { return false }})
+	if len(uncovered) == 0 {
+		t.Error("expected uncovered leaves when nothing is eligible")
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	src := `
+func a() { b(); c(); d(); }
+func b() { e(); }
+func c() { e(); }
+func d() { e(); }
+func e() { }
+func main() { a(); }
+`
+	g1, g2 := build(t, src), build(t, src)
+	if g1.String() != g2.String() {
+		t.Error("graph dump not deterministic")
+	}
+	c1, u1 := g1.Cut("main", CutOptions{})
+	c2, u2 := g2.Cut("main", CutOptions{})
+	if len(c1) != len(c2) || len(u1) != len(u2) {
+		t.Error("cut not deterministic")
+	}
+	for i := range c1 {
+		if c1[i] != c2[i] {
+			t.Error("cut order not deterministic")
+		}
+	}
+}

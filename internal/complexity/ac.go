@@ -1,0 +1,262 @@
+// Package complexity implements the paper's §3 security analysis: it
+// characterizes every information leak point (ILP) of a split function by
+// its arithmetic complexity (the lattice Constant ≺ Linear ≺ Polynomial ≺
+// Rational ≺ Arbitrary, with input count and polynomial degree) and by its
+// control-flow complexity (paths constant/variable, predicates open/hidden,
+// flow open/hidden). The arithmetic analysis is the iterative def-use
+// propagation of the paper's Figure 3 (EVAL / PC / MIN / RAISE), computing
+// a conservative lower bound without symbolic evaluation.
+package complexity
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Type is the arithmetic complexity class of a leaked function.
+type Type int
+
+// Arithmetic complexity classes, ordered by the paper's partial order.
+const (
+	Constant Type = iota
+	Linear
+	Polynomial
+	Rational
+	Arbitrary
+)
+
+func (t Type) String() string {
+	switch t {
+	case Constant:
+		return "constant"
+	case Linear:
+		return "linear"
+	case Polynomial:
+		return "polynomial"
+	case Rational:
+		return "rational"
+	case Arbitrary:
+		return "arbitrary"
+	}
+	return "?"
+}
+
+// maxDegree caps polynomial degrees so the fixpoint iteration terminates.
+const maxDegree = 64
+
+// AC is an arithmetic complexity triple <Type, Inputs, Degree>. Inputs
+// holds the names of observable values the leaked function depends on;
+// Varying marks input sets whose size depends on loop iteration counts
+// (the paper's javac case, reported as "varying").
+type AC struct {
+	Type    Type
+	Degree  int
+	Inputs  map[string]bool
+	Varying bool
+}
+
+// ConstantAC is the bottom element.
+func ConstantAC() AC { return AC{Type: Constant} }
+
+// LinearIn returns a linear complexity over the named input.
+func LinearIn(name string) AC {
+	return AC{Type: Linear, Degree: 1, Inputs: map[string]bool{name: true}}
+}
+
+// NumInputs returns the input count.
+func (a AC) NumInputs() int { return len(a.Inputs) }
+
+// String renders the triple the way the paper writes it.
+func (a AC) String() string {
+	in := "0"
+	if a.Varying {
+		in = "varying"
+	} else if len(a.Inputs) > 0 {
+		in = fmt.Sprintf("%d", len(a.Inputs))
+	}
+	return fmt.Sprintf("<%s, %s, %d>", a.Type, in, a.Degree)
+}
+
+// InputNames returns the sorted input names (for tests).
+func (a AC) InputNames() []string {
+	names := make([]string, 0, len(a.Inputs))
+	for n := range a.Inputs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func unionInputs(a, b AC) map[string]bool {
+	if len(a.Inputs) == 0 && len(b.Inputs) == 0 {
+		return nil
+	}
+	m := make(map[string]bool, len(a.Inputs)+len(b.Inputs))
+	for k := range a.Inputs {
+		m[k] = true
+	}
+	for k := range b.Inputs {
+		m[k] = true
+	}
+	return m
+}
+
+func capDeg(d int) int {
+	if d > maxDegree {
+		return maxDegree
+	}
+	return d
+}
+
+// Less orders complexities: by type, then degree, then input count.
+// It defines the MAX/MIN used by the propagation (paper's partial order
+// extended to a total order for determinism). Degree is defined only for
+// non-arbitrary classes (§3), so two Arbitrary complexities compare by
+// inputs alone.
+func Less(a, b AC) bool {
+	if a.Type != b.Type {
+		return a.Type < b.Type
+	}
+	if a.Type != Arbitrary && a.Degree != b.Degree {
+		return a.Degree < b.Degree
+	}
+	if a.Varying != b.Varying {
+		return !a.Varying
+	}
+	return len(a.Inputs) < len(b.Inputs)
+}
+
+// Max returns the greater of a and b with merged inputs.
+func Max(a, b AC) AC {
+	out := b
+	if Less(b, a) {
+		out = a
+	}
+	out.Inputs = unionInputs(a, b)
+	out.Varying = a.Varying || b.Varying
+	return out
+}
+
+// Min returns the lesser of a and b (inputs come from the chosen side; the
+// adversary follows the easiest def-use edge).
+func Min(a, b AC) AC {
+	if Less(b, a) {
+		return b
+	}
+	return a
+}
+
+// Add combines operands of + and -: the class joins, the degree is the max.
+func Add(a, b AC) AC {
+	out := AC{
+		Type:    maxType(a.Type, b.Type),
+		Degree:  capDeg(maxInt(a.Degree, b.Degree)),
+		Inputs:  unionInputs(a, b),
+		Varying: a.Varying || b.Varying,
+	}
+	return out
+}
+
+// Mul combines operands of *: degrees add; two non-constant polynomials
+// give at least Polynomial.
+func Mul(a, b AC) AC {
+	t := maxType(a.Type, b.Type)
+	deg := capDeg(a.Degree + b.Degree)
+	if a.Type >= Linear && b.Type >= Linear && t < Polynomial {
+		t = Polynomial
+	}
+	if a.Type == Constant {
+		t, deg = b.Type, b.Degree
+	}
+	if b.Type == Constant {
+		t, deg = maxType(a.Type, Constant), a.Degree
+	}
+	return AC{Type: t, Degree: deg, Inputs: unionInputs(a, b), Varying: a.Varying || b.Varying}
+}
+
+// Div combines operands of /: a non-constant divisor makes the result a
+// rational function.
+func Div(a, b AC) AC {
+	if b.Type == Constant {
+		return AC{Type: a.Type, Degree: a.Degree, Inputs: unionInputs(a, b), Varying: a.Varying || b.Varying}
+	}
+	t := maxType(maxType(a.Type, b.Type), Rational)
+	return AC{Type: t, Degree: capDeg(maxInt(a.Degree, b.Degree)), Inputs: unionInputs(a, b), Varying: a.Varying || b.Varying}
+}
+
+// Arb marks the combination as arbitrary (mod, boolean, relational,
+// conditional selection).
+func Arb(parts ...AC) AC {
+	out := AC{Type: Arbitrary}
+	for _, p := range parts {
+		out.Inputs = unionInputs(out, p)
+		out.Varying = out.Varying || p.Varying
+		if p.Degree > out.Degree {
+			out.Degree = p.Degree
+		}
+	}
+	return out
+}
+
+// Raise implements the paper's RAISE: a value flowing out of loop nest L
+// may have been combined across Iter(L) iterations, so its complexity is
+// raised by the complexity of the iteration count.
+func Raise(pc, iter AC) AC {
+	if pc.Type == Arbitrary || iter.Type == Arbitrary {
+		return Arb(pc, iter)
+	}
+	deg := capDeg(pc.Degree + iter.Degree)
+	t := maxType(pc.Type, iter.Type)
+	if deg >= 2 && t < Polynomial {
+		t = Polynomial
+	}
+	if deg >= 1 && t < Linear {
+		t = Linear
+	}
+	return AC{Type: t, Degree: deg, Inputs: unionInputs(pc, iter), Varying: pc.Varying || iter.Varying}
+}
+
+func maxType(a, b Type) Type {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Equal reports structural equality (used by the fixpoint loop).
+func (a AC) Equal(b AC) bool {
+	if a.Type != b.Type || a.Degree != b.Degree || a.Varying != b.Varying || len(a.Inputs) != len(b.Inputs) {
+		return false
+	}
+	for k := range a.Inputs {
+		if !b.Inputs[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// ParseType converts a class name back to its Type (used by table tooling).
+func ParseType(s string) (Type, error) {
+	switch strings.ToLower(s) {
+	case "constant":
+		return Constant, nil
+	case "linear":
+		return Linear, nil
+	case "polynomial":
+		return Polynomial, nil
+	case "rational":
+		return Rational, nil
+	case "arbitrary":
+		return Arbitrary, nil
+	}
+	return Constant, fmt.Errorf("complexity: unknown type %q", s)
+}

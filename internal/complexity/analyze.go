@@ -1,0 +1,474 @@
+package complexity
+
+import (
+	"slicehide/internal/cfg"
+	"slicehide/internal/core"
+	"slicehide/internal/dataflow"
+	"slicehide/internal/ir"
+	"slicehide/internal/lang/token"
+	"slicehide/internal/slicer"
+)
+
+// CC is the §3 control-flow complexity triple <Paths, Predicates, Flow>.
+type CC struct {
+	// PathsVariable reports whether the number of paths through the hidden
+	// code behind the ILP depends on runtime values (hidden loops).
+	PathsVariable bool
+	// Paths estimates the path count when it is a compile-time constant
+	// (2^branches, capped).
+	Paths int
+	// HiddenPredicates reports whether some predicate governing the leaked
+	// computation lives in the hidden component.
+	HiddenPredicates bool
+	// HiddenFlow reports whether control-flow constructs of the leaked
+	// computation were moved (partially or fully) to the hidden component.
+	HiddenFlow bool
+}
+
+// String renders the triple the way the paper writes it.
+func (c CC) String() string {
+	paths := "constant"
+	if c.PathsVariable {
+		paths = "variable"
+	}
+	preds, flow := "open", "open"
+	if c.HiddenPredicates {
+		preds = "hidden"
+	}
+	if c.HiddenFlow {
+		flow = "hidden"
+	}
+	return "<" + paths + ", " + preds + ", " + flow + ">"
+}
+
+// Report is the complexity characterization of one ILP.
+type Report struct {
+	ILP *core.ILP
+	AC  AC
+	CC  CC
+}
+
+// Options tunes the analysis.
+type Options struct {
+	// MinAtUses aggregates multiple reaching definitions at a use with MIN
+	// (the literal reading of the paper's Figure 3 rule), yielding the
+	// complexity of the adversary's easiest path — which classifies any
+	// value reachable from a constant initialization as Constant. The
+	// default (false) uses MAX, matching the paper's worked example
+	// (ILP④ = <Polynomial, 4, 2>) and its definition
+	// AC(f_ILP) = MAX over paths. The difference is measured by the
+	// min-vs-max ablation benchmark.
+	MinAtUses bool
+}
+
+// Analyze characterizes every ILP of a split function with default options.
+func Analyze(sf *core.SplitFunc) []Report { return AnalyzeOpts(sf, Options{}) }
+
+// AnalyzeOpts characterizes every ILP of a split function.
+func AnalyzeOpts(sf *core.SplitFunc, opts Options) []Report {
+	a := newAnalyzer(sf)
+	a.opts = opts
+	a.fixpoint()
+	out := make([]Report, 0, len(sf.ILPs))
+	for _, ilp := range sf.ILPs {
+		out = append(out, Report{ILP: ilp, AC: a.ilpAC(ilp), CC: a.ilpCC(ilp)})
+	}
+	return out
+}
+
+type analyzer struct {
+	opts   Options
+	sf     *core.SplitFunc
+	g      *cfg.Graph
+	reach  *dataflow.Result
+	roles  map[int]slicer.Role
+	hidden map[*ir.Var]bool
+
+	// observable marks defs whose values the adversary can read directly
+	// (computed in the open component, or definitely leaked).
+	observable map[*dataflow.Def]bool
+	// constDef marks observable defs of compile-time constants.
+	constDef map[*dataflow.Def]bool
+	acDef    map[*dataflow.Def]AC
+
+	// enclosing maps statement IDs to their enclosing if/while statements,
+	// innermost last.
+	enclosing map[int][]ir.Stmt
+	// loopsOf maps statement IDs to enclosing while statements.
+	loopsOf map[int][]*ir.WhileStmt
+}
+
+func newAnalyzer(sf *core.SplitFunc) *analyzer {
+	a := &analyzer{
+		sf:         sf,
+		g:          sf.Slice.Graph,
+		reach:      sf.Slice.Reach,
+		roles:      sf.Slice.Roles,
+		hidden:     sf.Slice.Hidden,
+		observable: make(map[*dataflow.Def]bool),
+		constDef:   make(map[*dataflow.Def]bool),
+		acDef:      make(map[*dataflow.Def]AC),
+		enclosing:  make(map[int][]ir.Stmt),
+		loopsOf:    make(map[int][]*ir.WhileStmt),
+	}
+	a.buildEnclosure(sf.Orig.Body, nil)
+	a.classifyDefs()
+	return a
+}
+
+func (a *analyzer) buildEnclosure(stmts []ir.Stmt, stack []ir.Stmt) {
+	for _, st := range stmts {
+		a.enclosing[st.ID()] = append([]ir.Stmt(nil), stack...)
+		for _, en := range stack {
+			if w, ok := en.(*ir.WhileStmt); ok {
+				a.loopsOf[st.ID()] = append(a.loopsOf[st.ID()], w)
+			}
+		}
+		switch st := st.(type) {
+		case *ir.IfStmt:
+			inner := append(append([]ir.Stmt(nil), stack...), st)
+			a.buildEnclosure(st.Then, inner)
+			a.buildEnclosure(st.Else, inner)
+		case *ir.WhileStmt:
+			inner := append(append([]ir.Stmt(nil), stack...), st)
+			a.buildEnclosure(st.Body, inner)
+			a.buildEnclosure(st.Post, inner)
+		}
+	}
+}
+
+// classifyDefs decides observability: a def is observable when its value is
+// produced by the open component (any role other than RoleFull) or arrives
+// from outside (parameters, globals, entry state), or when it is a hidden
+// def that is definitely leaked at some ILP (the only def reaching a
+// bare-variable leak site).
+func (a *analyzer) classifyDefs() {
+	for _, d := range a.reach.Defs {
+		if d.Node.Stmt == nil {
+			// Entry defs: caller-visible state.
+			a.observable[d] = true
+			continue
+		}
+		role := a.roles[d.Node.Stmt.ID()]
+		if !a.hidden[d.Var] || role == slicer.RoleSend {
+			a.observable[d] = true
+			if as, ok := d.Node.Stmt.(*ir.AssignStmt); ok {
+				if _, isConst := as.Rhs.(*ir.Const); isConst {
+					a.constDef[d] = true
+				}
+			}
+		}
+	}
+	// Definitely-leaked hidden defs.
+	for _, ilp := range a.sf.ILPs {
+		vr, ok := ilp.HiddenExpr.(*ir.VarRef)
+		if !ok {
+			continue
+		}
+		node := a.g.ByStmt[ilp.StmtID]
+		if node == nil {
+			continue
+		}
+		defs := a.reach.DefsReachingUse(node, vr.Var)
+		if len(defs) == 1 {
+			a.observable[defs[0]] = true
+		}
+	}
+}
+
+// fixpoint iterates EVAL over all defs until the AC assignment stabilizes.
+func (a *analyzer) fixpoint() {
+	for iter := 0; iter < 100; iter++ {
+		changed := false
+		for _, d := range a.reach.Defs {
+			if d.Node.Stmt == nil || d.Implicit {
+				continue
+			}
+			as, ok := d.Node.Stmt.(*ir.AssignStmt)
+			if !ok || ir.DefinedVar(as) != d.Var {
+				continue
+			}
+			ac := a.evalExpr(as.Rhs, d.Node.Stmt)
+			if !ac.Equal(a.acDef[d]) {
+				a.acDef[d] = ac
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// useAC is the paper's AC(u_v@n): the MIN over reaching definitions of the
+// propagated complexity PC.
+func (a *analyzer) useAC(v *ir.Var, at ir.Stmt) AC {
+	node := a.g.ByStmt[at.ID()]
+	if node == nil {
+		return LinearIn(v.String())
+	}
+	defs := a.reach.DefsReachingUse(node, v)
+	if len(defs) == 0 {
+		// Conservatively treat unknown flows as observable inputs.
+		return LinearIn(v.String())
+	}
+	var out AC
+	first := true
+	for _, d := range defs {
+		pc := a.pc(d, at)
+		switch {
+		case first:
+			out, first = pc, false
+		case a.opts.MinAtUses:
+			out = Min(out, pc)
+		default:
+			out = Max(out, pc)
+		}
+	}
+	return out
+}
+
+// pc is the paper's PC(d_v@n', u_v@n): Constant for observable constants,
+// Linear for other observable values, the def's own AC otherwise — raised
+// when the def-use edge exits a loop nest.
+func (a *analyzer) pc(d *dataflow.Def, use ir.Stmt) AC {
+	var out AC
+	switch {
+	case a.observable[d] && a.constDef[d]:
+		out = ConstantAC()
+	case a.observable[d]:
+		out = LinearIn(d.Var.String())
+	default:
+		out = a.acDef[d]
+	}
+	// RAISE for every loop containing the def but not the use.
+	if d.Node.Stmt != nil {
+		for _, l := range a.loopsOf[d.Node.Stmt.ID()] {
+			if !a.inside(use.ID(), l) {
+				out = Raise(out, a.iterAC(l))
+			}
+		}
+	}
+	return out
+}
+
+func (a *analyzer) inside(stmtID int, l *ir.WhileStmt) bool {
+	if stmtID == l.ID() {
+		return true
+	}
+	for _, w := range a.loopsOf[stmtID] {
+		if w == l {
+			return true
+		}
+	}
+	return false
+}
+
+// iterAC estimates the arithmetic complexity of loop l's iteration count:
+// the join of the complexities of the values its condition depends on, at
+// least linear.
+func (a *analyzer) iterAC(l *ir.WhileStmt) AC {
+	out := AC{Type: Linear, Degree: 1}
+	for _, v := range ir.ExprVars(l.Cond) {
+		out = Max(out, a.useAC(v, l))
+	}
+	if out.Type == Arbitrary {
+		return out
+	}
+	if out.Degree < 1 {
+		out.Degree = 1
+	}
+	if out.Type < Linear {
+		out.Type = Linear
+	}
+	return out
+}
+
+// evalExpr is the paper's EVAL: combines operand complexities according to
+// the operator.
+func (a *analyzer) evalExpr(e ir.Expr, at ir.Stmt) AC {
+	switch e := e.(type) {
+	case *ir.Const:
+		return ConstantAC()
+	case *ir.VarRef:
+		return a.useAC(e.Var, at)
+	case *ir.Unary:
+		x := a.evalExpr(e.X, at)
+		if e.Op == token.NOT {
+			return Arb(x)
+		}
+		return x
+	case *ir.Binary:
+		x := a.evalExpr(e.X, at)
+		y := a.evalExpr(e.Y, at)
+		switch e.Op {
+		case token.PLUS, token.MINUS:
+			return Add(x, y)
+		case token.STAR:
+			return Mul(x, y)
+		case token.SLASH:
+			return Div(x, y)
+		default: // %, comparisons, && || — non-arithmetic operators
+			return Arb(x, y)
+		}
+	case *ir.ConvertExpr:
+		return a.evalExpr(e.X, at)
+	case *ir.CondExpr:
+		return Arb(a.evalExpr(e.C, at), a.evalExpr(e.T, at), a.evalExpr(e.F, at))
+	case *ir.IndexExpr, *ir.FieldExpr:
+		// Aggregate reads are observable inputs; inside a loop a different
+		// element may flow in each iteration, so the input count varies.
+		ac := LinearIn(ir.ExprString(e))
+		if len(a.loopsOf[at.ID()]) > 0 {
+			ac.Varying = true
+		}
+		return ac
+	case *ir.LenExpr:
+		// An array length is a single observable input even inside a loop
+		// (the array object cannot change while the hidden call runs).
+		return LinearIn(ir.ExprString(e))
+	case *ir.CallExpr:
+		// Call results are computed openly; they are observable inputs.
+		return LinearIn(ir.ExprString(e))
+	}
+	return Arb()
+}
+
+// ilpAC computes AC(f_ILP) per the paper's output rule: for a
+// bare-variable leak whose sole reaching definition is hidden, the leaked
+// function is that definition's expression (AC of the def); otherwise the
+// leaked expression is evaluated directly.
+func (a *analyzer) ilpAC(ilp *core.ILP) AC {
+	at := a.stmtOf(ilp.StmtID)
+	if at == nil {
+		return Arb()
+	}
+	if vr, ok := ilp.HiddenExpr.(*ir.VarRef); ok {
+		node := a.g.ByStmt[ilp.StmtID]
+		if node != nil {
+			defs := a.reach.DefsReachingUse(node, vr.Var)
+			if len(defs) == 1 && defs[0].Node.Stmt != nil && a.roles[defs[0].Node.Stmt.ID()] == slicer.RoleFull {
+				d := defs[0]
+				out := a.acDef[d]
+				for _, l := range a.loopsOf[d.Node.Stmt.ID()] {
+					if !a.inside(ilp.StmtID, l) {
+						out = Raise(out, a.iterAC(l))
+					}
+				}
+				return out
+			}
+		}
+	}
+	return a.evalExpr(ilp.HiddenExpr, at)
+}
+
+func (a *analyzer) stmtOf(id int) ir.Stmt {
+	if n := a.g.ByStmt[id]; n != nil {
+		return n.Stmt
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Control-flow complexity
+
+// contributingDefs returns the hidden definitions feeding the ILP's leaked
+// expression, transitively through hidden def-use chains.
+func (a *analyzer) contributingDefs(ilp *core.ILP) map[*dataflow.Def]bool {
+	seen := make(map[*dataflow.Def]bool)
+	var visit func(v *ir.Var, at ir.Stmt)
+	visit = func(v *ir.Var, at ir.Stmt) {
+		node := a.g.ByStmt[at.ID()]
+		if node == nil {
+			return
+		}
+		for _, d := range a.reach.DefsReachingUse(node, v) {
+			if seen[d] || d.Node.Stmt == nil {
+				continue
+			}
+			role := a.roles[d.Node.Stmt.ID()]
+			if role != slicer.RoleFull && role != slicer.RoleSend {
+				continue // open def: the adversary sees it
+			}
+			seen[d] = true
+			if as, ok := d.Node.Stmt.(*ir.AssignStmt); ok {
+				for _, u := range ir.ExprVars(as.Rhs) {
+					if a.hidden[u] {
+						visit(u, d.Node.Stmt)
+					}
+				}
+			}
+		}
+	}
+	at := a.stmtOf(ilp.StmtID)
+	if at != nil {
+		for _, v := range ir.ExprVars(ilp.HiddenExpr) {
+			if a.hidden[v] {
+				visit(v, at)
+			}
+		}
+	}
+	return seen
+}
+
+// predicateHidden reports whether construct st's predicate was moved to the
+// hidden component.
+func (a *analyzer) predicateHidden(st ir.Stmt) bool {
+	if fr, ok := a.sf.Hidden.Constructs[st.ID()]; ok {
+		return fr.HidesPredicate
+	}
+	return false
+}
+
+// flowHidden reports whether construct st's control flow was (partially or
+// fully) moved to the hidden component.
+func (a *analyzer) flowHidden(st ir.Stmt) bool {
+	if fr, ok := a.sf.Hidden.Constructs[st.ID()]; ok {
+		return fr.HidesFlow
+	}
+	return false
+}
+
+func (a *analyzer) ilpCC(ilp *core.ILP) CC {
+	cc := CC{Paths: 1}
+	if ilp.Frag.HidesPredicate {
+		cc.HiddenPredicates = true
+	}
+	if ilp.Frag.HidesFlow {
+		cc.HiddenFlow = true
+	}
+	if ilp.Frag.HasLoop {
+		cc.PathsVariable = true
+	}
+	branches := 0
+	for d := range a.contributingDefs(ilp) {
+		id := d.Node.Stmt.ID()
+		for _, en := range a.enclosing[id] {
+			switch en := en.(type) {
+			case *ir.WhileStmt:
+				if a.predicateHidden(en) {
+					cc.PathsVariable = true
+					cc.HiddenPredicates = true
+				}
+				if a.flowHidden(en) {
+					cc.HiddenFlow = true
+				}
+			case *ir.IfStmt:
+				branches++
+				if a.predicateHidden(en) {
+					cc.HiddenPredicates = true
+				}
+				if a.flowHidden(en) {
+					cc.HiddenFlow = true
+				}
+			}
+		}
+	}
+	if !cc.PathsVariable {
+		if branches > 20 {
+			branches = 20
+		}
+		cc.Paths = 1 << branches
+	}
+	return cc
+}

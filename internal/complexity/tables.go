@@ -1,0 +1,86 @@
+package complexity
+
+// Aggregations reproducing the shape of the paper's Tables 3 and 4.
+
+// Table3Row is one benchmark row of Table 3: the arithmetic-complexity
+// distribution of its ILPs.
+type Table3Row struct {
+	Name       string
+	Constant   int
+	Linear     int
+	Polynomial int
+	Rational   int
+	Arbitrary  int
+	// MaxInputs is the largest observable-input count across ILPs;
+	// InputsVarying reports whether any ILP's input count depends on loop
+	// iterations (reported as "varying", the paper's javac case).
+	MaxInputs     int
+	InputsVarying bool
+	// MaxDegree is the largest polynomial degree across non-arbitrary ILPs.
+	MaxDegree int
+}
+
+// Total returns the ILP count in the row.
+func (r Table3Row) Total() int {
+	return r.Constant + r.Linear + r.Polynomial + r.Rational + r.Arbitrary
+}
+
+// Table4Row is one benchmark row of Table 4: control-flow complexity
+// counts.
+type Table4Row struct {
+	Name             string
+	PathsVariable    int
+	PredicatesHidden int
+	FlowHidden       int
+}
+
+// Aggregate summarizes per-ILP reports into table rows.
+func Aggregate(name string, reports []Report) (Table3Row, Table4Row) {
+	t3 := Table3Row{Name: name}
+	t4 := Table4Row{Name: name}
+	for _, r := range reports {
+		switch r.AC.Type {
+		case Constant:
+			t3.Constant++
+		case Linear:
+			t3.Linear++
+		case Polynomial:
+			t3.Polynomial++
+		case Rational:
+			t3.Rational++
+		case Arbitrary:
+			t3.Arbitrary++
+		}
+		if r.AC.Varying {
+			t3.InputsVarying = true
+		} else if n := r.AC.NumInputs(); n > t3.MaxInputs {
+			t3.MaxInputs = n
+		}
+		if r.AC.Type != Arbitrary && r.AC.Degree > t3.MaxDegree {
+			t3.MaxDegree = r.AC.Degree
+		}
+		if r.CC.PathsVariable {
+			t4.PathsVariable++
+		}
+		if r.CC.HiddenPredicates {
+			t4.PredicatesHidden++
+		}
+		if r.CC.HiddenFlow {
+			t4.FlowHidden++
+		}
+	}
+	return t3, t4
+}
+
+// MaxAC returns the maximum arithmetic complexity across reports (used by
+// the paper's seed-selection rule: pick the local variable whose split
+// yields the ILP with the highest maximum arithmetic complexity).
+func MaxAC(reports []Report) AC {
+	var out AC
+	for i, r := range reports {
+		if i == 0 || Less(out, r.AC) {
+			out = r.AC
+		}
+	}
+	return out
+}

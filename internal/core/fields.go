@@ -1,0 +1,326 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"slicehide/internal/ir"
+	"slicehide/internal/lang/token"
+)
+
+// ClassComponentPrefix prefixes the names of per-class hidden components
+// that store hidden class fields (the §2.2 object-oriented extension).
+// The component for class C is "$class:C"; its activations are the object
+// instance ids assigned by the open component at `new C()` time.
+const ClassComponentPrefix = "$class:"
+
+// FieldsInfo is the per-class hidden-fields state of a split result.
+type FieldsInfo struct {
+	Class string
+	// Component holds the shared fetch/update fragments for the class's
+	// hidden fields; fragment calls carry the target object's instance id.
+	Component *HiddenComponent
+	// Rewritten lists functions whose references to hidden fields were
+	// replaced by fetch/update calls.
+	Rewritten []string
+	// ILPs are the leak points introduced by those fetches.
+	ILPs []*ILP
+
+	fetch  map[*ir.Var]*Fragment
+	update map[*ir.Var]*Fragment
+	nextID int
+}
+
+func newFieldsInfo(class string) *FieldsInfo {
+	return &FieldsInfo{
+		Class: class,
+		Component: &HiddenComponent{
+			Func:       ClassComponentPrefix + class,
+			Frags:      make(map[int]*Fragment),
+			Constructs: make(map[int]*Fragment),
+			shell:      &ir.Func{Name: ClassComponentPrefix + class},
+		},
+		fetch:  make(map[*ir.Var]*Fragment),
+		update: make(map[*ir.Var]*Fragment),
+	}
+}
+
+func (fi *FieldsInfo) addVar(v *ir.Var) {
+	for _, have := range fi.Component.Vars {
+		if have == v {
+			return
+		}
+	}
+	fi.Component.Vars = append(fi.Component.Vars, v)
+	sortVars(fi.Component.Vars)
+}
+
+func (fi *FieldsInfo) newFragment(kind FragKind, note string) *Fragment {
+	fr := &Fragment{ID: fi.nextID, Kind: kind, Note: note}
+	fi.nextID++
+	fi.Component.Frags[fr.ID] = fr
+	return fr
+}
+
+func (fi *FieldsInfo) fetchFrag(v *ir.Var) *Fragment {
+	if fr, ok := fi.fetch[v]; ok {
+		return fr
+	}
+	fr := fi.newFragment(FragFetch, "fetch field "+v.String())
+	fr.Body = []ir.Stmt{fi.Component.shell.NewReturn(token.Pos{}, &ir.VarRef{Var: v})}
+	fi.fetch[v] = fr
+	return fr
+}
+
+func (fi *FieldsInfo) updateFrag(v *ir.Var) *Fragment {
+	if fr, ok := fi.update[v]; ok {
+		return fr
+	}
+	fr := fi.newFragment(FragUpdate, "update field "+v.String())
+	av := fi.Component.argVar(fr, 0)
+	fr.Body = []ir.Stmt{fi.Component.shell.NewAssign(token.Pos{}, &ir.VarTarget{Var: v}, &ir.VarRef{Var: av})}
+	fi.update[v] = fr
+	return fr
+}
+
+// hiddenFields returns the class fields hidden by sf.
+func hiddenFields(sf *SplitFunc) []*ir.Var {
+	var out []*ir.Var
+	for _, v := range sf.Hidden.Vars {
+		if v.Kind == ir.VarField {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// applyFieldsExtension registers sf's hidden fields in their class
+// components and rewrites every other function that references them.
+func applyFieldsExtension(res *Result, prog *ir.Program, sf *SplitFunc, specs []Spec) error {
+	fields := hiddenFields(sf)
+	if len(fields) == 0 {
+		return nil
+	}
+	if res.Fields == nil {
+		res.Fields = make(map[string]*FieldsInfo)
+	}
+	hidden := map[*ir.Var]bool{}
+	for _, f := range fields {
+		fi := res.Fields[f.Class]
+		if fi == nil {
+			fi = newFieldsInfo(f.Class)
+			res.Fields[f.Class] = fi
+		}
+		fi.addVar(f)
+		hidden[f] = true
+	}
+
+	splitSet := map[string]bool{}
+	for _, sp := range specs {
+		splitSet[sp.Func] = true
+	}
+	var names []string
+	for _, qn := range prog.Order {
+		names = append(names, qn)
+	}
+	sort.Strings(names)
+	for _, qn := range names {
+		if qn == sf.Orig.QName() {
+			continue
+		}
+		if !referencesAnyField(prog.Funcs[qn], hidden) {
+			continue
+		}
+		if splitSet[qn] {
+			return fmt.Errorf("core: field %s is hidden by %s but %s (which references it) is also being split",
+				firstOf(hidden), sf.Orig.QName(), qn)
+		}
+		// Rewrite the CURRENT open version so multiple extensions compose.
+		base := res.Open.Funcs[qn]
+		rw := &refRewriter{res: res, hiddenFields: hidden, fnName: qn}
+		res.Open.Funcs[qn] = rw.rewrite(base)
+		fi := res.Fields[fields[0].Class]
+		fi.Rewritten = append(fi.Rewritten, qn)
+		fi.ILPs = append(fi.ILPs, rw.ilps...)
+	}
+	return nil
+}
+
+func referencesAnyField(f *ir.Func, hidden map[*ir.Var]bool) bool {
+	found := false
+	ir.WalkStmts(f.Body, func(st ir.Stmt) bool {
+		if v := ir.DefinedVar(st); v != nil && hidden[v] {
+			found = true
+		}
+		for _, v := range ir.UsedVars(st) {
+			if hidden[v] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// refRewriter replaces references to hidden globals and hidden fields in a
+// non-split function with fetch/update calls against the shared
+// components. It composes: the input may already contain H(...) calls from
+// earlier extension passes.
+type refRewriter struct {
+	res          *Result
+	hiddenGlobal map[*ir.Var]bool
+	hiddenFields map[*ir.Var]bool
+	out          *ir.Func
+	fnName       string
+	ilps         []*ILP
+}
+
+func (rw *refRewriter) rewrite(f *ir.Func) *ir.Func {
+	rw.out = &ir.Func{
+		Name:   f.Name,
+		Class:  f.Class,
+		Params: f.Params,
+		Locals: f.Locals,
+		Result: f.Result,
+	}
+	rw.out.Body = rw.stmts(f.Body)
+	return rw.out
+}
+
+func (rw *refRewriter) stmts(list []ir.Stmt) []ir.Stmt {
+	out := make([]ir.Stmt, 0, len(list))
+	for _, st := range list {
+		out = append(out, rw.stmt(st))
+	}
+	return out
+}
+
+func (rw *refRewriter) stmt(st ir.Stmt) ir.Stmt {
+	switch st := st.(type) {
+	case *ir.AssignStmt:
+		if vt, ok := st.Lhs.(*ir.VarTarget); ok && rw.hiddenGlobal[vt.Var] {
+			fr := rw.res.Globals.updateFrag(vt.Var)
+			call := &ir.HCallExpr{FragID: fr.ID, Component: GlobalsComponent, Args: []ir.Expr{rw.expr(st.Rhs)}}
+			return rw.out.NewHCallStmt(st.Pos(), call)
+		}
+		if ft, ok := st.Lhs.(*ir.FieldTarget); ok && ft.FieldVar != nil && rw.hiddenFields[ft.FieldVar] {
+			fi := rw.res.Fields[ft.FieldVar.Class]
+			fr := fi.updateFrag(ft.FieldVar)
+			call := &ir.HCallExpr{
+				FragID:    fr.ID,
+				Component: ClassComponentPrefix + ft.FieldVar.Class,
+				Obj:       rw.expr(ft.Obj),
+				Args:      []ir.Expr{rw.expr(st.Rhs)},
+			}
+			return rw.out.NewHCallStmt(st.Pos(), call)
+		}
+		return rw.out.NewAssign(st.Pos(), rw.target(st.Lhs), rw.expr(st.Rhs))
+	case *ir.IfStmt:
+		return rw.out.NewIf(st.Pos(), rw.expr(st.Cond), rw.stmts(st.Then), rw.stmts(st.Else))
+	case *ir.WhileStmt:
+		return rw.out.NewWhile(st.Pos(), rw.expr(st.Cond), rw.stmts(st.Body), rw.stmts(st.Post))
+	case *ir.ReturnStmt:
+		var v ir.Expr
+		if st.Value != nil {
+			v = rw.expr(st.Value)
+		}
+		return rw.out.NewReturn(st.Pos(), v)
+	case *ir.BreakStmt:
+		return rw.out.NewBreak(st.Pos())
+	case *ir.ContinueStmt:
+		return rw.out.NewContinue(st.Pos())
+	case *ir.PrintStmt:
+		args := make([]ir.Expr, len(st.Args))
+		for i, a := range st.Args {
+			args[i] = rw.expr(a)
+		}
+		return rw.out.NewPrint(st.Pos(), args)
+	case *ir.CallStmt:
+		return rw.out.NewCallStmt(st.Pos(), rw.expr(st.Call).(*ir.CallExpr))
+	case *ir.HCallStmt:
+		return rw.out.NewHCallStmt(st.Pos(), rw.expr(st.Call).(*ir.HCallExpr))
+	}
+	panic(fmt.Sprintf("core: ref rewrite: unexpected %T", st))
+}
+
+func (rw *refRewriter) target(t ir.Target) ir.Target {
+	switch t := t.(type) {
+	case *ir.VarTarget:
+		return &ir.VarTarget{Var: t.Var}
+	case *ir.IndexTarget:
+		return &ir.IndexTarget{Arr: rw.expr(t.Arr), I: rw.expr(t.I), ElemsVar: t.ElemsVar}
+	case *ir.FieldTarget:
+		return &ir.FieldTarget{Obj: rw.expr(t.Obj), Field: t.Field, Class: t.Class, FieldVar: t.FieldVar}
+	}
+	panic("core: ref rewrite: unexpected target")
+}
+
+func (rw *refRewriter) addILP(kind ILPKind, fr *Fragment, site *ir.HCallExpr, e ir.Expr) {
+	rw.ilps = append(rw.ilps, &ILP{
+		ID:         len(rw.ilps),
+		Kind:       kind,
+		Func:       rw.fnName,
+		Frag:       fr,
+		Site:       site,
+		HiddenExpr: ir.CloneExpr(e),
+		StmtID:     -1,
+	})
+}
+
+func (rw *refRewriter) expr(e ir.Expr) ir.Expr {
+	switch e := e.(type) {
+	case nil:
+		return nil
+	case *ir.VarRef:
+		if rw.hiddenGlobal[e.Var] {
+			fr := rw.res.Globals.fetchFrag(e.Var)
+			site := &ir.HCallExpr{FragID: fr.ID, Component: GlobalsComponent, Leaks: true}
+			rw.addILP(ILPFetch, fr, site, e)
+			return site
+		}
+		return &ir.VarRef{Var: e.Var}
+	case *ir.FieldExpr:
+		if e.FieldVar != nil && rw.hiddenFields[e.FieldVar] {
+			fi := rw.res.Fields[e.FieldVar.Class]
+			fr := fi.fetchFrag(e.FieldVar)
+			site := &ir.HCallExpr{
+				FragID:    fr.ID,
+				Component: ClassComponentPrefix + e.FieldVar.Class,
+				Obj:       rw.expr(e.Obj),
+				Leaks:     true,
+			}
+			rw.addILP(ILPFetch, fr, site, e)
+			return site
+		}
+		return &ir.FieldExpr{Obj: rw.expr(e.Obj), Field: e.Field, Class: e.Class, FieldVar: e.FieldVar}
+	case *ir.Const, *ir.ThisExpr, *ir.NewObjectExpr:
+		return ir.CloneExpr(e)
+	case *ir.Unary:
+		return &ir.Unary{Op: e.Op, X: rw.expr(e.X)}
+	case *ir.Binary:
+		return &ir.Binary{Op: e.Op, X: rw.expr(e.X), Y: rw.expr(e.Y)}
+	case *ir.CondExpr:
+		return &ir.CondExpr{C: rw.expr(e.C), T: rw.expr(e.T), F: rw.expr(e.F)}
+	case *ir.ConvertExpr:
+		return &ir.ConvertExpr{ToFloat: e.ToFloat, X: rw.expr(e.X)}
+	case *ir.IndexExpr:
+		return &ir.IndexExpr{Arr: rw.expr(e.Arr), I: rw.expr(e.I), ElemsVar: e.ElemsVar}
+	case *ir.CallExpr:
+		args := make([]ir.Expr, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = rw.expr(a)
+		}
+		return &ir.CallExpr{Callee: e.Callee, Recv: rw.expr(e.Recv), Args: args, Result: e.Result}
+	case *ir.NewArrayExpr:
+		return &ir.NewArrayExpr{Elem: e.Elem, Size: rw.expr(e.Size)}
+	case *ir.LenExpr:
+		return &ir.LenExpr{Arr: rw.expr(e.Arr)}
+	case *ir.HCallExpr:
+		args := make([]ir.Expr, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = rw.expr(a)
+		}
+		return &ir.HCallExpr{FragID: e.FragID, Args: args, Leaks: e.Leaks, Component: e.Component, Obj: rw.expr(e.Obj)}
+	}
+	panic(fmt.Sprintf("core: ref rewrite: unexpected expr %T", e))
+}

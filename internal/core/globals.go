@@ -1,0 +1,200 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"slicehide/internal/ir"
+	"slicehide/internal/lang/token"
+)
+
+// GlobalsComponent is the name of the program-level hidden component that
+// stores hidden global variables (the §2.2 global-variable extension). It
+// has a single implicit activation shared by every function.
+const GlobalsComponent = "$globals"
+
+// GlobalsInfo is the program-level hidden-globals state of a split result.
+type GlobalsInfo struct {
+	// Component holds the shared fetch/update fragments.
+	Component *HiddenComponent
+	// Init maps each hidden global to its (constant) initializer.
+	Init map[*ir.Var]*ir.Const
+	// Rewritten lists functions that were not sliced but had their
+	// references to hidden globals replaced by fetch/update calls (the
+	// paper: "if the function does not meet the required characteristics,
+	// it is not sliced; instead ... an appropriate call to a hidden
+	// function is made").
+	Rewritten []string
+	// ILPs are the leak points introduced by fetches in rewritten
+	// functions (counted, but not attributed to any single split's
+	// complexity analysis).
+	ILPs []*ILP
+
+	fetch  map[*ir.Var]*Fragment
+	update map[*ir.Var]*Fragment
+	nextID int
+}
+
+func newGlobalsInfo() *GlobalsInfo {
+	return &GlobalsInfo{
+		Component: &HiddenComponent{
+			Func:       GlobalsComponent,
+			Frags:      make(map[int]*Fragment),
+			Constructs: make(map[int]*Fragment),
+			shell:      &ir.Func{Name: GlobalsComponent},
+		},
+		Init:   make(map[*ir.Var]*ir.Const),
+		fetch:  make(map[*ir.Var]*Fragment),
+		update: make(map[*ir.Var]*Fragment),
+	}
+}
+
+func (gi *GlobalsInfo) addVar(v *ir.Var, init *ir.Const) {
+	if _, ok := gi.Init[v]; ok {
+		return
+	}
+	gi.Init[v] = init
+	gi.Component.Vars = append(gi.Component.Vars, v)
+	sortVars(gi.Component.Vars)
+}
+
+func (gi *GlobalsInfo) newFragment(kind FragKind, note string) *Fragment {
+	fr := &Fragment{ID: gi.nextID, Kind: kind, Note: note}
+	gi.nextID++
+	gi.Component.Frags[fr.ID] = fr
+	return fr
+}
+
+func (gi *GlobalsInfo) fetchFrag(v *ir.Var) *Fragment {
+	if fr, ok := gi.fetch[v]; ok {
+		return fr
+	}
+	fr := gi.newFragment(FragFetch, "fetch global "+v.String())
+	fr.Body = []ir.Stmt{gi.Component.shell.NewReturn(token.Pos{}, &ir.VarRef{Var: v})}
+	gi.fetch[v] = fr
+	return fr
+}
+
+func (gi *GlobalsInfo) updateFrag(v *ir.Var) *Fragment {
+	if fr, ok := gi.update[v]; ok {
+		return fr
+	}
+	fr := gi.newFragment(FragUpdate, "update global "+v.String())
+	av := gi.Component.argVar(fr, 0)
+	fr.Body = []ir.Stmt{gi.Component.shell.NewAssign(token.Pos{}, &ir.VarTarget{Var: v}, &ir.VarRef{Var: av})}
+	gi.update[v] = fr
+	return fr
+}
+
+// hiddenGlobals returns the global variables hidden by sf.
+func hiddenGlobals(sf *SplitFunc) []*ir.Var {
+	var out []*ir.Var
+	for _, v := range sf.Hidden.Vars {
+		if v.Kind == ir.VarGlobal {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// applyGlobalsExtension registers sf's hidden globals in the shared
+// component and rewrites every other (non-split) function that references
+// them. It enforces the extension's restrictions: constant (or absent)
+// initializers, and no other split function touching the same global.
+func applyGlobalsExtension(res *Result, prog *ir.Program, sf *SplitFunc, specs []Spec) error {
+	globals := hiddenGlobals(sf)
+	if len(globals) == 0 {
+		return nil
+	}
+	if res.Globals == nil {
+		res.Globals = newGlobalsInfo()
+	}
+	gi := res.Globals
+	hidden := map[*ir.Var]bool{}
+	for _, g := range globals {
+		init := ir.Int(0)
+		for _, pg := range prog.Globals {
+			if pg.Var != g {
+				continue
+			}
+			switch e := pg.Init.(type) {
+			case nil:
+				init = zeroConst(g)
+			case *ir.Const:
+				c := *e
+				init = &c
+			default:
+				return fmt.Errorf("core: hidden global %s has a non-constant initializer; not supported", g)
+			}
+		}
+		gi.addVar(g, init)
+		hidden[g] = true
+	}
+
+	splitSet := map[string]bool{}
+	for _, sp := range specs {
+		splitSet[sp.Func] = true
+	}
+	var names []string
+	for _, qn := range prog.Order {
+		names = append(names, qn)
+	}
+	sort.Strings(names)
+	for _, qn := range names {
+		if qn == sf.Orig.QName() {
+			continue
+		}
+		f := prog.Funcs[qn]
+		if !referencesAny(f, hidden) {
+			continue
+		}
+		if splitSet[qn] {
+			return fmt.Errorf("core: global %s is hidden by %s but %s is also being split; hide a global from at most one split function",
+				firstOf(hidden), sf.Orig.QName(), qn)
+		}
+		base := res.Open.Funcs[qn]
+		rw := &refRewriter{res: res, hiddenGlobal: hidden, fnName: qn}
+		res.Open.Funcs[qn] = rw.rewrite(base)
+		gi.Rewritten = append(gi.Rewritten, qn)
+		gi.ILPs = append(gi.ILPs, rw.ilps...)
+	}
+	return nil
+}
+
+func zeroConst(v *ir.Var) *ir.Const {
+	if b, ok := v.Type.(interface{ String() string }); ok && b.String() == "float" {
+		return ir.Float(0)
+	}
+	if b, ok := v.Type.(interface{ String() string }); ok && b.String() == "bool" {
+		return ir.Bool(false)
+	}
+	return ir.Int(0)
+}
+
+func firstOf(m map[*ir.Var]bool) *ir.Var {
+	var names []*ir.Var
+	for v := range m {
+		names = append(names, v)
+	}
+	sort.Slice(names, func(i, j int) bool { return names[i].String() < names[j].String() })
+	if len(names) == 0 {
+		return nil
+	}
+	return names[0]
+}
+
+func referencesAny(f *ir.Func, hidden map[*ir.Var]bool) bool {
+	found := false
+	ir.WalkStmts(f.Body, func(st ir.Stmt) bool {
+		if v := ir.DefinedVar(st); v != nil && hidden[v] {
+			found = true
+		}
+		for _, v := range ir.UsedVars(st) {
+			if hidden[v] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"slicehide/internal/ir"
+	"slicehide/internal/slicer"
+)
+
+// Spec names one function to split and, optionally, the seed variable. An
+// empty seed lets the splitter pick the local producing the largest slice.
+type Spec struct {
+	Func string
+	Seed string
+}
+
+// Result is a program-level split: the open program (split functions
+// replaced by their open components) plus the hidden components.
+type Result struct {
+	// Orig is the untouched input program.
+	Orig *ir.Program
+	// Open is the program the unsecure machine runs.
+	Open *ir.Program
+	// Splits maps split function names to their split records.
+	Splits map[string]*SplitFunc
+	// Globals is the program-level hidden-globals state (nil unless the
+	// §2.2 global-variable extension was used).
+	Globals *GlobalsInfo
+	// Fields maps class names to their hidden-fields state (nil values
+	// unless the §2.2 object-oriented extension was used).
+	Fields map[string]*FieldsInfo
+}
+
+// SplitNames returns the split function names in sorted order.
+func (r *Result) SplitNames() []string {
+	names := make([]string, 0, len(r.Splits))
+	for n := range r.Splits {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SplitSet returns the split-function name set (for interp.Options).
+func (r *Result) SplitSet() map[string]bool {
+	m := make(map[string]bool, len(r.Splits))
+	for n := range r.Splits {
+		m[n] = true
+	}
+	return m
+}
+
+// AllILPs returns every ILP across all split functions, ordered by function
+// name then ILP id.
+func (r *Result) AllILPs() []*ILP {
+	var out []*ILP
+	for _, name := range r.SplitNames() {
+		out = append(out, r.Splits[name].ILPs...)
+	}
+	return out
+}
+
+// TotalSliceStatements sums slice sizes across splits (Table 2).
+func (r *Result) TotalSliceStatements() int {
+	n := 0
+	for _, sf := range r.Splits {
+		n += sf.Slice.Size()
+	}
+	return n
+}
+
+// SplitProgram splits every function named in specs and assembles the open
+// program. Hiding globals or class fields referenced outside the split
+// function is rejected (the §2.2 global-variable extension requires
+// transforming every referencing function; see package docs).
+func SplitProgram(prog *ir.Program, specs []Spec, policy slicer.Policy) (*Result, error) {
+	return SplitProgramOpts(prog, specs, policy, Options{})
+}
+
+// SplitProgramOpts is SplitProgram with explicit transformation options.
+func SplitProgramOpts(prog *ir.Program, specs []Spec, policy slicer.Policy, opts Options) (*Result, error) {
+	res := &Result{
+		Orig: prog,
+		Open: &ir.Program{
+			Globals: prog.Globals,
+			Classes: prog.Classes,
+			Heap:    prog.Heap,
+			Order:   prog.Order,
+			Funcs:   make(map[string]*ir.Func, len(prog.Funcs)),
+		},
+		Splits: make(map[string]*SplitFunc),
+	}
+	for qn, f := range prog.Funcs {
+		res.Open.Funcs[qn] = f
+	}
+	for _, spec := range specs {
+		f := prog.Func(spec.Func)
+		if f == nil {
+			return nil, fmt.Errorf("core: no function %q to split", spec.Func)
+		}
+		if _, dup := res.Splits[spec.Func]; dup {
+			return nil, fmt.Errorf("core: function %q listed twice", spec.Func)
+		}
+		var seed *ir.Var
+		if spec.Seed != "" {
+			seed = f.LookupVar(spec.Seed)
+			if seed == nil {
+				return nil, fmt.Errorf("core: no variable %q in %s", spec.Seed, spec.Func)
+			}
+		} else {
+			seed, _ = slicer.BestSeed(f, policy)
+			if seed == nil {
+				return nil, fmt.Errorf("core: %s has no hideable scalar local to seed splitting", spec.Func)
+			}
+		}
+		sf, err := SplitOpts(f, seed, policy, opts)
+		if err != nil {
+			return nil, err
+		}
+		res.Splits[spec.Func] = sf
+		res.Open.Funcs[spec.Func] = sf.Open
+		// The §2.2 extensions: hidden globals get a shared program-level
+		// component, hidden class fields get per-class components with
+		// per-object stores; other referencing functions are rewritten to
+		// fetch/update calls.
+		if err := applyGlobalsExtension(res, prog, sf, specs); err != nil {
+			return nil, err
+		}
+		if err := applyFieldsExtension(res, prog, sf, specs); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"slicehide/internal/ir"
+	"slicehide/internal/lang/types"
+)
+
+// MethodInfo is the §2.1 per-method suitability record behind Table 1.
+type MethodInfo struct {
+	QName string
+	// Statements is the number of simple IR statements (the paper counts
+	// Java bytecodes; the >10 smallness threshold is applied to this count).
+	Statements int
+	// SelfContained reports whether executing the method on a secure device
+	// would require transferring only scalar values: no calls, no aggregate
+	// (array/object/string) operations, scalar parameters and result, no
+	// console output.
+	SelfContained bool
+	// Initializer reports whether the method merely installs constant or
+	// parameter values into fields/locals (its behavior is trivially
+	// learnable by observing its interaction, §2.1).
+	Initializer bool
+}
+
+// AnalyzeMethod computes the suitability record for one function or method.
+func AnalyzeMethod(f *ir.Func) MethodInfo {
+	info := MethodInfo{QName: f.QName()}
+	selfContained := true
+	if !types.IsScalar(f.Result) && !f.Result.Equal(types.VoidType) {
+		selfContained = false
+	}
+	for _, p := range f.Params {
+		if !p.IsScalar() {
+			selfContained = false
+		}
+	}
+	initializer := true
+	ir.WalkStmts(f.Body, func(st ir.Stmt) bool {
+		info.Statements++
+		switch st := st.(type) {
+		case *ir.AssignStmt:
+			if !initRhs(st.Rhs) {
+				initializer = false
+			}
+			if exprDisqualifies(st.Rhs) || targetDisqualifies(st.Lhs) {
+				selfContained = false
+			}
+		case *ir.ReturnStmt:
+			if st.Value != nil && exprDisqualifies(st.Value) {
+				selfContained = false
+			}
+		case *ir.PrintStmt:
+			selfContained = false // console I/O stays on the open machine
+			initializer = false
+		case *ir.CallStmt:
+			selfContained = false
+			initializer = false
+		case *ir.IfStmt:
+			if exprDisqualifies(st.Cond) {
+				selfContained = false
+			}
+			initializer = false
+		case *ir.WhileStmt:
+			if exprDisqualifies(st.Cond) {
+				selfContained = false
+			}
+			initializer = false
+		case *ir.BreakStmt, *ir.ContinueStmt:
+			initializer = false
+		}
+		return true
+	})
+	info.SelfContained = selfContained
+	info.Initializer = initializer && info.Statements > 0
+	return info
+}
+
+// initRhs reports whether an initializer-style rhs: a constant, a parameter
+// reference, or a trivial copy.
+func initRhs(e ir.Expr) bool {
+	switch e := e.(type) {
+	case *ir.Const:
+		return true
+	case *ir.VarRef:
+		return e.Var.Kind == ir.VarParam
+	case *ir.NewArrayExpr:
+		_, isConst := e.Size.(*ir.Const)
+		return isConst
+	case *ir.NewObjectExpr:
+		return true
+	}
+	return false
+}
+
+// exprDisqualifies reports whether e contains an operation that prevents
+// self-contained execution on a secure device: a call, an allocation, or
+// any aggregate access (arrays, object fields, len, strings).
+func exprDisqualifies(e ir.Expr) bool {
+	bad := false
+	ir.WalkExpr(e, func(x ir.Expr) {
+		switch x := x.(type) {
+		case *ir.CallExpr, *ir.NewObjectExpr, *ir.NewArrayExpr,
+			*ir.IndexExpr, *ir.LenExpr:
+			bad = true
+		case *ir.FieldExpr:
+			// Scalar fields can be shipped like additional parameters
+			// (§2.1: "such data can be passed to the hidden component in
+			// form of additional parameters"); aggregate fields cannot.
+			if x.FieldVar == nil || !x.FieldVar.IsScalar() {
+				bad = true
+			}
+		case *ir.Const:
+			if x.Kind == ir.ConstString {
+				bad = true
+			}
+		case *ir.VarRef:
+			if !x.Var.IsScalar() {
+				bad = true
+			}
+		}
+	})
+	return bad
+}
+
+func targetDisqualifies(t ir.Target) bool {
+	switch t := t.(type) {
+	case *ir.VarTarget:
+		return !t.Var.IsScalar()
+	case *ir.IndexTarget:
+		return true
+	case *ir.FieldTarget:
+		return t.FieldVar == nil || !t.FieldVar.IsScalar()
+	}
+	return false
+}
+
+// Table1Row aggregates the §2.1 counts for one program: it is one column of
+// the paper's Table 1.
+type Table1Row struct {
+	Name string
+	// Methods is the total number of methods and functions.
+	Methods int
+	// SelfContained is the number of self-contained methods.
+	SelfContained int
+	// SelfContainedBig is the subset with more than SmallThreshold
+	// statements.
+	SelfContainedBig int
+	// ExclInitializers further excludes initializer methods.
+	ExclInitializers int
+}
+
+// SmallThreshold is the smallness cutoff corresponding to the paper's
+// "no more than 10 Java byte code statements".
+const SmallThreshold = 10
+
+// AnalyzeProgram computes the Table 1 row for prog.
+func AnalyzeProgram(name string, prog *ir.Program) (Table1Row, []MethodInfo) {
+	row := Table1Row{Name: name}
+	var infos []MethodInfo
+	for _, qn := range prog.Order {
+		info := AnalyzeMethod(prog.Funcs[qn])
+		infos = append(infos, info)
+		row.Methods++
+		if !info.SelfContained {
+			continue
+		}
+		row.SelfContained++
+		if info.Statements <= SmallThreshold {
+			continue
+		}
+		row.SelfContainedBig++
+		if !info.Initializer {
+			row.ExclInitializers++
+		}
+	}
+	return row, infos
+}

@@ -1,0 +1,360 @@
+package corpus
+
+import (
+	"fmt"
+
+	"slicehide/internal/core"
+)
+
+// Kernel is a hand-written workload standing in for one of the paper's
+// benchmark executions (Table 5). Each kernel is a deterministic MiniJ
+// program parameterized by an input size, with designated split functions.
+//
+// Kernels are shaped like the paper's workloads: the bulk of the
+// computation is open per-element work, while the protected scalars
+// (signature hashes, saliences, program counters, savings metrics) are
+// updated at checkpoints — so interaction counts grow with input size but
+// stay orders of magnitude below the element count, matching Table 5's
+// hundreds-to-thousands of interactions.
+type Kernel struct {
+	// Name matches the benchmark ("javac", "jess", ...).
+	Name string
+	// Split lists the functions (and seed variables) the Table 5 experiment
+	// splits, following the paper's per-benchmark selections.
+	Split []core.Spec
+	// Inputs mirrors the paper's input-size rows.
+	Inputs []KernelInput
+	// Excluded marks benchmarks the paper excluded from runtime
+	// measurement (jfig, an interactive application).
+	Excluded bool
+	// Source produces the program text for a given size.
+	Source func(size int) string
+}
+
+// KernelInput is one input-size row of Table 5.
+type KernelInput struct {
+	Label string
+	Size  int
+}
+
+// Kernels returns the five workload kernels.
+func Kernels() []Kernel {
+	return []Kernel{javacKernel(), jessKernel(), jasminKernel(), bloatKernel(), jfigKernel()}
+}
+
+// KernelByName returns the named kernel.
+func KernelByName(name string) (Kernel, error) {
+	for _, k := range Kernels() {
+		if k.Name == name {
+			return k, nil
+		}
+	}
+	return Kernel{}, fmt.Errorf("corpus: unknown kernel %q", name)
+}
+
+// lcgFill is shared MiniJ code: fills an array deterministically.
+const lcgFill = `
+func fill(a: int[], seed: int) {
+    var state: int = seed;
+    for (var i: int = 0; i < len(a); i++) {
+        state = (state * 1103515245 + 12345) % 2147483648;
+        if (state < 0) { state = -state; }
+        a[i] = state;
+    }
+}
+`
+
+// javacKernel simulates a compiler front end: it tokenizes a pseudo-source
+// stream with open per-token work and checkpoints a hidden symbol hash and
+// nesting summary every 512 tokens; each checkpoint ships a fresh chunk
+// summary to the hidden side (the paper's javac "varying inputs" shape).
+func javacKernel() Kernel {
+	return Kernel{
+		Name:  "javac",
+		Split: []core.Spec{{Func: "compile", Seed: "hash"}},
+		Inputs: []KernelInput{
+			{Label: "33K", Size: 33_000},
+			{Label: "355K", Size: 355_000},
+		},
+		Source: func(size int) string {
+			return fmt.Sprintf(`%s
+func compile(n: int): int {
+    var src: int[] = new int[n];
+    fill(src, 42);
+    var hash: int = 7;
+    var depthSig: int = 1;
+    var chunk: int = 0;
+    var depth: int = 0;
+    var idents: int = 0;
+    var numbers: int = 0;
+    var errors: int = 0;
+    var i: int = 0;
+    while (i < n) {
+        var t: int = src[i] %% 97;
+        var cls: int = 0;
+        if (t < 40) {
+            cls = 1;
+            idents = idents + 1;
+            chunk = chunk * 31 + t;
+        } else if (t < 60) {
+            cls = 2;
+            numbers = numbers + 1;
+            chunk = chunk * 17 + t * 3;
+        } else if (t < 70) {
+            cls = 3;
+            depth = depth + 1;
+        } else if (t < 80) {
+            cls = 4;
+            depth = depth - 1;
+            if (depth < 0) { depth = 0; errors = errors + 1; }
+        } else {
+            chunk = chunk + cls + depth;
+        }
+        chunk = chunk %% 1000000007;
+        if (chunk < 0) { chunk = 0 - chunk; }
+        if (i %% 512 == 511) {
+            hash = (hash * 131 + chunk) %% 1000000007;
+            depthSig = depthSig + depth * depth;
+            chunk = 0;
+        }
+        i = i + 1;
+    }
+    hash = hash + chunk;
+    if (hash %% 2 == 0) {
+        hash = hash / 2 + depthSig;
+    } else {
+        hash = hash * 3 - depthSig;
+    }
+    return hash + idents - numbers + errors * 7;
+}
+func main() {
+    print(compile(%d));
+}
+`, lcgFill, size)
+		},
+	}
+}
+
+// jessKernel simulates a forward-chaining rule engine: per-fact matching is
+// open; rule saliences accumulate in hidden scalars once per activation
+// batch, across several inference rounds.
+func jessKernel() Kernel {
+	return Kernel{
+		Name:  "jess",
+		Split: []core.Spec{{Func: "infer", Seed: "salience"}},
+		Inputs: []KernelInput{
+			{Label: "dilemma (5K)", Size: 5_000},
+			{Label: "fullmab (12K)", Size: 12_000},
+			{Label: "hard (.5K)", Size: 500},
+			{Label: "stack (2K)", Size: 2_000},
+			{Label: "wordgame (5K)", Size: 5_000},
+			{Label: "zebra (7K)", Size: 7_000},
+		},
+		Source: func(size int) string {
+			return fmt.Sprintf(`%s
+func infer(n: int): int {
+    var facts: int[] = new int[n];
+    fill(facts, 7);
+    var salience: int = 100;
+    var fired: int = 0;
+    var round: int = 0;
+    while (round < 6) {
+        var agenda: int = 0;
+        var batch: int = 0;
+        var i: int = 0;
+        while (i < n) {
+            var f: int = facts[i] %% 251;
+            var strength: int = f * (round + 1);
+            var m: int = 0;
+            var match: int = f + round;
+            while (m < 10) {
+                match = (match * 3 + strength + m) %% 8191;
+                m = m + 1;
+            }
+            if (match > 6000) {
+                agenda = agenda + 1;
+                batch = batch + strength - 200;
+            }
+            if (f %% 13 == round) {
+                batch = batch * 2 - f + match %% 5;
+                facts[i] = f / 2 + round;
+            }
+            if (i %% 384 == 383) {
+                salience = (salience * 2 + batch) %% 99991;
+                if (salience < 0) { salience = 0 - salience; }
+                fired = fired + 1;
+                batch = 0;
+            }
+            i = i + 1;
+        }
+        salience = salience + agenda %% 17;
+        round = round + 1;
+    }
+    if (salience > 50000) { salience = salience - 50000; }
+    return salience + fired * 10;
+}
+func main() {
+    print(infer(%d));
+}
+`, lcgFill, size)
+		},
+	}
+}
+
+// jasminKernel simulates an assembler: mnemonic decoding and code emission
+// are open; the hidden state tracks the protected program counter and a
+// checksum updated per emitted basic block.
+func jasminKernel() Kernel {
+	return Kernel{
+		Name:  "jasmin",
+		Split: []core.Spec{{Func: "assemble", Seed: "pc"}},
+		Inputs: []KernelInput{
+			{Label: "small (124K)", Size: 124_000},
+		},
+		Source: func(size int) string {
+			return fmt.Sprintf(`%s
+func assemble(n: int): int {
+    var mnem: int[] = new int[n];
+    fill(mnem, 99);
+    var code: int[] = new int[n];
+    var pc: int = 0;
+    var checksum: int = 1;
+    var labels: int = 0;
+    var blockLen: int = 0;
+    var i: int = 0;
+    while (i < n) {
+        var m: int = mnem[i] %% 200;
+        var width: int = 1;
+        if (m >= 150) {
+            labels = labels + 1;
+            width = 0;
+        } else if (m >= 100) {
+            width = 3;
+        } else if (m >= 50) {
+            width = 2;
+        }
+        code[i] = m * 2 + width;
+        blockLen = blockLen + width;
+        if (i %% 512 == 511) {
+            pc = pc + blockLen;
+            checksum = (checksum * 37 + blockLen) %% 1000003;
+            blockLen = 0;
+        }
+        i = i + 1;
+    }
+    pc = pc + blockLen;
+    return pc + checksum + labels;
+}
+func main() {
+    print(assemble(%d));
+}
+`, lcgFill, size)
+		},
+	}
+}
+
+// bloatKernel simulates a bytecode optimizer: the peephole scan is open;
+// hidden accumulators track savings per optimized region over three passes.
+func bloatKernel() Kernel {
+	return Kernel{
+		Name:  "bloat",
+		Split: []core.Spec{{Func: "optimize", Seed: "savings"}},
+		Inputs: []KernelInput{
+			{Label: "161smin.jar (149K)", Size: 149_000},
+			{Label: "jess.jar (290K)", Size: 290_000},
+		},
+		Source: func(size int) string {
+			return fmt.Sprintf(`%s
+func optimize(n: int): int {
+    var insn: int[] = new int[n];
+    fill(insn, 5);
+    var savings: int = 0;
+    var passes: int = 0;
+    while (passes < 3) {
+        var folded: int = 0;
+        var region: int = 0;
+        var i: int = 0;
+        while (i + 1 < n) {
+            var a: int = insn[i] %% 64;
+            var b: int = insn[i + 1] %% 64;
+            if (a < 8 && b < 8) {
+                folded = folded + 1;
+                region = region + a * b + 2;
+                insn[i] = 63;
+            } else if (a == b) {
+                region = region + 1;
+            }
+            if (i %% 1024 == 1022) {
+                savings = (savings + region * (passes + 1)) %% 1000000;
+                region = 0;
+            }
+            i = i + 2;
+        }
+        savings = savings + folded;
+        passes = passes + 1;
+    }
+    if (savings %% 3 == 0) {
+        savings = savings / 3 + 1;
+    }
+    return savings;
+}
+func main() {
+    print(optimize(%d));
+}
+`, lcgFill, size)
+		},
+	}
+}
+
+// jfigKernel simulates a 2-D graphics editor's geometry engine: float
+// transforms with polynomial and rational arithmetic over generated points;
+// the hidden accumulator is the scene area metric, checkpointed per stroke.
+// The paper excludes jfig from runtime measurement (interactive); the
+// kernel still drives the analyses and examples.
+func jfigKernel() Kernel {
+	return Kernel{
+		Name:     "jfig",
+		Split:    []core.Spec{{Func: "render", Seed: "area"}},
+		Excluded: true,
+		Inputs: []KernelInput{
+			{Label: "scene (10K)", Size: 10_000},
+		},
+		Source: func(size int) string {
+			return fmt.Sprintf(`%s
+func render(n: int): float {
+    var xs: int[] = new int[n];
+    var ys: int[] = new int[n];
+    fill(xs, 3);
+    fill(ys, 11);
+    var area: float = 0.0;
+    var maxR: float = 0.0;
+    var scale: float = 1.25;
+    var skew: float = 0.5;
+    var stroke: float = 0.0;
+    var i: int = 0;
+    while (i < n) {
+        var px: float = float(xs[i] %% 1000) / 10.0;
+        var py: float = float(ys[i] %% 1000) / 10.0;
+        var tx: float = px * scale + py * skew;
+        var ty: float = py * scale - px * skew;
+        var r2: float = tx * tx + ty * ty;
+        stroke = stroke + r2 / (tx * tx + 1.0);
+        if (r2 > maxR) { maxR = r2; }
+        scale = (scale * 997.0 + 1.0) / 1000.0;
+        if (i %% 256 == 255) {
+            area = area + stroke * scale - skew;
+            stroke = 0.0;
+        }
+        i = i + 1;
+    }
+    area = area + stroke;
+    if (area < 0.0) { area = 0.0 - area; }
+    return area + maxR + scale;
+}
+func main() {
+    print(render(%d));
+}
+`, lcgFill, size)
+		},
+	}
+}

@@ -1,0 +1,150 @@
+// Package corpus synthesizes the benchmark programs the experiments run on.
+// The paper evaluates on five real Java programs (jess, bloat, javac,
+// jasmin, jfig) that are not available here; this package substitutes
+// deterministic generated MiniJ programs whose method-population statistics
+// match the paper's Table 1 (method counts, self-contained fractions,
+// initializer fractions) and whose arithmetic mix matches the flavor the
+// paper reports per program (jfig arithmetic-heavy with polynomials and
+// rationals; the others predominantly linear). Five hand-written workload
+// kernels (see kernels.go) stand in for the real executions measured in
+// Table 5.
+package corpus
+
+import "fmt"
+
+// Profile parameterizes one generated benchmark program.
+type Profile struct {
+	// Name is the benchmark name ("jfig", "jess", ...).
+	Name string
+	// Seed makes generation deterministic.
+	Seed int64
+	// Methods is the total number of methods/functions (Table 1 row 1).
+	Methods int
+	// SelfContainedSmall is the number of self-contained methods with at
+	// most core.SmallThreshold statements.
+	SelfContainedSmall int
+	// SelfContainedBigInit is the number of self-contained methods above
+	// the threshold that are initializers.
+	SelfContainedBigInit int
+	// SelfContainedBigNonInit is the number of self-contained, large,
+	// non-initializer methods (Table 1 last row).
+	SelfContainedBigNonInit int
+	// Classes spreads methods over this many classes.
+	Classes int
+	// SplitWorkers is the number of worker functions designed as
+	// splitting candidates (reachable from main outside loops, scalar
+	// locals, non-recursive).
+	SplitWorkers int
+	// FloatFrac is the fraction of generated arithmetic using floats with
+	// multiplicative/divisive structure (polynomial and rational leaks).
+	FloatFrac float64
+	// DivFrac is the fraction of expressions that include division.
+	DivFrac float64
+	// ModFrac is the fraction of expressions mixing in mod/relational
+	// operators (the Arbitrary class).
+	ModFrac float64
+
+	// LeakMix are program-wide totals of leak statements emitted across
+	// the split workers, shaping the Table 3 distribution the way the
+	// paper reports it per benchmark. Workers receive proportional shares.
+	LeakConst, LeakLinear, LeakPoly, LeakRational, LeakArb int
+	// Branches is the total number of hidden-predicate branches across
+	// workers (each yields a predicate ILP, the Arbitrary class).
+	Branches int
+	// HiddenLoopWorkers is how many workers use a hidden loop counter
+	// (their loop predicates and flow move to Hf; paths become variable).
+	HiddenLoopWorkers int
+	// ArrayFeed makes hidden loop bodies consume a fresh array element per
+	// iteration (the paper's javac "varying inputs" behavior).
+	ArrayFeed bool
+}
+
+// SelfContained returns the total self-contained method count.
+func (p Profile) SelfContained() int {
+	return p.SelfContainedSmall + p.SelfContainedBigInit + p.SelfContainedBigNonInit
+}
+
+// Scale returns a copy with method counts multiplied by f (at least 1 per
+// nonzero category); used to keep unit tests fast while benchmarks run the
+// full-size corpora.
+func (p Profile) Scale(f float64) Profile {
+	scale := func(n int) int {
+		if n == 0 {
+			return 0
+		}
+		v := int(float64(n) * f)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	p.Methods = scale(p.Methods)
+	p.SelfContainedSmall = scale(p.SelfContainedSmall)
+	p.SelfContainedBigInit = scale(p.SelfContainedBigInit)
+	p.SelfContainedBigNonInit = scale(p.SelfContainedBigNonInit)
+	p.Classes = scale(p.Classes)
+	if p.SplitWorkers > p.Methods/4 {
+		p.SplitWorkers = p.Methods/4 + 1
+	}
+	return p
+}
+
+// Profiles mirror the paper's Table 1 columns. Category counts derive from
+// the table: small = SelfContained − (SelfContained > 10); among the large
+// ones, ExclInitializers are non-initializers and the rest are initializers.
+//
+//	benchmark  methods  self-contained  >10  excl-init
+//	jfig        2987         21           6      0
+//	jess        1622          6           6      0
+//	bloat       3839         35           9      1
+//	javac       1898         16           8      8
+//	jasmin       645          7           5      3
+var Profiles = []Profile{
+	{
+		Name: "javac", Seed: 1, Methods: 1898,
+		SelfContainedSmall: 8, SelfContainedBigInit: 0, SelfContainedBigNonInit: 8,
+		Classes: 60, SplitWorkers: 7,
+		FloatFrac: 0, DivFrac: 0.05, ModFrac: 0.30,
+		LeakConst: 5, LeakLinear: 30, LeakPoly: 1, LeakRational: 0, LeakArb: 10, Branches: 10,
+		HiddenLoopWorkers: 2, ArrayFeed: true,
+	},
+	{
+		Name: "jess", Seed: 2, Methods: 1622,
+		SelfContainedSmall: 0, SelfContainedBigInit: 6, SelfContainedBigNonInit: 0,
+		Classes: 55, SplitWorkers: 11,
+		FloatFrac: 0, DivFrac: 0.04, ModFrac: 0.45,
+		LeakConst: 8, LeakLinear: 9, LeakPoly: 2, LeakRational: 0, LeakArb: 18, Branches: 14,
+	},
+	{
+		Name: "jasmin", Seed: 3, Methods: 645,
+		SelfContainedSmall: 2, SelfContainedBigInit: 2, SelfContainedBigNonInit: 3,
+		Classes: 25, SplitWorkers: 6,
+		FloatFrac: 0, DivFrac: 0.05, ModFrac: 0.35,
+		LeakConst: 3, LeakLinear: 11, LeakPoly: 1, LeakRational: 0, LeakArb: 6, Branches: 6,
+	},
+	{
+		Name: "bloat", Seed: 4, Methods: 3839,
+		SelfContainedSmall: 26, SelfContainedBigInit: 8, SelfContainedBigNonInit: 1,
+		Classes: 110, SplitWorkers: 16,
+		FloatFrac: 0, DivFrac: 0.08, ModFrac: 0.35,
+		LeakConst: 25, LeakLinear: 14, LeakPoly: 12, LeakRational: 0, LeakArb: 20, Branches: 18,
+	},
+	{
+		Name: "jfig", Seed: 5, Methods: 2987,
+		SelfContainedSmall: 15, SelfContainedBigInit: 6, SelfContainedBigNonInit: 0,
+		Classes: 90, SplitWorkers: 17,
+		FloatFrac: 1.0, DivFrac: 0.30, ModFrac: 0.20,
+		LeakConst: 8, LeakLinear: 50, LeakPoly: 22, LeakRational: 31, LeakArb: 18, Branches: 16,
+		HiddenLoopWorkers: 8,
+	},
+}
+
+// ProfileByName returns the named profile.
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range Profiles {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("corpus: unknown benchmark %q", name)
+}

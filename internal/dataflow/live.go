@@ -1,0 +1,73 @@
+package dataflow
+
+import (
+	"slicehide/internal/cfg"
+	"slicehide/internal/ir"
+)
+
+// Liveness holds live-variable facts: LiveIn[n] is the set of variables
+// whose values may be used before redefinition on some path from n.
+type Liveness struct {
+	Graph   *cfg.Graph
+	LiveIn  map[*cfg.Node]map[*ir.Var]bool
+	LiveOut map[*cfg.Node]map[*ir.Var]bool
+}
+
+// Live computes live variables for g (backward may analysis).
+func Live(g *cfg.Graph) *Liveness {
+	l := &Liveness{
+		Graph:   g,
+		LiveIn:  make(map[*cfg.Node]map[*ir.Var]bool, len(g.Nodes)),
+		LiveOut: make(map[*cfg.Node]map[*ir.Var]bool, len(g.Nodes)),
+	}
+	use := make(map[*cfg.Node][]*ir.Var)
+	def := make(map[*cfg.Node]*ir.Var)
+	for _, n := range g.Nodes {
+		l.LiveIn[n] = map[*ir.Var]bool{}
+		l.LiveOut[n] = map[*ir.Var]bool{}
+		if n.Stmt == nil {
+			continue
+		}
+		use[n] = ir.UsedVars(n.Stmt)
+		if v := ir.DefinedVar(n.Stmt); v != nil {
+			switch v.Kind {
+			case ir.VarLocal, ir.VarParam, ir.VarGlobal:
+				def[n] = v // only strong defs remove liveness
+			}
+		}
+	}
+	changed := true
+	for changed {
+		changed = false
+		// Reverse order converges faster for a backward analysis.
+		for i := len(g.Nodes) - 1; i >= 0; i-- {
+			n := g.Nodes[i]
+			out := l.LiveOut[n]
+			for _, s := range n.Succs {
+				for v := range l.LiveIn[s] {
+					if !out[v] {
+						out[v] = true
+						changed = true
+					}
+				}
+			}
+			in := l.LiveIn[n]
+			for _, v := range use[n] {
+				if !in[v] {
+					in[v] = true
+					changed = true
+				}
+			}
+			for v := range out {
+				if v != def[n] && !in[v] {
+					in[v] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return l
+}
+
+// LiveAtEntry reports whether v is live at function entry.
+func (l *Liveness) LiveAtEntry(v *ir.Var) bool { return l.LiveIn[l.Graph.Entry][v] }

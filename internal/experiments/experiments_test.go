@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTable1Shape(t *testing.T) {
+	rows := Table1(Fast())
+	if len(rows) != 5 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	for _, r := range rows {
+		// Shape: self-contained methods are a vanishing fraction; the
+		// filtered counts shrink monotonically.
+		if r.SelfContained*10 > r.Methods {
+			t.Errorf("%s: too many self-contained (%d of %d)", r.Name, r.SelfContained, r.Methods)
+		}
+		if r.SelfContainedBig > r.SelfContained || r.ExclInitializers > r.SelfContainedBig {
+			t.Errorf("%s: counts not monotone: %+v", r.Name, r)
+		}
+	}
+	text := RenderTable1(rows)
+	if !strings.Contains(text, "jfig") || !strings.Contains(text, "Table 1") {
+		t.Errorf("render:\n%s", text)
+	}
+}
+
+func TestTables234Shape(t *testing.T) {
+	splits, err := Tables234(Fast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(splits) != 5 {
+		t.Fatalf("splits: %d", len(splits))
+	}
+	var jfig, jess *BenchmarkSplit
+	for i := range splits {
+		s := &splits[i]
+		if s.MethodsSliced == 0 || s.ILPs == 0 || s.SliceStatements == 0 {
+			t.Errorf("%s: empty split: %+v", s.Name, s)
+		}
+		if s.T3.Total() != s.ILPs {
+			t.Errorf("%s: table3 total %d != ILPs %d", s.Name, s.T3.Total(), s.ILPs)
+		}
+		// Shape: hidden predicates dominate (Table 4's key observation).
+		if s.T4.PredicatesHidden == 0 {
+			t.Errorf("%s: no hidden predicates", s.Name)
+		}
+		switch s.Name {
+		case "jfig":
+			jfig = s
+		case "jess":
+			jess = s
+		}
+	}
+	// Shape: jfig (arithmetic-heavy) shows rational/polynomial leaks that
+	// the linear-flavored benchmarks mostly lack.
+	if jfig == nil || jess == nil {
+		t.Fatal("benchmarks missing")
+	}
+	if jfig.T3.Polynomial+jfig.T3.Rational == 0 {
+		t.Errorf("jfig should produce polynomial/rational ILPs: %+v", jfig.T3)
+	}
+	for _, render := range []string{RenderTable2(splits), RenderTable3(splits), RenderTable4(splits)} {
+		if !strings.Contains(render, "jasmin") {
+			t.Errorf("render missing benchmark:\n%s", render)
+		}
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	cfg := Fast()
+	rows, err := Table5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	excluded := 0
+	for _, r := range rows {
+		if r.Excluded {
+			excluded++
+			continue
+		}
+		if r.Interactions == 0 {
+			t.Errorf("%s/%s: no interactions", r.Benchmark, r.Input)
+		}
+		if r.After <= 0 || r.Before <= 0 {
+			t.Errorf("%s/%s: missing timings", r.Benchmark, r.Input)
+		}
+		// Overhead must be nonnegative within noise. At the tiny Fast scale
+		// wall times are microseconds, so only judge rows long enough for
+		// scheduling jitter not to dominate.
+		if r.Before > 5*time.Millisecond && r.PctIncrease < -20 {
+			t.Errorf("%s/%s: negative overhead %f%%", r.Benchmark, r.Input, r.PctIncrease)
+		}
+	}
+	if excluded != 1 {
+		t.Errorf("expected jfig excluded, got %d exclusions", excluded)
+	}
+	text := RenderTable5(rows)
+	if !strings.Contains(text, "interactions") {
+		t.Errorf("render:\n%s", text)
+	}
+}
+
+func TestAttackMatrix(t *testing.T) {
+	cases, err := AttackMatrix(Fast(), 1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLabel := map[string]AttackCase{}
+	for _, c := range cases {
+		byLabel[c.Label] = c
+	}
+	// The §3 claims, measured: constant/linear/polynomial leaks are
+	// recovered by the known techniques; arbitrary functions and hidden
+	// control flow are not.
+	for _, label := range []string{"constant leak", "linear leak", "polynomial leak"} {
+		if !byLabel[label].Recovered {
+			t.Errorf("%s must be recovered: %+v", label, byLabel[label])
+		}
+	}
+	for _, label := range []string{"arbitrary (mod) leak", "hidden control flow"} {
+		if byLabel[label].Recovered {
+			t.Errorf("%s must resist recovery: %+v", label, byLabel[label])
+		}
+	}
+	text := RenderAttack(cases)
+	if !strings.Contains(text, "recovered") {
+		t.Errorf("render:\n%s", text)
+	}
+}
+
+func TestAblationControlFlowHiding(t *testing.T) {
+	cfg := Fast()
+	base, err := SplitBenchmarkByName("javac", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.NoControlFlowHiding = true
+	ablated, err := SplitBenchmarkByName("javac", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without control-flow hiding no ILP reports hidden flow.
+	if ablated.T4.FlowHidden != 0 {
+		t.Errorf("ablation still hides flow: %+v", ablated.T4)
+	}
+	if base.T4.FlowHidden == 0 {
+		t.Errorf("baseline hides no flow: %+v", base.T4)
+	}
+}

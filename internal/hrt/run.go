@@ -1,0 +1,75 @@
+package hrt
+
+import (
+	"strings"
+
+	"slicehide/internal/core"
+	"slicehide/internal/interp"
+	"slicehide/internal/ir"
+)
+
+// RunOutcome summarizes one end-to-end execution of a split program.
+type RunOutcome struct {
+	Output       string
+	Interactions int64
+	Enters       int64
+	ValuesSent   int64
+	Steps        int64
+	Err          error
+}
+
+// RunOriginal executes the unsplit program and returns its output.
+func RunOriginal(prog *ir.Program, maxSteps int64) (string, int64, error) {
+	var b strings.Builder
+	in := interp.New(prog, interp.Options{Out: &b, MaxSteps: maxSteps})
+	err := in.Run()
+	return b.String(), in.Steps(), err
+}
+
+// RunSplit executes the open program of res against a fresh in-process
+// hidden server reached through transport wrapper wrap (nil for a direct
+// local transport). It returns the program output and interaction counts.
+func RunSplit(res *core.Result, wrap func(Transport) Transport, maxSteps int64) RunOutcome {
+	server := NewServer(NewRegistry(res))
+	var t Transport = &Local{Server: server}
+	if wrap != nil {
+		t = wrap(t)
+	}
+	counters := &Counters{}
+	t = &Counting{Inner: t, Counters: counters}
+	var b strings.Builder
+	in := interp.New(res.Open, interp.Options{
+		Out:        &b,
+		MaxSteps:   maxSteps,
+		Hidden:     &Session{T: t},
+		SplitFuncs: res.SplitSet(),
+	})
+	err := in.Run()
+	return RunOutcome{
+		Output:       b.String(),
+		Interactions: counters.Interactions(),
+		Enters:       counters.Enters.Load(),
+		ValuesSent:   counters.ValuesSent.Load(),
+		Steps:        in.Steps(),
+		Err:          err,
+	}
+}
+
+// Equivalent runs both the original and the split program and reports
+// whether their outputs match; it returns both outputs for diagnostics.
+func Equivalent(res *core.Result, maxSteps int64) (bool, string, string, error) {
+	origOut, _, err1 := RunOriginal(res.Orig, maxSteps)
+	out := RunSplit(res, nil, maxSteps)
+	if err1 != nil || out.Err != nil {
+		// Both failing with the same error class still counts as equivalent
+		// behavior for error-preserving transforms; report via error.
+		if err1 != nil && out.Err != nil {
+			return origOut == out.Output, origOut, out.Output, nil
+		}
+		if err1 != nil {
+			return false, origOut, out.Output, err1
+		}
+		return false, origOut, out.Output, out.Err
+	}
+	return origOut == out.Output, origOut, out.Output, nil
+}

@@ -1,0 +1,487 @@
+// Package hrt is the hidden-runtime: it executes the hidden components
+// produced by the splitting transformation (package core) on behalf of open
+// components running in the interpreter (package interp).
+//
+// The open machine talks to the secure device through a Transport. Three
+// transports are provided: Local (direct calls, for tests), Latency
+// (simulated network round-trip delay, used by the Table 5 experiments),
+// and TCP (a real client/server pair; see cmd/hiddend).
+package hrt
+
+import (
+	"fmt"
+	"sync"
+
+	"slicehide/internal/core"
+	"slicehide/internal/interp"
+	"slicehide/internal/ir"
+	"slicehide/internal/lang/ast"
+	"slicehide/internal/lang/token"
+	"slicehide/internal/lang/types"
+)
+
+// Registry holds the hidden components of a split program; it is the
+// artifact installed on the secure device.
+type Registry struct {
+	Components map[string]*core.HiddenComponent
+	// GlobalInit seeds the shared hidden-globals store (the §2.2
+	// global-variable extension); keys are hidden global variables.
+	GlobalInit map[*ir.Var]interp.Value
+}
+
+// NewRegistry collects the hidden components from a program split result.
+func NewRegistry(res *core.Result) *Registry {
+	r := &Registry{
+		Components: make(map[string]*core.HiddenComponent, len(res.Splits)),
+		GlobalInit: make(map[*ir.Var]interp.Value),
+	}
+	for name, sf := range res.Splits {
+		r.Components[name] = sf.Hidden
+	}
+	if res.Globals != nil {
+		r.Components[core.GlobalsComponent] = res.Globals.Component
+		for v, c := range res.Globals.Init {
+			r.GlobalInit[v] = constValue(c)
+		}
+	}
+	for class, fi := range res.Fields {
+		r.Components[core.ClassComponentPrefix+class] = fi.Component
+	}
+	return r
+}
+
+// constValue converts an IR constant to a runtime value.
+func constValue(c *ir.Const) interp.Value {
+	switch c.Kind {
+	case ir.ConstInt:
+		return interp.IntV(c.I)
+	case ir.ConstFloat:
+		return interp.FloatV(c.F)
+	case ir.ConstBool:
+		return interp.BoolV(c.B)
+	case ir.ConstString:
+		return interp.StrV(c.S)
+	}
+	return interp.NullV()
+}
+
+// Server executes hidden fragments. It is safe for concurrent use.
+type Server struct {
+	reg *Registry
+
+	mu      sync.Mutex
+	stores  map[string]map[int64]*store
+	globals *store
+	// instances holds per-object hidden-field stores (the §2.2
+	// object-oriented extension), keyed by class and object instance id.
+	instances map[instanceKey]*store
+	nextInst  int64
+}
+
+type instanceKey struct {
+	class string
+	obj   int64
+}
+
+// store is one hidden activation record: the values of the hidden variables
+// of one activation of a split function.
+type store struct {
+	vals map[*ir.Var]interp.Value
+	// obj is the receiver instance id the activation was opened with.
+	obj int64
+}
+
+// NewServer creates a hidden-component server over reg.
+func NewServer(reg *Registry) *Server {
+	s := &Server{
+		reg:       reg,
+		stores:    make(map[string]map[int64]*store),
+		instances: make(map[instanceKey]*store),
+	}
+	s.globals = &store{vals: make(map[*ir.Var]interp.Value)}
+	for v, val := range reg.GlobalInit {
+		s.globals.vals[v] = val
+	}
+	return s
+}
+
+// Enter opens a hidden activation for split function fn; obj is the
+// receiver instance id for methods of classes with hidden fields.
+func (s *Server) Enter(fn string, obj int64) (int64, error) {
+	comp := s.reg.Components[fn]
+	if comp == nil {
+		return 0, fmt.Errorf("hrt: no hidden component for %s", fn)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextInst++
+	inst := s.nextInst
+	if s.stores[fn] == nil {
+		s.stores[fn] = make(map[int64]*store)
+	}
+	st := &store{vals: make(map[*ir.Var]interp.Value, len(comp.Vars)), obj: obj}
+	for _, v := range comp.Vars {
+		if v.Kind == ir.VarField || v.Kind == ir.VarGlobal {
+			continue // routed to instance/globals stores
+		}
+		st.vals[v] = zeroValue(v)
+	}
+	s.stores[fn][inst] = st
+	return inst, nil
+}
+
+// instanceStore returns (creating on first use) the hidden-field store of
+// one object. Caller holds s.mu.
+func (s *Server) instanceStore(class string, obj int64) *store {
+	key := instanceKey{class: class, obj: obj}
+	st, ok := s.instances[key]
+	if !ok {
+		st = &store{vals: make(map[*ir.Var]interp.Value), obj: obj}
+		s.instances[key] = st
+	}
+	return st
+}
+
+// classOf extracts the class a component belongs to: "C.m" -> "C",
+// "$class:C" -> "C", top-level functions -> "".
+func classOf(fn string) string {
+	if rest, ok := cutPrefix(fn, core.ClassComponentPrefix); ok {
+		return rest
+	}
+	for i := 0; i < len(fn); i++ {
+		if fn[i] == '.' {
+			return fn[:i]
+		}
+	}
+	return ""
+}
+
+func cutPrefix(s, prefix string) (string, bool) {
+	if len(s) >= len(prefix) && s[:len(prefix)] == prefix {
+		return s[len(prefix):], true
+	}
+	return "", false
+}
+
+// Exit discards the hidden activation.
+func (s *Server) Exit(fn string, inst int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m := s.stores[fn]; m != nil {
+		delete(m, inst)
+		return nil
+	}
+	return fmt.Errorf("hrt: exit of unknown activation %s/%d", fn, inst)
+}
+
+// ActiveInstances reports the number of live activations (for tests).
+func (s *Server) ActiveInstances() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, m := range s.stores {
+		n += len(m)
+	}
+	return n
+}
+
+// Call executes fragment frag of fn's hidden component under activation
+// inst. It returns the fragment's value, or the sentinel "any" (null) for
+// fragments that return nothing.
+func (s *Server) Call(fn string, inst int64, frag int, args []interp.Value) (interp.Value, error) {
+	comp := s.reg.Components[fn]
+	if comp == nil {
+		return interp.NullV(), fmt.Errorf("hrt: no hidden component for %s", fn)
+	}
+	fr := comp.Frags[frag]
+	if fr == nil {
+		return interp.NullV(), fmt.Errorf("hrt: %s has no fragment %d", fn, frag)
+	}
+	class := classOf(fn)
+	s.mu.Lock()
+	st := s.stores[fn][inst]
+	if st == nil && fn == core.GlobalsComponent {
+		// The shared globals component has a single implicit activation.
+		st = s.globals
+	}
+	if st == nil && class != "" && isClassComponent(fn) {
+		// Class components address per-object stores directly; inst is the
+		// object instance id.
+		st = s.instanceStore(class, inst)
+	}
+	var instStore *store
+	if st != nil && class != "" {
+		instStore = s.instanceStore(class, st.obj)
+	}
+	s.mu.Unlock()
+	if st == nil {
+		return interp.NullV(), fmt.Errorf("hrt: no activation %s/%d", fn, inst)
+	}
+	if len(args) != len(fr.ArgVars) {
+		return interp.NullV(), fmt.Errorf("hrt: fragment %s/%d wants %d args, got %d", fn, frag, len(fr.ArgVars), len(args))
+	}
+	ex := &fragExec{store: st, globals: s.globals, instance: instStore}
+	for i, av := range fr.ArgVars {
+		ex.args = append(ex.args, argBinding{v: av, val: args[i]})
+	}
+	return ex.run(fr.Body)
+}
+
+// isClassComponent reports whether fn names a per-class hidden component.
+func isClassComponent(fn string) bool {
+	_, ok := cutPrefix(fn, core.ClassComponentPrefix)
+	return ok
+}
+
+// zeroValue returns the typed zero of a hidden variable (hidden variables
+// are scalars by construction).
+func zeroValue(v *ir.Var) interp.Value {
+	if b, ok := v.Type.(*types.Basic); ok {
+		switch b.Kind {
+		case ast.Float:
+			return interp.FloatV(0)
+		case ast.Bool:
+			return interp.BoolV(false)
+		}
+	}
+	return interp.IntV(0)
+}
+
+// ---------------------------------------------------------------------------
+// Fragment execution
+
+type argBinding struct {
+	v   *ir.Var
+	val interp.Value
+}
+
+// fragExec evaluates fragment bodies: straight-line code, conditionals, and
+// loops over hidden variables and argument placeholders. Fragments never
+// touch aggregates, make calls, or perform I/O — guaranteed by construction
+// in package core.
+type fragExec struct {
+	store    *store
+	globals  *store
+	instance *store
+	args     []argBinding
+	steps    int64
+}
+
+const maxFragSteps = 100_000_000
+
+type fragSignal int
+
+const (
+	fragNone fragSignal = iota
+	fragBreak
+	fragContinue
+	fragReturn
+)
+
+func (ex *fragExec) run(body []ir.Stmt) (interp.Value, error) {
+	sig, v, err := ex.exec(body)
+	if err != nil {
+		return interp.NullV(), err
+	}
+	if sig == fragReturn {
+		return v, nil
+	}
+	// "any": the open side discards this value.
+	return interp.NullV(), nil
+}
+
+func (ex *fragExec) exec(stmts []ir.Stmt) (fragSignal, interp.Value, error) {
+	for _, st := range stmts {
+		ex.steps++
+		if ex.steps > maxFragSteps {
+			return fragNone, interp.Value{}, fmt.Errorf("hrt: fragment step limit exceeded")
+		}
+		switch st := st.(type) {
+		case *ir.AssignStmt:
+			v, err := ex.eval(st.Rhs)
+			if err != nil {
+				return fragNone, interp.Value{}, err
+			}
+			vt, ok := st.Lhs.(*ir.VarTarget)
+			if !ok {
+				return fragNone, interp.Value{}, fmt.Errorf("hrt: fragment assigns to non-variable target")
+			}
+			switch {
+			case vt.Var.Kind == ir.VarGlobal && ex.globals != nil:
+				ex.globals.vals[vt.Var] = v
+			case vt.Var.Kind == ir.VarField && ex.instance != nil:
+				ex.instance.vals[vt.Var] = v
+			default:
+				ex.store.vals[vt.Var] = v
+			}
+		case *ir.IfStmt:
+			c, err := ex.eval(st.Cond)
+			if err != nil {
+				return fragNone, interp.Value{}, err
+			}
+			var sig fragSignal
+			var v interp.Value
+			if c.IsTrue() {
+				sig, v, err = ex.exec(st.Then)
+			} else {
+				sig, v, err = ex.exec(st.Else)
+			}
+			if err != nil || sig != fragNone {
+				return sig, v, err
+			}
+		case *ir.WhileStmt:
+			for {
+				c, err := ex.eval(st.Cond)
+				if err != nil {
+					return fragNone, interp.Value{}, err
+				}
+				if !c.IsTrue() {
+					break
+				}
+				sig, v, err := ex.exec(st.Body)
+				if err != nil {
+					return fragNone, interp.Value{}, err
+				}
+				if sig == fragBreak {
+					break
+				}
+				if sig == fragReturn {
+					return sig, v, nil
+				}
+				sig, v, err = ex.exec(st.Post)
+				if err != nil {
+					return fragNone, interp.Value{}, err
+				}
+				if sig == fragBreak {
+					break
+				}
+				if sig == fragReturn {
+					return sig, v, nil
+				}
+				ex.steps++
+				if ex.steps > maxFragSteps {
+					return fragNone, interp.Value{}, fmt.Errorf("hrt: fragment step limit exceeded")
+				}
+			}
+		case *ir.ReturnStmt:
+			if st.Value == nil {
+				return fragReturn, interp.NullV(), nil
+			}
+			v, err := ex.eval(st.Value)
+			return fragReturn, v, err
+		case *ir.BreakStmt:
+			return fragBreak, interp.Value{}, nil
+		case *ir.ContinueStmt:
+			return fragContinue, interp.Value{}, nil
+		default:
+			return fragNone, interp.Value{}, fmt.Errorf("hrt: fragment contains unsupported statement %T", st)
+		}
+	}
+	return fragNone, interp.Value{}, nil
+}
+
+func (ex *fragExec) eval(e ir.Expr) (interp.Value, error) {
+	switch e := e.(type) {
+	case *ir.Const:
+		switch e.Kind {
+		case ir.ConstInt:
+			return interp.IntV(e.I), nil
+		case ir.ConstFloat:
+			return interp.FloatV(e.F), nil
+		case ir.ConstBool:
+			return interp.BoolV(e.B), nil
+		case ir.ConstString:
+			return interp.StrV(e.S), nil
+		case ir.ConstNull:
+			return interp.NullV(), nil
+		}
+	case *ir.VarRef:
+		for _, b := range ex.args {
+			if b.v == e.Var {
+				return b.val, nil
+			}
+		}
+		if e.Var.Kind == ir.VarGlobal && ex.globals != nil {
+			if v, ok := ex.globals.vals[e.Var]; ok {
+				return v, nil
+			}
+		}
+		if e.Var.Kind == ir.VarField && ex.instance != nil {
+			if v, ok := ex.instance.vals[e.Var]; ok {
+				return v, nil
+			}
+			// Fields are zero-initialized at object creation.
+			return zeroValue(e.Var), nil
+		}
+		if v, ok := ex.store.vals[e.Var]; ok {
+			return v, nil
+		}
+		return interp.NullV(), fmt.Errorf("hrt: fragment reads unknown variable %s", e.Var)
+	case *ir.Unary:
+		x, err := ex.eval(e.X)
+		if err != nil {
+			return interp.NullV(), err
+		}
+		switch e.Op {
+		case token.MINUS:
+			if x.Kind == interp.KindFloat {
+				return interp.FloatV(-x.F), nil
+			}
+			return interp.IntV(-x.I), nil
+		case token.NOT:
+			return interp.BoolV(!x.B), nil
+		}
+	case *ir.Binary:
+		if e.Op == token.AND || e.Op == token.OR {
+			x, err := ex.eval(e.X)
+			if err != nil {
+				return interp.NullV(), err
+			}
+			if e.Op == token.AND && !x.B {
+				return interp.BoolV(false), nil
+			}
+			if e.Op == token.OR && x.B {
+				return interp.BoolV(true), nil
+			}
+			y, err := ex.eval(e.Y)
+			if err != nil {
+				return interp.NullV(), err
+			}
+			return interp.BoolV(y.B), nil
+		}
+		x, err := ex.eval(e.X)
+		if err != nil {
+			return interp.NullV(), err
+		}
+		y, err := ex.eval(e.Y)
+		if err != nil {
+			return interp.NullV(), err
+		}
+		return interp.EvalBinary(e.Op, x, y)
+	case *ir.CondExpr:
+		c, err := ex.eval(e.C)
+		if err != nil {
+			return interp.NullV(), err
+		}
+		if c.IsTrue() {
+			return ex.eval(e.T)
+		}
+		return ex.eval(e.F)
+	case *ir.ConvertExpr:
+		x, err := ex.eval(e.X)
+		if err != nil {
+			return interp.NullV(), err
+		}
+		if e.ToFloat {
+			if x.Kind == interp.KindInt {
+				return interp.FloatV(float64(x.I)), nil
+			}
+			return x, nil
+		}
+		if x.Kind == interp.KindFloat {
+			return interp.IntV(int64(x.F)), nil
+		}
+		return x, nil
+	}
+	return interp.NullV(), fmt.Errorf("hrt: fragment contains unsupported expression %T", e)
+}

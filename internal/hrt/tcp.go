@@ -1,0 +1,135 @@
+package hrt
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// TCPServer serves a hidden component Server over TCP; this is the process
+// that would run on the secure machine (see cmd/hiddend).
+type TCPServer struct {
+	Server *Server
+
+	ln     net.Listener
+	wg     sync.WaitGroup
+	mu     sync.Mutex
+	closed bool
+}
+
+// ListenAndServe starts accepting connections on addr. It returns once the
+// listener is ready; serving continues in the background until Close.
+func (ts *TCPServer) ListenAndServe(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	ts.ln = ln
+	ts.wg.Add(1)
+	go ts.acceptLoop()
+	return ln.Addr(), nil
+}
+
+func (ts *TCPServer) acceptLoop() {
+	defer ts.wg.Done()
+	for {
+		conn, err := ts.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		ts.wg.Add(1)
+		go func() {
+			defer ts.wg.Done()
+			defer conn.Close()
+			ts.serveConn(conn)
+		}()
+	}
+}
+
+func (ts *TCPServer) serveConn(conn net.Conn) {
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	local := &Local{Server: ts.Server}
+	for {
+		req, err := ReadRequest(r)
+		if err != nil {
+			return // EOF or broken connection
+		}
+		resp, err := local.RoundTrip(req)
+		if err != nil {
+			resp = Response{Err: err.Error()}
+		}
+		if err := WriteResponse(w, resp); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops the listener and waits for in-flight connections.
+func (ts *TCPServer) Close() error {
+	ts.mu.Lock()
+	if ts.closed {
+		ts.mu.Unlock()
+		return nil
+	}
+	ts.closed = true
+	ts.mu.Unlock()
+	var err error
+	if ts.ln != nil {
+		err = ts.ln.Close()
+	}
+	ts.wg.Wait()
+	return err
+}
+
+// TCPTransport is the open-machine side of the TCP link. It serializes
+// round trips over a single connection (the open component is sequential,
+// matching the paper's synchronous RPC model).
+type TCPTransport struct {
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// DialTCP connects to a hidden-component server.
+func DialTCP(addr string) (*TCPTransport, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("hrt: dial hidden server: %w", err)
+	}
+	return &TCPTransport{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+}
+
+// RoundTrip sends one request and reads its response.
+func (t *TCPTransport) RoundTrip(req Request) (Response, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.conn == nil {
+		return Response{}, errors.New("hrt: transport closed")
+	}
+	if err := WriteRequest(t.w, req); err != nil {
+		return Response{}, err
+	}
+	if err := t.w.Flush(); err != nil {
+		return Response{}, err
+	}
+	return ReadResponse(t.r)
+}
+
+// Close shuts the connection down.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.conn == nil {
+		return nil
+	}
+	err := t.conn.Close()
+	t.conn = nil
+	return err
+}

@@ -1,0 +1,145 @@
+package hrt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"slicehide/internal/core"
+	"slicehide/internal/interp"
+)
+
+func TestWireValueRoundTrip(t *testing.T) {
+	values := []interp.Value{
+		interp.NullV(),
+		interp.IntV(0),
+		interp.IntV(-42),
+		interp.IntV(1 << 60),
+		interp.FloatV(3.14159),
+		interp.FloatV(-0.0),
+		interp.BoolV(true),
+		interp.BoolV(false),
+		interp.StrV(""),
+		interp.StrV("hello\nworld"),
+	}
+	for _, v := range values {
+		var buf bytes.Buffer
+		if err := writeValue(&buf, v); err != nil {
+			t.Fatalf("write %v: %v", v, err)
+		}
+		got, err := readValue(&buf)
+		if err != nil {
+			t.Fatalf("read %v: %v", v, err)
+		}
+		if !got.Equal(v) || got.Kind != v.Kind {
+			t.Errorf("round trip %v -> %v", v, got)
+		}
+	}
+}
+
+func TestWireRejectsAggregates(t *testing.T) {
+	var buf bytes.Buffer
+	bad := interp.Value{Kind: interp.KindArray, Arr: &interp.ArrayVal{}}
+	if err := writeValue(&buf, bad); err == nil {
+		t.Fatal("aggregate values must not cross the wire")
+	}
+}
+
+func TestWireRequestResponseRoundTrip(t *testing.T) {
+	req := Request{Op: OpCall, Fn: "Class.method", Inst: 77, Frag: 5,
+		Args: []interp.Value{interp.IntV(1), interp.FloatV(2.5), interp.BoolV(true)}}
+	var buf bytes.Buffer
+	if err := WriteRequest(&buf, req); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRequest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Op != req.Op || got.Fn != req.Fn || got.Inst != req.Inst || got.Frag != req.Frag || len(got.Args) != 3 {
+		t.Errorf("request round trip: %+v", got)
+	}
+	resp := Response{Val: interp.IntV(9), Inst: 3, Err: "boom"}
+	buf.Reset()
+	if err := WriteResponse(&buf, resp); err != nil {
+		t.Fatal(err)
+	}
+	gotR, err := ReadResponse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gotR.Val.Equal(resp.Val) || gotR.Inst != 3 || gotR.Err != "boom" {
+		t.Errorf("response round trip: %+v", gotR)
+	}
+}
+
+func TestTCPEndToEnd(t *testing.T) {
+	res := split(t, testSrc, core.Spec{Func: "f", Seed: "a"})
+	ts := &TCPServer{Server: NewServer(NewRegistry(res))}
+	addr, err := ts.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+
+	tr, err := DialTCP(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	counters := &Counters{}
+	var b strings.Builder
+	in := interp.New(res.Open, interp.Options{
+		Out:        &b,
+		Hidden:     &Session{T: &Counting{Inner: tr, Counters: counters}},
+		SplitFuncs: res.SplitSet(),
+	})
+	if err := in.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := RunOriginal(res.Orig, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != want {
+		t.Errorf("TCP output %q, want %q", b.String(), want)
+	}
+	if counters.Interactions() == 0 {
+		t.Error("no interactions counted over TCP")
+	}
+}
+
+func TestTCPServerErrorsPropagate(t *testing.T) {
+	res := split(t, testSrc, core.Spec{Func: "f", Seed: "a"})
+	ts := &TCPServer{Server: NewServer(NewRegistry(res))}
+	addr, err := ts.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+	tr, err := DialTCP(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	sess := &Session{T: tr}
+	if _, err := sess.Enter("missing", 0); err == nil {
+		t.Error("expected error for unknown function over TCP")
+	}
+	// The connection must still be usable afterwards.
+	inst, err := sess.Enter("f", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Exit("f", inst); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPTransportClosed(t *testing.T) {
+	tr := &TCPTransport{}
+	if _, err := tr.RoundTrip(Request{Op: OpEnter, Fn: "f"}); err == nil {
+		t.Error("closed transport must error")
+	}
+}

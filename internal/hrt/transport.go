@@ -1,0 +1,195 @@
+package hrt
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"slicehide/internal/interp"
+)
+
+// Op identifies a request type on the open↔hidden channel.
+type Op byte
+
+// Request operations.
+const (
+	OpEnter Op = iota + 1
+	OpExit
+	OpCall
+)
+
+// Request is one message from the open component to the hidden component.
+type Request struct {
+	Op   Op
+	Fn   string
+	Inst int64
+	// Obj is the receiver instance id accompanying OpEnter for methods of
+	// classes with hidden fields.
+	Obj  int64
+	Frag int
+	Args []interp.Value
+}
+
+// Response is the hidden component's reply.
+type Response struct {
+	Val  interp.Value
+	Inst int64
+	Err  string
+}
+
+// Transport carries requests to wherever the hidden component lives.
+type Transport interface {
+	RoundTrip(req Request) (Response, error)
+}
+
+// ---------------------------------------------------------------------------
+
+// Local is a Transport that invokes a Server directly (no network).
+type Local struct {
+	Server *Server
+}
+
+// RoundTrip dispatches the request to the in-process server.
+func (l *Local) RoundTrip(req Request) (Response, error) {
+	switch req.Op {
+	case OpEnter:
+		inst, err := l.Server.Enter(req.Fn, req.Obj)
+		return Response{Inst: inst, Err: errString(err)}, nil
+	case OpExit:
+		return Response{Err: errString(l.Server.Exit(req.Fn, req.Inst))}, nil
+	case OpCall:
+		v, err := l.Server.Call(req.Fn, req.Inst, req.Frag, req.Args)
+		return Response{Val: v, Err: errString(err)}, nil
+	}
+	return Response{}, fmt.Errorf("hrt: unknown op %d", req.Op)
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// ---------------------------------------------------------------------------
+
+// Latency wraps a Transport and adds a fixed round-trip delay, simulating
+// the LAN between the unsecure machine and the secure server in the paper's
+// Table 5 setup (or a smart-card/serial link with a larger delay).
+type Latency struct {
+	Inner Transport
+	// RTT is added to every round trip.
+	RTT time.Duration
+	// Sleep replaces time.Sleep when set (tests use a virtual clock).
+	Sleep func(time.Duration)
+}
+
+// RoundTrip delays, then forwards.
+func (l *Latency) RoundTrip(req Request) (Response, error) {
+	if l.RTT > 0 {
+		if l.Sleep != nil {
+			l.Sleep(l.RTT)
+		} else {
+			preciseSleep(l.RTT)
+		}
+	}
+	return l.Inner.RoundTrip(req)
+}
+
+// preciseSleep delays for d with sub-millisecond accuracy. time.Sleep
+// overshoots short durations by the OS timer resolution, which would
+// inflate the Table 5 measurements; short delays spin instead.
+func preciseSleep(d time.Duration) {
+	if d >= time.Millisecond {
+		time.Sleep(d)
+		return
+	}
+	end := time.Now().Add(d)
+	for time.Now().Before(end) {
+	}
+}
+
+// ---------------------------------------------------------------------------
+
+// Counters observes traffic through a transport.
+type Counters struct {
+	// Interactions counts round trips (the paper's "Component
+	// Interactions" column counts hidden-fragment calls; Enter/Exit are
+	// tallied separately).
+	Calls      atomic.Int64
+	Enters     atomic.Int64
+	Exits      atomic.Int64
+	ValuesSent atomic.Int64
+}
+
+// Interactions returns the number of fragment calls observed.
+func (c *Counters) Interactions() int64 { return c.Calls.Load() }
+
+// Counting wraps a Transport with counters.
+type Counting struct {
+	Inner    Transport
+	Counters *Counters
+}
+
+// RoundTrip counts, then forwards.
+func (c *Counting) RoundTrip(req Request) (Response, error) {
+	switch req.Op {
+	case OpCall:
+		c.Counters.Calls.Add(1)
+		c.Counters.ValuesSent.Add(int64(len(req.Args)))
+	case OpEnter:
+		c.Counters.Enters.Add(1)
+	case OpExit:
+		c.Counters.Exits.Add(1)
+	}
+	return c.Inner.RoundTrip(req)
+}
+
+// ---------------------------------------------------------------------------
+
+// Session adapts a Transport to the interpreter's HiddenSession interface.
+type Session struct {
+	T Transport
+}
+
+var _ interface {
+	Enter(string, int64) (int64, error)
+	Exit(string, int64) error
+	Call(string, int64, int, []interp.Value) (interp.Value, error)
+} = (*Session)(nil)
+
+// Enter opens a hidden activation.
+func (s *Session) Enter(fn string, obj int64) (int64, error) {
+	resp, err := s.T.RoundTrip(Request{Op: OpEnter, Fn: fn, Obj: obj})
+	if err != nil {
+		return 0, err
+	}
+	if resp.Err != "" {
+		return 0, fmt.Errorf("hrt: %s", resp.Err)
+	}
+	return resp.Inst, nil
+}
+
+// Exit closes a hidden activation.
+func (s *Session) Exit(fn string, inst int64) error {
+	resp, err := s.T.RoundTrip(Request{Op: OpExit, Fn: fn, Inst: inst})
+	if err != nil {
+		return err
+	}
+	if resp.Err != "" {
+		return fmt.Errorf("hrt: %s", resp.Err)
+	}
+	return nil
+}
+
+// Call executes a hidden fragment.
+func (s *Session) Call(fn string, inst int64, frag int, args []interp.Value) (interp.Value, error) {
+	resp, err := s.T.RoundTrip(Request{Op: OpCall, Fn: fn, Inst: inst, Frag: frag, Args: args})
+	if err != nil {
+		return interp.NullV(), err
+	}
+	if resp.Err != "" {
+		return interp.NullV(), fmt.Errorf("hrt: %s", resp.Err)
+	}
+	return resp.Val, nil
+}

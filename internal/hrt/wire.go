@@ -1,0 +1,223 @@
+package hrt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"slicehide/internal/interp"
+)
+
+// Wire protocol: little-endian binary framing for requests and responses.
+// Only scalar values cross the open↔hidden boundary (by construction of the
+// splitting transformation), so the value codec covers null, int, float,
+// bool, and string.
+
+const (
+	wireNull byte = iota
+	wireInt
+	wireFloat
+	wireBool
+	wireString
+)
+
+const maxWireString = 1 << 20
+
+// writeValue encodes v.
+func writeValue(w io.Writer, v interp.Value) error {
+	switch v.Kind {
+	case interp.KindNull:
+		return writeByte(w, wireNull)
+	case interp.KindInt:
+		if err := writeByte(w, wireInt); err != nil {
+			return err
+		}
+		return binary.Write(w, binary.LittleEndian, v.I)
+	case interp.KindFloat:
+		if err := writeByte(w, wireFloat); err != nil {
+			return err
+		}
+		return binary.Write(w, binary.LittleEndian, math.Float64bits(v.F))
+	case interp.KindBool:
+		if err := writeByte(w, wireBool); err != nil {
+			return err
+		}
+		b := byte(0)
+		if v.B {
+			b = 1
+		}
+		return writeByte(w, b)
+	case interp.KindString:
+		if err := writeByte(w, wireString); err != nil {
+			return err
+		}
+		return writeString(w, v.S)
+	}
+	return fmt.Errorf("hrt: cannot send %s value over the wire", v.Kind)
+}
+
+func readValue(r io.Reader) (interp.Value, error) {
+	k, err := readByte(r)
+	if err != nil {
+		return interp.Value{}, err
+	}
+	switch k {
+	case wireNull:
+		return interp.NullV(), nil
+	case wireInt:
+		var i int64
+		if err := binary.Read(r, binary.LittleEndian, &i); err != nil {
+			return interp.Value{}, err
+		}
+		return interp.IntV(i), nil
+	case wireFloat:
+		var bits uint64
+		if err := binary.Read(r, binary.LittleEndian, &bits); err != nil {
+			return interp.Value{}, err
+		}
+		return interp.FloatV(math.Float64frombits(bits)), nil
+	case wireBool:
+		b, err := readByte(r)
+		if err != nil {
+			return interp.Value{}, err
+		}
+		return interp.BoolV(b != 0), nil
+	case wireString:
+		s, err := readString(r)
+		if err != nil {
+			return interp.Value{}, err
+		}
+		return interp.StrV(s), nil
+	}
+	return interp.Value{}, fmt.Errorf("hrt: unknown wire value kind %d", k)
+}
+
+// WriteRequest encodes req onto w.
+func WriteRequest(w io.Writer, req Request) error {
+	if err := writeByte(w, byte(req.Op)); err != nil {
+		return err
+	}
+	if err := writeString(w, req.Fn); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, req.Inst); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, req.Obj); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, int32(req.Frag)); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint16(len(req.Args))); err != nil {
+		return err
+	}
+	for _, a := range req.Args {
+		if err := writeValue(w, a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadRequest decodes one request from r.
+func ReadRequest(r io.Reader) (Request, error) {
+	var req Request
+	op, err := readByte(r)
+	if err != nil {
+		return req, err
+	}
+	req.Op = Op(op)
+	if req.Fn, err = readString(r); err != nil {
+		return req, err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &req.Inst); err != nil {
+		return req, err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &req.Obj); err != nil {
+		return req, err
+	}
+	var frag int32
+	if err := binary.Read(r, binary.LittleEndian, &frag); err != nil {
+		return req, err
+	}
+	req.Frag = int(frag)
+	var n uint16
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return req, err
+	}
+	req.Args = make([]interp.Value, n)
+	for i := range req.Args {
+		if req.Args[i], err = readValue(r); err != nil {
+			return req, err
+		}
+	}
+	return req, nil
+}
+
+// WriteResponse encodes resp onto w.
+func WriteResponse(w io.Writer, resp Response) error {
+	if err := writeValue(w, resp.Val); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, resp.Inst); err != nil {
+		return err
+	}
+	return writeString(w, resp.Err)
+}
+
+// ReadResponse decodes one response from r.
+func ReadResponse(r io.Reader) (Response, error) {
+	var resp Response
+	var err error
+	if resp.Val, err = readValue(r); err != nil {
+		return resp, err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &resp.Inst); err != nil {
+		return resp, err
+	}
+	resp.Err, err = readString(r)
+	return resp, err
+}
+
+func writeByte(w io.Writer, b byte) error {
+	_, err := w.Write([]byte{b})
+	return err
+}
+
+func readByte(r io.Reader) (byte, error) {
+	if br, ok := r.(*bufio.Reader); ok {
+		return br.ReadByte()
+	}
+	var buf [1]byte
+	_, err := io.ReadFull(r, buf[:])
+	return buf[0], err
+}
+
+func writeString(w io.Writer, s string) error {
+	if len(s) > maxWireString {
+		return fmt.Errorf("hrt: string too long for wire (%d bytes)", len(s))
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	if n > maxWireString {
+		return "", fmt.Errorf("hrt: wire string length %d exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

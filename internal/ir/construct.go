@@ -1,0 +1,52 @@
+package ir
+
+import "slicehide/internal/lang/token"
+
+// Constructors used by transformation passes (notably the splitting
+// transformation in internal/core) to synthesize statements with IDs
+// allocated from a target function.
+
+// NewAssign creates an assignment owned by f.
+func (f *Func) NewAssign(pos token.Pos, lhs Target, rhs Expr) *AssignStmt {
+	return &AssignStmt{stmtBase: f.NewStmt(pos), Lhs: lhs, Rhs: rhs}
+}
+
+// NewIf creates an if statement owned by f.
+func (f *Func) NewIf(pos token.Pos, cond Expr, then, els []Stmt) *IfStmt {
+	return &IfStmt{stmtBase: f.NewStmt(pos), Cond: cond, Then: then, Else: els}
+}
+
+// NewWhile creates a while statement owned by f.
+func (f *Func) NewWhile(pos token.Pos, cond Expr, body, post []Stmt) *WhileStmt {
+	return &WhileStmt{stmtBase: f.NewStmt(pos), Cond: cond, Body: body, Post: post}
+}
+
+// NewReturn creates a return statement owned by f.
+func (f *Func) NewReturn(pos token.Pos, value Expr) *ReturnStmt {
+	return &ReturnStmt{stmtBase: f.NewStmt(pos), Value: value}
+}
+
+// NewBreak creates a break statement owned by f.
+func (f *Func) NewBreak(pos token.Pos) *BreakStmt {
+	return &BreakStmt{stmtBase: f.NewStmt(pos)}
+}
+
+// NewContinue creates a continue statement owned by f.
+func (f *Func) NewContinue(pos token.Pos) *ContinueStmt {
+	return &ContinueStmt{stmtBase: f.NewStmt(pos)}
+}
+
+// NewPrint creates a print statement owned by f.
+func (f *Func) NewPrint(pos token.Pos, args []Expr) *PrintStmt {
+	return &PrintStmt{stmtBase: f.NewStmt(pos), Args: args}
+}
+
+// NewCallStmt creates a call statement owned by f.
+func (f *Func) NewCallStmt(pos token.Pos, call *CallExpr) *CallStmt {
+	return &CallStmt{stmtBase: f.NewStmt(pos), Call: call}
+}
+
+// NewHCallStmt creates a hidden-component call statement owned by f.
+func (f *Func) NewHCallStmt(pos token.Pos, call *HCallExpr) *HCallStmt {
+	return &HCallStmt{stmtBase: f.NewStmt(pos), Call: call}
+}

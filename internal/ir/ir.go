@@ -1,0 +1,652 @@
+// Package ir defines the intermediate representation that all analyses and
+// the splitting transformation operate on. The IR keeps MiniJ's structured
+// control flow (the language has no goto), numbers every simple statement
+// with a unique ID, and resolves every name to a Var identity so that
+// shadowing cannot confuse the dataflow analyses.
+package ir
+
+import (
+	"fmt"
+
+	"slicehide/internal/lang/token"
+	"slicehide/internal/lang/types"
+)
+
+// VarKind classifies a Var.
+type VarKind int
+
+// Var kinds. Elems is a pseudo-variable standing for "the elements of the
+// array held by base variable X"; it gives array reads/writes conservative
+// def-use edges without a points-to analysis.
+const (
+	VarLocal VarKind = iota
+	VarParam
+	VarGlobal
+	VarField
+	VarElems
+	VarHeap // catch-all pseudo-variable for aggregate state not tied to a base variable
+)
+
+func (k VarKind) String() string {
+	switch k {
+	case VarLocal:
+		return "local"
+	case VarParam:
+		return "param"
+	case VarGlobal:
+		return "global"
+	case VarField:
+		return "field"
+	case VarElems:
+		return "elems"
+	case VarHeap:
+		return "heap"
+	}
+	return "?"
+}
+
+// Var is a resolved variable identity. Two references to the same Var are
+// guaranteed to denote the same storage (for locals/params) or the same
+// conservative storage class (globals, fields, array-element pseudo-vars).
+type Var struct {
+	Name  string // source name; uniquified for shadowed locals ("x", "x$1")
+	Kind  VarKind
+	Type  types.Type
+	Class string // owning class for VarField
+	Base  *Var   // for VarElems: the array-holding variable
+}
+
+func (v *Var) String() string {
+	switch v.Kind {
+	case VarField:
+		return v.Class + "." + v.Name
+	case VarElems:
+		return v.Base.String() + "[*]"
+	}
+	return v.Name
+}
+
+// IsScalar reports whether v holds a hideable scalar value.
+func (v *Var) IsScalar() bool { return types.IsScalar(v.Type) }
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// Expr is an IR expression.
+type Expr interface {
+	exprNode()
+}
+
+// ConstKind tags constant values.
+type ConstKind int
+
+// Constant kinds.
+const (
+	ConstInt ConstKind = iota
+	ConstFloat
+	ConstBool
+	ConstString
+	ConstNull
+)
+
+// Const is a literal value.
+type Const struct {
+	Kind ConstKind
+	I    int64
+	F    float64
+	B    bool
+	S    string
+}
+
+// Int returns an integer constant.
+func Int(v int64) *Const { return &Const{Kind: ConstInt, I: v} }
+
+// Float returns a float constant.
+func Float(v float64) *Const { return &Const{Kind: ConstFloat, F: v} }
+
+// Bool returns a boolean constant.
+func Bool(v bool) *Const { return &Const{Kind: ConstBool, B: v} }
+
+// Str returns a string constant.
+func Str(v string) *Const { return &Const{Kind: ConstString, S: v} }
+
+// Null returns the null constant.
+func Null() *Const { return &Const{Kind: ConstNull} }
+
+// VarRef reads a variable.
+type VarRef struct{ Var *Var }
+
+// Unary applies a prefix operator (MINUS or NOT).
+type Unary struct {
+	Op token.Kind
+	X  Expr
+}
+
+// Binary applies an infix operator.
+type Binary struct {
+	Op   token.Kind
+	X, Y Expr
+}
+
+// IndexExpr reads Arr[I].
+type IndexExpr struct {
+	Arr Expr
+	I   Expr
+	// ElemsVar is the pseudo-variable this read uses (base[*] or $heap).
+	ElemsVar *Var
+}
+
+// FieldExpr reads Obj.Field.
+type FieldExpr struct {
+	Obj      Expr
+	Field    string
+	Class    string
+	FieldVar *Var // conservative Class.Field variable
+}
+
+// CallExpr invokes a function ("f") or method ("C.m", with Recv set).
+type CallExpr struct {
+	Callee string // qualified name
+	Recv   Expr   // nil for top-level functions
+	Args   []Expr
+	Result types.Type
+}
+
+// NewObjectExpr instantiates a class.
+type NewObjectExpr struct{ Class string }
+
+// NewArrayExpr allocates an array of Size elements.
+type NewArrayExpr struct {
+	Elem types.Type
+	Size Expr
+}
+
+// LenExpr is len(Arr).
+type LenExpr struct{ Arr Expr }
+
+// CondExpr is C ? T : F.
+type CondExpr struct{ C, T, F Expr }
+
+// ConvertExpr is a numeric conversion: int(X) or float(X).
+type ConvertExpr struct {
+	ToFloat bool // true = float(X), false = int(X)
+	X       Expr
+}
+
+// ThisExpr is the implicit receiver inside a method.
+type ThisExpr struct{ Class string }
+
+// HCallExpr is a call into the hidden component: H(frag, args...). It only
+// appears in open components produced by the splitting transformation.
+type HCallExpr struct {
+	FragID int
+	Args   []Expr
+	// Leaks reports whether the returned value is used by the open
+	// component (i.e., this call site is an information leak point).
+	Leaks bool
+	// Component, when non-empty, names the hidden component to call
+	// instead of the enclosing function's own (used by the hidden-globals
+	// and hidden-fields extensions).
+	Component string
+	// Obj, when non-nil, evaluates to the object whose per-instance hidden
+	// store the call addresses (hidden class fields); its instance id is
+	// sent as the activation id.
+	Obj Expr
+}
+
+func (*Const) exprNode()         {}
+func (*VarRef) exprNode()        {}
+func (*Unary) exprNode()         {}
+func (*Binary) exprNode()        {}
+func (*IndexExpr) exprNode()     {}
+func (*FieldExpr) exprNode()     {}
+func (*CallExpr) exprNode()      {}
+func (*NewObjectExpr) exprNode() {}
+func (*NewArrayExpr) exprNode()  {}
+func (*LenExpr) exprNode()       {}
+func (*CondExpr) exprNode()      {}
+func (*ConvertExpr) exprNode()   {}
+func (*ThisExpr) exprNode()      {}
+func (*HCallExpr) exprNode()     {}
+
+// ---------------------------------------------------------------------------
+// Targets (assignable places)
+
+// Target is the left-hand side of an assignment.
+type Target interface {
+	targetNode()
+}
+
+// VarTarget assigns to a variable.
+type VarTarget struct{ Var *Var }
+
+// IndexTarget assigns to Arr[I].
+type IndexTarget struct {
+	Arr      Expr
+	I        Expr
+	ElemsVar *Var
+}
+
+// FieldTarget assigns to Obj.Field.
+type FieldTarget struct {
+	Obj      Expr
+	Field    string
+	Class    string
+	FieldVar *Var
+}
+
+func (*VarTarget) targetNode()   {}
+func (*IndexTarget) targetNode() {}
+func (*FieldTarget) targetNode() {}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+// Stmt is an IR statement. Every Stmt has a function-unique ID.
+type Stmt interface {
+	stmtNode()
+	ID() int
+	Pos() token.Pos
+}
+
+type stmtBase struct {
+	id  int
+	pos token.Pos
+}
+
+func (s stmtBase) ID() int        { return s.id }
+func (s stmtBase) Pos() token.Pos { return s.pos }
+
+// AssignStmt stores Rhs into Lhs.
+type AssignStmt struct {
+	stmtBase
+	Lhs Target
+	Rhs Expr
+}
+
+// IfStmt is a structured conditional.
+type IfStmt struct {
+	stmtBase
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+// WhileStmt is a pre-tested loop. Post holds statements executed after the
+// body and before re-testing the condition (the `post` clause of a lowered
+// for-loop); continue transfers control to Post.
+type WhileStmt struct {
+	stmtBase
+	Cond Expr
+	Body []Stmt
+	Post []Stmt
+}
+
+// ReturnStmt exits the function.
+type ReturnStmt struct {
+	stmtBase
+	Value Expr // may be nil
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ stmtBase }
+
+// ContinueStmt jumps to the Post section of the innermost loop.
+type ContinueStmt struct{ stmtBase }
+
+// PrintStmt writes to program output.
+type PrintStmt struct {
+	stmtBase
+	Args []Expr
+}
+
+// CallStmt evaluates a call for its side effects.
+type CallStmt struct {
+	stmtBase
+	Call *CallExpr
+}
+
+// HCallStmt invokes the hidden component and discards the returned value
+// ("any"). Produced only by the splitting transformation.
+type HCallStmt struct {
+	stmtBase
+	Call *HCallExpr
+}
+
+func (*AssignStmt) stmtNode()   {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*PrintStmt) stmtNode()    {}
+func (*CallStmt) stmtNode()     {}
+func (*HCallStmt) stmtNode()    {}
+
+// ---------------------------------------------------------------------------
+// Functions, classes, programs
+
+// Func is a function or method in IR form.
+type Func struct {
+	Name   string
+	Class  string // empty for top-level functions
+	Params []*Var
+	Locals []*Var // declared locals, in declaration order
+	Result types.Type
+	Body   []Stmt
+
+	nextStmtID int
+	varsByName map[string]*Var // uniquified name -> var (locals+params)
+}
+
+// QName returns "Class.Name" for methods and "Name" for functions.
+func (f *Func) QName() string {
+	if f.Class != "" {
+		return f.Class + "." + f.Name
+	}
+	return f.Name
+}
+
+// NewStmtID allocates the next statement ID for f.
+func (f *Func) NewStmtID() int {
+	id := f.nextStmtID
+	f.nextStmtID++
+	return id
+}
+
+// NumStmtIDs returns an upper bound on statement IDs allocated so far.
+func (f *Func) NumStmtIDs() int { return f.nextStmtID }
+
+// NewStmt constructs the statement base for a new statement of f.
+func (f *Func) NewStmt(pos token.Pos) stmtBase {
+	return stmtBase{id: f.NewStmtID(), pos: pos}
+}
+
+// AddLocal registers a fresh local variable, uniquifying the name.
+func (f *Func) AddLocal(name string, t types.Type) *Var {
+	if f.varsByName == nil {
+		f.varsByName = make(map[string]*Var)
+	}
+	unique := name
+	for i := 1; ; i++ {
+		if _, taken := f.varsByName[unique]; !taken {
+			break
+		}
+		unique = fmt.Sprintf("%s$%d", name, i)
+	}
+	v := &Var{Name: unique, Kind: VarLocal, Type: t}
+	f.varsByName[unique] = v
+	f.Locals = append(f.Locals, v)
+	return v
+}
+
+// AddParam registers a parameter variable.
+func (f *Func) AddParam(name string, t types.Type) *Var {
+	if f.varsByName == nil {
+		f.varsByName = make(map[string]*Var)
+	}
+	v := &Var{Name: name, Kind: VarParam, Type: t}
+	f.varsByName[name] = v
+	f.Params = append(f.Params, v)
+	return v
+}
+
+// LookupVar finds a local or parameter by (uniquified) name.
+func (f *Func) LookupVar(name string) *Var { return f.varsByName[name] }
+
+// Class describes a class's fields in IR form.
+type Class struct {
+	Name   string
+	Fields []*Var // VarField vars, in declaration order
+}
+
+// Field returns the field var named name, or nil.
+func (c *Class) Field(name string) *Var {
+	for _, f := range c.Fields {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// Global is a module-level variable with an optional initializer.
+type Global struct {
+	Var  *Var
+	Init Expr // may be nil
+}
+
+// Program is a whole MiniJ program in IR form.
+type Program struct {
+	Globals []*Global
+	Classes map[string]*Class
+	Funcs   map[string]*Func // keyed by qualified name
+	Order   []string         // function qualified names in source order
+	Heap    *Var             // the $heap pseudo-variable
+}
+
+// Func returns the function with the given qualified name, or nil.
+func (p *Program) Func(qname string) *Func { return p.Funcs[qname] }
+
+// ---------------------------------------------------------------------------
+// Traversal helpers
+
+// WalkStmts visits every statement in the list (recursively, pre-order).
+// If fn returns false, children of that statement are not visited.
+func WalkStmts(stmts []Stmt, fn func(Stmt) bool) {
+	for _, s := range stmts {
+		walkStmt(s, fn)
+	}
+}
+
+func walkStmt(s Stmt, fn func(Stmt) bool) {
+	if !fn(s) {
+		return
+	}
+	switch s := s.(type) {
+	case *IfStmt:
+		WalkStmts(s.Then, fn)
+		WalkStmts(s.Else, fn)
+	case *WhileStmt:
+		WalkStmts(s.Body, fn)
+		WalkStmts(s.Post, fn)
+	}
+}
+
+// WalkExpr visits e and all subexpressions in pre-order.
+func WalkExpr(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch e := e.(type) {
+	case *Unary:
+		WalkExpr(e.X, fn)
+	case *Binary:
+		WalkExpr(e.X, fn)
+		WalkExpr(e.Y, fn)
+	case *IndexExpr:
+		WalkExpr(e.Arr, fn)
+		WalkExpr(e.I, fn)
+	case *FieldExpr:
+		WalkExpr(e.Obj, fn)
+	case *CallExpr:
+		WalkExpr(e.Recv, fn)
+		for _, a := range e.Args {
+			WalkExpr(a, fn)
+		}
+	case *NewArrayExpr:
+		WalkExpr(e.Size, fn)
+	case *LenExpr:
+		WalkExpr(e.Arr, fn)
+	case *CondExpr:
+		WalkExpr(e.C, fn)
+		WalkExpr(e.T, fn)
+		WalkExpr(e.F, fn)
+	case *ConvertExpr:
+		WalkExpr(e.X, fn)
+	case *HCallExpr:
+		WalkExpr(e.Obj, fn)
+		for _, a := range e.Args {
+			WalkExpr(a, fn)
+		}
+	}
+}
+
+// StmtExprs calls fn for every top-level expression of s (not descending
+// into sub-statements of structured statements).
+func StmtExprs(s Stmt, fn func(Expr)) {
+	switch s := s.(type) {
+	case *AssignStmt:
+		switch t := s.Lhs.(type) {
+		case *IndexTarget:
+			fn(t.Arr)
+			fn(t.I)
+		case *FieldTarget:
+			fn(t.Obj)
+		}
+		fn(s.Rhs)
+	case *IfStmt:
+		fn(s.Cond)
+	case *WhileStmt:
+		fn(s.Cond)
+	case *ReturnStmt:
+		if s.Value != nil {
+			fn(s.Value)
+		}
+	case *PrintStmt:
+		for _, a := range s.Args {
+			fn(a)
+		}
+	case *CallStmt:
+		fn(s.Call)
+	case *HCallStmt:
+		fn(s.Call)
+	}
+}
+
+// UsedVars returns the variables read by statement s (top-level expressions
+// only; for structured statements this is the condition).
+func UsedVars(s Stmt) []*Var {
+	var out []*Var
+	seen := map[*Var]bool{}
+	add := func(v *Var) {
+		if v != nil && !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	StmtExprs(s, func(e Expr) {
+		WalkExpr(e, func(x Expr) {
+			switch x := x.(type) {
+			case *VarRef:
+				add(x.Var)
+			case *IndexExpr:
+				add(x.ElemsVar)
+			case *FieldExpr:
+				add(x.FieldVar)
+			}
+		})
+	})
+	return out
+}
+
+// DefinedVar returns the variable defined by s: the assigned variable for a
+// VarTarget assignment, the elems/field pseudo-variable for aggregate
+// stores, or nil if s defines nothing.
+func DefinedVar(s Stmt) *Var {
+	a, ok := s.(*AssignStmt)
+	if !ok {
+		return nil
+	}
+	switch t := a.Lhs.(type) {
+	case *VarTarget:
+		return t.Var
+	case *IndexTarget:
+		return t.ElemsVar
+	case *FieldTarget:
+		return t.FieldVar
+	}
+	return nil
+}
+
+// ExprVars returns all variables read anywhere inside e.
+func ExprVars(e Expr) []*Var {
+	var out []*Var
+	seen := map[*Var]bool{}
+	WalkExpr(e, func(x Expr) {
+		var v *Var
+		switch x := x.(type) {
+		case *VarRef:
+			v = x.Var
+		case *IndexExpr:
+			v = x.ElemsVar
+		case *FieldExpr:
+			v = x.FieldVar
+		}
+		if v != nil && !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	})
+	return out
+}
+
+// HasCall reports whether e contains a function/method call or allocation.
+func HasCall(e Expr) bool {
+	found := false
+	WalkExpr(e, func(x Expr) {
+		switch x.(type) {
+		case *CallExpr, *NewObjectExpr, *NewArrayExpr:
+			found = true
+		}
+	})
+	return found
+}
+
+// CloneExpr returns a deep copy of e. Var identities are shared (they are
+// resolution results, not storage).
+func CloneExpr(e Expr) Expr {
+	switch e := e.(type) {
+	case nil:
+		return nil
+	case *Const:
+		c := *e
+		return &c
+	case *VarRef:
+		return &VarRef{Var: e.Var}
+	case *Unary:
+		return &Unary{Op: e.Op, X: CloneExpr(e.X)}
+	case *Binary:
+		return &Binary{Op: e.Op, X: CloneExpr(e.X), Y: CloneExpr(e.Y)}
+	case *IndexExpr:
+		return &IndexExpr{Arr: CloneExpr(e.Arr), I: CloneExpr(e.I), ElemsVar: e.ElemsVar}
+	case *FieldExpr:
+		return &FieldExpr{Obj: CloneExpr(e.Obj), Field: e.Field, Class: e.Class, FieldVar: e.FieldVar}
+	case *CallExpr:
+		args := make([]Expr, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = CloneExpr(a)
+		}
+		return &CallExpr{Callee: e.Callee, Recv: CloneExpr(e.Recv), Args: args, Result: e.Result}
+	case *NewObjectExpr:
+		return &NewObjectExpr{Class: e.Class}
+	case *ThisExpr:
+		return &ThisExpr{Class: e.Class}
+	case *NewArrayExpr:
+		return &NewArrayExpr{Elem: e.Elem, Size: CloneExpr(e.Size)}
+	case *LenExpr:
+		return &LenExpr{Arr: CloneExpr(e.Arr)}
+	case *CondExpr:
+		return &CondExpr{C: CloneExpr(e.C), T: CloneExpr(e.T), F: CloneExpr(e.F)}
+	case *ConvertExpr:
+		return &ConvertExpr{ToFloat: e.ToFloat, X: CloneExpr(e.X)}
+	case *HCallExpr:
+		args := make([]Expr, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = CloneExpr(a)
+		}
+		return &HCallExpr{FragID: e.FragID, Args: args, Leaks: e.Leaks, Component: e.Component, Obj: CloneExpr(e.Obj)}
+	}
+	panic(fmt.Sprintf("ir.CloneExpr: unknown expr %T", e))
+}

@@ -1,0 +1,167 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// FormatFunc renders a function's IR as readable text, one line per simple
+// statement, annotated with statement IDs. Used by golden tests and the CLI.
+func FormatFunc(f *Func) string {
+	var b strings.Builder
+	params := make([]string, len(f.Params))
+	for i, p := range f.Params {
+		params[i] = p.Name + ": " + p.Type.String()
+	}
+	fmt.Fprintf(&b, "func %s(%s): %s {\n", f.QName(), strings.Join(params, ", "), f.Result)
+	formatStmts(&b, f.Body, 1)
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// FormatStmts renders a statement list at the given indent.
+func FormatStmts(stmts []Stmt, indent int) string {
+	var b strings.Builder
+	formatStmts(&b, stmts, indent)
+	return b.String()
+}
+
+func formatStmts(b *strings.Builder, stmts []Stmt, ind int) {
+	pad := strings.Repeat("    ", ind)
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *AssignStmt:
+			fmt.Fprintf(b, "%s[%d] %s = %s\n", pad, s.ID(), TargetString(s.Lhs), ExprString(s.Rhs))
+		case *IfStmt:
+			fmt.Fprintf(b, "%s[%d] if %s {\n", pad, s.ID(), ExprString(s.Cond))
+			formatStmts(b, s.Then, ind+1)
+			if len(s.Else) > 0 {
+				fmt.Fprintf(b, "%s} else {\n", pad)
+				formatStmts(b, s.Else, ind+1)
+			}
+			fmt.Fprintf(b, "%s}\n", pad)
+		case *WhileStmt:
+			fmt.Fprintf(b, "%s[%d] while %s {\n", pad, s.ID(), ExprString(s.Cond))
+			formatStmts(b, s.Body, ind+1)
+			if len(s.Post) > 0 {
+				fmt.Fprintf(b, "%s} post {\n", pad)
+				formatStmts(b, s.Post, ind+1)
+			}
+			fmt.Fprintf(b, "%s}\n", pad)
+		case *ReturnStmt:
+			if s.Value != nil {
+				fmt.Fprintf(b, "%s[%d] return %s\n", pad, s.ID(), ExprString(s.Value))
+			} else {
+				fmt.Fprintf(b, "%s[%d] return\n", pad, s.ID())
+			}
+		case *BreakStmt:
+			fmt.Fprintf(b, "%s[%d] break\n", pad, s.ID())
+		case *ContinueStmt:
+			fmt.Fprintf(b, "%s[%d] continue\n", pad, s.ID())
+		case *PrintStmt:
+			args := make([]string, len(s.Args))
+			for i, a := range s.Args {
+				args[i] = ExprString(a)
+			}
+			fmt.Fprintf(b, "%s[%d] print(%s)\n", pad, s.ID(), strings.Join(args, ", "))
+		case *CallStmt:
+			fmt.Fprintf(b, "%s[%d] %s\n", pad, s.ID(), ExprString(s.Call))
+		case *HCallStmt:
+			fmt.Fprintf(b, "%s[%d] %s\n", pad, s.ID(), ExprString(s.Call))
+		default:
+			fmt.Fprintf(b, "%s[%d] ??? %T\n", pad, s.ID(), s)
+		}
+	}
+}
+
+// TargetString renders an assignment target.
+func TargetString(t Target) string {
+	switch t := t.(type) {
+	case *VarTarget:
+		return t.Var.Name
+	case *IndexTarget:
+		return fmt.Sprintf("%s[%s]", ExprString(t.Arr), ExprString(t.I))
+	case *FieldTarget:
+		return fmt.Sprintf("%s.%s", ExprString(t.Obj), t.Field)
+	}
+	return "?"
+}
+
+// ExprString renders an IR expression as source-like text.
+func ExprString(e Expr) string {
+	switch e := e.(type) {
+	case nil:
+		return "<nil>"
+	case *Const:
+		switch e.Kind {
+		case ConstInt:
+			return strconv.FormatInt(e.I, 10)
+		case ConstFloat:
+			s := strconv.FormatFloat(e.F, 'g', -1, 64)
+			if !strings.ContainsAny(s, ".eE") {
+				s += ".0"
+			}
+			return s
+		case ConstBool:
+			return strconv.FormatBool(e.B)
+		case ConstString:
+			return strconv.Quote(e.S)
+		case ConstNull:
+			return "null"
+		}
+	case *VarRef:
+		return e.Var.Name
+	case *Unary:
+		return e.Op.String() + parens(e.X)
+	case *Binary:
+		return fmt.Sprintf("%s %s %s", parens(e.X), e.Op, parens(e.Y))
+	case *IndexExpr:
+		return fmt.Sprintf("%s[%s]", parens(e.Arr), ExprString(e.I))
+	case *FieldExpr:
+		return fmt.Sprintf("%s.%s", parens(e.Obj), e.Field)
+	case *CallExpr:
+		args := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = ExprString(a)
+		}
+		name := e.Callee
+		if e.Recv != nil {
+			if i := strings.IndexByte(name, '.'); i >= 0 {
+				name = name[i+1:]
+			}
+			return fmt.Sprintf("%s.%s(%s)", parens(e.Recv), name, strings.Join(args, ", "))
+		}
+		return fmt.Sprintf("%s(%s)", name, strings.Join(args, ", "))
+	case *NewObjectExpr:
+		return fmt.Sprintf("new %s()", e.Class)
+	case *NewArrayExpr:
+		return fmt.Sprintf("new %s[%s]", e.Elem, ExprString(e.Size))
+	case *LenExpr:
+		return fmt.Sprintf("len(%s)", ExprString(e.Arr))
+	case *CondExpr:
+		return fmt.Sprintf("%s ? %s : %s", parens(e.C), parens(e.T), parens(e.F))
+	case *ConvertExpr:
+		if e.ToFloat {
+			return fmt.Sprintf("float(%s)", ExprString(e.X))
+		}
+		return fmt.Sprintf("int(%s)", ExprString(e.X))
+	case *ThisExpr:
+		return "this"
+	case *HCallExpr:
+		args := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = ExprString(a)
+		}
+		return fmt.Sprintf("H(%d, [%s])", e.FragID, strings.Join(args, ", "))
+	}
+	return fmt.Sprintf("?%T", e)
+}
+
+func parens(e Expr) string {
+	switch e.(type) {
+	case *Binary, *CondExpr:
+		return "(" + ExprString(e) + ")"
+	}
+	return ExprString(e)
+}

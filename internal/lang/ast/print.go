@@ -1,0 +1,386 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders the program back to MiniJ source text. The output parses to
+// an equivalent program, which the parser round-trip tests rely on.
+func Format(p *Program) string {
+	var b strings.Builder
+	pr := printer{w: &b}
+	for _, g := range p.Globals {
+		pr.global(g)
+	}
+	for _, c := range p.Classes {
+		pr.class(c)
+	}
+	for _, f := range p.Funcs {
+		pr.funcDecl("func", f)
+	}
+	return b.String()
+}
+
+// FormatStmt renders a single statement at the given indent level.
+func FormatStmt(s Stmt, indent int) string {
+	var b strings.Builder
+	pr := printer{w: &b, ind: indent}
+	pr.stmt(s)
+	return b.String()
+}
+
+// ExprString renders an expression as source text.
+func ExprString(e Expr) string {
+	var b strings.Builder
+	(&printer{w: &b}).expr(e, 0)
+	return b.String()
+}
+
+type printer struct {
+	w   *strings.Builder
+	ind int
+}
+
+func (p *printer) line(format string, args ...any) {
+	p.w.WriteString(strings.Repeat("    ", p.ind))
+	fmt.Fprintf(p.w, format, args...)
+	p.w.WriteByte('\n')
+}
+
+func (p *printer) global(g *GlobalDecl) {
+	if g.Init != nil {
+		p.line("var %s: %s = %s;", g.Name, g.Type, ExprString(g.Init))
+	} else {
+		p.line("var %s: %s;", g.Name, g.Type)
+	}
+}
+
+func (p *printer) class(c *ClassDecl) {
+	p.line("class %s {", c.Name)
+	p.ind++
+	for _, f := range c.Fields {
+		p.line("field %s: %s;", f.Name, f.Type)
+	}
+	for _, m := range c.Methods {
+		p.funcDecl("method", m)
+	}
+	p.ind--
+	p.line("}")
+}
+
+func (p *printer) funcDecl(kw string, f *FuncDecl) {
+	params := make([]string, len(f.Params))
+	for i, pa := range f.Params {
+		params[i] = fmt.Sprintf("%s: %s", pa.Name, pa.Type)
+	}
+	sig := fmt.Sprintf("%s %s(%s)", kw, f.Name, strings.Join(params, ", "))
+	if bt, ok := f.Result.(*BasicType); !ok || bt.Kind != Void {
+		sig += ": " + f.Result.String()
+	}
+	p.line("%s {", sig)
+	p.ind++
+	for _, s := range f.Body.Stmts {
+		p.stmt(s)
+	}
+	p.ind--
+	p.line("}")
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch s := s.(type) {
+	case *VarDecl:
+		if s.Init != nil {
+			p.line("var %s: %s = %s;", s.Name, s.Type, ExprString(s.Init))
+		} else {
+			p.line("var %s: %s;", s.Name, s.Type)
+		}
+	case *Assign:
+		p.line("%s = %s;", ExprString(s.Lhs), ExprString(s.Rhs))
+	case *If:
+		p.line("if (%s) {", ExprString(s.Cond))
+		p.ind++
+		for _, t := range s.Then.Stmts {
+			p.stmt(t)
+		}
+		p.ind--
+		if s.Else != nil {
+			p.line("} else {")
+			p.ind++
+			for _, t := range s.Else.Stmts {
+				p.stmt(t)
+			}
+			p.ind--
+		}
+		p.line("}")
+	case *While:
+		p.line("while (%s) {", ExprString(s.Cond))
+		p.ind++
+		for _, t := range s.Body.Stmts {
+			p.stmt(t)
+		}
+		p.ind--
+		p.line("}")
+	case *For:
+		init, cond, post := "", "", ""
+		if s.Init != nil {
+			init = strings.TrimSuffix(strings.TrimSpace(FormatStmt(s.Init, 0)), ";")
+		}
+		if s.Cond != nil {
+			cond = ExprString(s.Cond)
+		}
+		if s.Post != nil {
+			post = strings.TrimSuffix(strings.TrimSpace(FormatStmt(s.Post, 0)), ";")
+		}
+		p.line("for (%s; %s; %s) {", init, cond, post)
+		p.ind++
+		for _, t := range s.Body.Stmts {
+			p.stmt(t)
+		}
+		p.ind--
+		p.line("}")
+	case *Return:
+		if s.Value != nil {
+			p.line("return %s;", ExprString(s.Value))
+		} else {
+			p.line("return;")
+		}
+	case *Break:
+		p.line("break;")
+	case *Continue:
+		p.line("continue;")
+	case *Print:
+		args := make([]string, len(s.Args))
+		for i, a := range s.Args {
+			args[i] = ExprString(a)
+		}
+		p.line("print(%s);", strings.Join(args, ", "))
+	case *ExprStmt:
+		p.line("%s;", ExprString(s.X))
+	case *Block:
+		p.line("{")
+		p.ind++
+		for _, t := range s.Stmts {
+			p.stmt(t)
+		}
+		p.ind--
+		p.line("}")
+	default:
+		p.line("/* unknown stmt %T */", s)
+	}
+}
+
+func (p *printer) expr(e Expr, prec int) {
+	switch e := e.(type) {
+	case *IntLit:
+		fmt.Fprintf(p.w, "%d", e.Value)
+	case *FloatLit:
+		s := fmt.Sprintf("%g", e.Value)
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		p.w.WriteString(s)
+	case *BoolLit:
+		fmt.Fprintf(p.w, "%t", e.Value)
+	case *StringLit:
+		fmt.Fprintf(p.w, "%q", e.Value)
+	case *NullLit:
+		p.w.WriteString("null")
+	case *Ident:
+		p.w.WriteString(e.Name)
+	case *Unary:
+		p.w.WriteString(e.Op.String())
+		p.expr(e.X, 7)
+	case *Binary:
+		op := e.Op.Precedence()
+		if op < prec {
+			p.w.WriteByte('(')
+		}
+		p.expr(e.X, op)
+		fmt.Fprintf(p.w, " %s ", e.Op)
+		p.expr(e.Y, op+1)
+		if op < prec {
+			p.w.WriteByte(')')
+		}
+	case *Index:
+		p.expr(e.Arr, 8)
+		p.w.WriteByte('[')
+		p.expr(e.I, 0)
+		p.w.WriteByte(']')
+	case *FieldAccess:
+		p.expr(e.Obj, 8)
+		p.w.WriteByte('.')
+		p.w.WriteString(e.Name)
+	case *Call:
+		p.w.WriteString(e.Name)
+		p.args(e.Args)
+	case *MethodCall:
+		p.expr(e.Recv, 8)
+		p.w.WriteByte('.')
+		p.w.WriteString(e.Name)
+		p.args(e.Args)
+	case *NewObject:
+		fmt.Fprintf(p.w, "new %s()", e.Name)
+	case *NewArray:
+		fmt.Fprintf(p.w, "new %s[", e.Elem)
+		p.expr(e.Size, 0)
+		p.w.WriteByte(']')
+	case *LenExpr:
+		p.w.WriteString("len(")
+		p.expr(e.Arr, 0)
+		p.w.WriteByte(')')
+	case *Convert:
+		p.w.WriteString(e.To.String())
+		p.w.WriteByte('(')
+		p.expr(e.X, 0)
+		p.w.WriteByte(')')
+	case *Cond:
+		if prec > 0 {
+			p.w.WriteByte('(')
+		}
+		p.expr(e.C, 1)
+		p.w.WriteString(" ? ")
+		p.expr(e.T, 1)
+		p.w.WriteString(" : ")
+		p.expr(e.F, 1)
+		if prec > 0 {
+			p.w.WriteByte(')')
+		}
+	default:
+		fmt.Fprintf(p.w, "/* unknown expr %T */", e)
+	}
+}
+
+func (p *printer) args(args []Expr) {
+	p.w.WriteByte('(')
+	for i, a := range args {
+		if i > 0 {
+			p.w.WriteString(", ")
+		}
+		p.expr(a, 0)
+	}
+	p.w.WriteByte(')')
+}
+
+// Walk traverses the statement tree rooted at s in pre-order, calling fn for
+// every statement. If fn returns false the children of s are skipped.
+func Walk(s Stmt, fn func(Stmt) bool) {
+	if s == nil || !fn(s) {
+		return
+	}
+	switch s := s.(type) {
+	case *If:
+		for _, t := range s.Then.Stmts {
+			Walk(t, fn)
+		}
+		if s.Else != nil {
+			for _, t := range s.Else.Stmts {
+				Walk(t, fn)
+			}
+		}
+	case *While:
+		for _, t := range s.Body.Stmts {
+			Walk(t, fn)
+		}
+	case *For:
+		if s.Init != nil {
+			Walk(s.Init, fn)
+		}
+		if s.Post != nil {
+			Walk(s.Post, fn)
+		}
+		for _, t := range s.Body.Stmts {
+			Walk(t, fn)
+		}
+	case *Block:
+		for _, t := range s.Stmts {
+			Walk(t, fn)
+		}
+	}
+}
+
+// WalkExprs visits every expression in the statement tree rooted at s.
+func WalkExprs(s Stmt, fn func(Expr)) {
+	Walk(s, func(st Stmt) bool {
+		switch st := st.(type) {
+		case *VarDecl:
+			if st.Init != nil {
+				WalkExpr(st.Init, fn)
+			}
+		case *Assign:
+			WalkExpr(st.Lhs, fn)
+			WalkExpr(st.Rhs, fn)
+		case *If:
+			WalkExpr(st.Cond, fn)
+		case *While:
+			WalkExpr(st.Cond, fn)
+		case *For:
+			if st.Cond != nil {
+				WalkExpr(st.Cond, fn)
+			}
+		case *Return:
+			if st.Value != nil {
+				WalkExpr(st.Value, fn)
+			}
+		case *Print:
+			for _, a := range st.Args {
+				WalkExpr(a, fn)
+			}
+		case *ExprStmt:
+			WalkExpr(st.X, fn)
+		}
+		return true
+	})
+}
+
+// WalkExpr visits e and all its subexpressions in pre-order.
+func WalkExpr(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch e := e.(type) {
+	case *Unary:
+		WalkExpr(e.X, fn)
+	case *Binary:
+		WalkExpr(e.X, fn)
+		WalkExpr(e.Y, fn)
+	case *Index:
+		WalkExpr(e.Arr, fn)
+		WalkExpr(e.I, fn)
+	case *FieldAccess:
+		WalkExpr(e.Obj, fn)
+	case *Call:
+		for _, a := range e.Args {
+			WalkExpr(a, fn)
+		}
+	case *MethodCall:
+		WalkExpr(e.Recv, fn)
+		for _, a := range e.Args {
+			WalkExpr(a, fn)
+		}
+	case *NewArray:
+		WalkExpr(e.Size, fn)
+	case *LenExpr:
+		WalkExpr(e.Arr, fn)
+	case *Cond:
+		WalkExpr(e.C, fn)
+		WalkExpr(e.T, fn)
+		WalkExpr(e.F, fn)
+	case *Convert:
+		WalkExpr(e.X, fn)
+	}
+}
+
+// HasCall reports whether the expression contains a function or method call
+// or an allocation (entities that can never move into a hidden component).
+func HasCall(e Expr) bool {
+	found := false
+	WalkExpr(e, func(x Expr) {
+		switch x.(type) {
+		case *Call, *MethodCall, *NewObject, *NewArray:
+			found = true
+		}
+	})
+	return found
+}

@@ -1,0 +1,191 @@
+// Package token defines the lexical tokens of the MiniJ language, the small
+// Java-like language that serves as the substrate for the slicing-based
+// software-splitting transformation.
+package token
+
+import "fmt"
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// Token kinds. Literal kinds carry their text in Token.Lit.
+const (
+	ILLEGAL Kind = iota
+	EOF
+
+	// Literals and identifiers.
+	IDENT  // x, foo, Stack
+	INT    // 123
+	FLOAT  // 1.25
+	STRING // "abc"
+	CHAR   // 'a' (lexed as an INT with the rune value)
+
+	// Operators and delimiters.
+	PLUS    // +
+	MINUS   // -
+	STAR    // *
+	SLASH   // /
+	PERCENT // %
+
+	ASSIGN     // =
+	PLUSEQ     // +=
+	MINUSEQ    // -=
+	STAREQ     // *=
+	SLASHEQ    // /=
+	PERCENTEQ  // %=
+	PLUSPLUS   // ++
+	MINUSMINUS // --
+
+	EQ  // ==
+	NEQ // !=
+	LT  // <
+	LEQ // <=
+	GT  // >
+	GEQ // >=
+
+	AND // &&
+	OR  // ||
+	NOT // !
+
+	LPAREN   // (
+	RPAREN   // )
+	LBRACE   // {
+	RBRACE   // }
+	LBRACK   // [
+	RBRACK   // ]
+	COMMA    // ,
+	SEMI     // ;
+	COLON    // :
+	DOT      // .
+	QUESTION // ?
+
+	// Keywords.
+	kwBegin
+	FUNC
+	METHOD
+	CLASS
+	FIELD
+	VAR
+	IF
+	ELSE
+	WHILE
+	FOR
+	RETURN
+	BREAK
+	CONTINUE
+	PRINT
+	NEW
+	TRUE
+	FALSE
+	NULL
+	INTTYPE
+	FLOATTYPE
+	BOOLTYPE
+	STRINGTYPE
+	VOIDTYPE
+	LEN
+	kwEnd
+)
+
+var kindNames = map[Kind]string{
+	ILLEGAL: "ILLEGAL", EOF: "EOF",
+	IDENT: "IDENT", INT: "INT", FLOAT: "FLOAT", STRING: "STRING", CHAR: "CHAR",
+	PLUS: "+", MINUS: "-", STAR: "*", SLASH: "/", PERCENT: "%",
+	ASSIGN: "=", PLUSEQ: "+=", MINUSEQ: "-=", STAREQ: "*=", SLASHEQ: "/=",
+	PERCENTEQ: "%=", PLUSPLUS: "++", MINUSMINUS: "--",
+	EQ: "==", NEQ: "!=", LT: "<", LEQ: "<=", GT: ">", GEQ: ">=",
+	AND: "&&", OR: "||", NOT: "!",
+	LPAREN: "(", RPAREN: ")", LBRACE: "{", RBRACE: "}", LBRACK: "[", RBRACK: "]",
+	COMMA: ",", SEMI: ";", COLON: ":", DOT: ".", QUESTION: "?",
+	FUNC: "func", METHOD: "method", CLASS: "class", FIELD: "field", VAR: "var",
+	IF: "if", ELSE: "else", WHILE: "while", FOR: "for", RETURN: "return",
+	BREAK: "break", CONTINUE: "continue", PRINT: "print", NEW: "new",
+	TRUE: "true", FALSE: "false", NULL: "null",
+	INTTYPE: "int", FLOATTYPE: "float", BOOLTYPE: "bool",
+	STRINGTYPE: "string", VOIDTYPE: "void", LEN: "len",
+}
+
+// String returns the textual form of the kind (the operator text or keyword
+// for fixed tokens, the class name for variable ones).
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Keywords maps keyword spellings to their kinds.
+var Keywords = func() map[string]Kind {
+	m := make(map[string]Kind)
+	for k := kwBegin + 1; k < kwEnd; k++ {
+		m[kindNames[k]] = k
+	}
+	return m
+}()
+
+// Lookup returns the keyword kind for ident, or IDENT if it is not a keyword.
+func Lookup(ident string) Kind {
+	if k, ok := Keywords[ident]; ok {
+		return k
+	}
+	return IDENT
+}
+
+// IsKeyword reports whether k is a reserved word.
+func (k Kind) IsKeyword() bool { return k > kwBegin && k < kwEnd }
+
+// IsLiteral reports whether k is an identifier or basic literal.
+func (k Kind) IsLiteral() bool {
+	switch k {
+	case IDENT, INT, FLOAT, STRING, CHAR:
+		return true
+	}
+	return false
+}
+
+// Pos is a source position: 1-based line and column.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String renders the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Valid reports whether the position carries real location information.
+func (p Pos) Valid() bool { return p.Line > 0 }
+
+// Token is a single lexical token with its position and literal text.
+type Token struct {
+	Kind Kind
+	Pos  Pos
+	Lit  string // literal text for IDENT/INT/FLOAT/STRING/CHAR
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	if t.Kind.IsLiteral() {
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Lit)
+	}
+	return t.Kind.String()
+}
+
+// Precedence returns the binary-operator precedence of k (higher binds
+// tighter), or 0 if k is not a binary operator.
+func (k Kind) Precedence() int {
+	switch k {
+	case OR:
+		return 1
+	case AND:
+		return 2
+	case EQ, NEQ:
+		return 3
+	case LT, LEQ, GT, GEQ:
+		return 4
+	case PLUS, MINUS:
+		return 5
+	case STAR, SLASH, PERCENT:
+		return 6
+	}
+	return 0
+}

@@ -1,0 +1,723 @@
+// Package types implements semantic analysis for MiniJ: symbol resolution
+// and type checking. The checker produces an Info structure that later
+// phases (IR lowering, slicing, splitting) consult.
+package types
+
+import (
+	"fmt"
+	"strings"
+
+	"slicehide/internal/lang/ast"
+	"slicehide/internal/lang/token"
+)
+
+// Type is a semantic type.
+type Type interface {
+	String() string
+	Equal(Type) bool
+}
+
+// Basic is a primitive type.
+type Basic struct{ Kind ast.BasicKind }
+
+func (t *Basic) String() string { return t.Kind.String() }
+
+// Equal reports type identity.
+func (t *Basic) Equal(o Type) bool {
+	b, ok := o.(*Basic)
+	return ok && b.Kind == t.Kind
+}
+
+// Array is an array type.
+type Array struct{ Elem Type }
+
+func (t *Array) String() string { return t.Elem.String() + "[]" }
+
+// Equal reports type identity.
+func (t *Array) Equal(o Type) bool {
+	a, ok := o.(*Array)
+	return ok && a.Elem.Equal(t.Elem)
+}
+
+// Class is a reference to a user-defined class.
+type Class struct {
+	Name string
+	Decl *ast.ClassDecl
+}
+
+func (t *Class) String() string { return t.Name }
+
+// Equal reports type identity (classes are nominal).
+func (t *Class) Equal(o Type) bool {
+	c, ok := o.(*Class)
+	return ok && c.Name == t.Name
+}
+
+// Null is the type of the null literal; assignable to any class or array.
+type Null struct{}
+
+func (t *Null) String() string { return "null" }
+
+// Equal reports type identity.
+func (t *Null) Equal(o Type) bool { _, ok := o.(*Null); return ok }
+
+// Canonical basic types.
+var (
+	IntType    = &Basic{Kind: ast.Int}
+	FloatType  = &Basic{Kind: ast.Float}
+	BoolType   = &Basic{Kind: ast.Bool}
+	StringType = &Basic{Kind: ast.String}
+	VoidType   = &Basic{Kind: ast.Void}
+	NullType   = &Null{}
+)
+
+// IsScalar reports whether t is a hideable scalar (int, float, or bool).
+// Only scalar values may be stored in a hidden component (paper §2.2).
+func IsScalar(t Type) bool {
+	b, ok := t.(*Basic)
+	return ok && (b.Kind == ast.Int || b.Kind == ast.Float || b.Kind == ast.Bool)
+}
+
+// IsNumeric reports whether t is int or float.
+func IsNumeric(t Type) bool {
+	b, ok := t.(*Basic)
+	return ok && (b.Kind == ast.Int || b.Kind == ast.Float)
+}
+
+// IsReference reports whether t is an array or class type (or null).
+func IsReference(t Type) bool {
+	switch t.(type) {
+	case *Array, *Class, *Null:
+		return true
+	}
+	return false
+}
+
+// SymbolKind classifies a resolved name.
+type SymbolKind int
+
+// Symbol kinds.
+const (
+	SymLocal SymbolKind = iota
+	SymParam
+	SymGlobal
+	SymField // instance field of the enclosing class (implicit this)
+)
+
+func (k SymbolKind) String() string {
+	switch k {
+	case SymLocal:
+		return "local"
+	case SymParam:
+		return "param"
+	case SymGlobal:
+		return "global"
+	case SymField:
+		return "field"
+	}
+	return "?"
+}
+
+// Symbol is a resolved variable-like entity.
+type Symbol struct {
+	Name  string
+	Kind  SymbolKind
+	Type  Type
+	Class string // for SymField: the owning class
+}
+
+// FuncSig is the signature of a function or method.
+type FuncSig struct {
+	Name   string
+	Class  string // empty for top-level functions
+	Params []Type
+	Result Type
+	Decl   *ast.FuncDecl
+}
+
+// QName returns "Class.Name" for methods and "Name" for functions.
+func (s *FuncSig) QName() string {
+	if s.Class != "" {
+		return s.Class + "." + s.Name
+	}
+	return s.Name
+}
+
+// Info carries the results of type checking.
+type Info struct {
+	// ExprTypes maps each expression node to its type.
+	ExprTypes map[ast.Expr]Type
+	// Uses maps each identifier expression to its resolved symbol.
+	Uses map[*ast.Ident]*Symbol
+	// Funcs maps qualified names ("f", "Class.m") to signatures.
+	Funcs map[string]*FuncSig
+	// Classes maps class names to their semantic types.
+	Classes map[string]*Class
+	// Globals maps global names to symbols.
+	Globals map[string]*Symbol
+}
+
+// TypeOf returns the checked type of e, or nil.
+func (in *Info) TypeOf(e ast.Expr) Type { return in.ExprTypes[e] }
+
+// Error is a semantic error with position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// ErrorList aggregates semantic errors.
+type ErrorList []*Error
+
+func (l ErrorList) Error() string {
+	var b strings.Builder
+	for i, e := range l {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(e.Error())
+	}
+	return b.String()
+}
+
+// Check type-checks prog and returns the collected semantic information.
+func Check(prog *ast.Program) (*Info, error) {
+	c := &checker{
+		info: &Info{
+			ExprTypes: make(map[ast.Expr]Type),
+			Uses:      make(map[*ast.Ident]*Symbol),
+			Funcs:     make(map[string]*FuncSig),
+			Classes:   make(map[string]*Class),
+			Globals:   make(map[string]*Symbol),
+		},
+	}
+	c.collect(prog)
+	c.checkBodies(prog)
+	if len(c.errors) > 0 {
+		return c.info, c.errors
+	}
+	return c.info, nil
+}
+
+// MustCheck panics on a check failure; for tests and embedded corpora.
+func MustCheck(prog *ast.Program) *Info {
+	info, err := Check(prog)
+	if err != nil {
+		panic(err)
+	}
+	return info
+}
+
+type checker struct {
+	info   *Info
+	errors ErrorList
+
+	// Current function context.
+	curClass  *Class
+	curSig    *FuncSig
+	scopes    []map[string]*Symbol
+	loopDepth int
+}
+
+func (c *checker) errorf(pos token.Pos, format string, args ...any) {
+	c.errors = append(c.errors, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+// resolveType converts a syntactic type to a semantic one.
+func (c *checker) resolveType(t ast.Type) Type {
+	switch t := t.(type) {
+	case *ast.BasicType:
+		switch t.Kind {
+		case ast.Int:
+			return IntType
+		case ast.Float:
+			return FloatType
+		case ast.Bool:
+			return BoolType
+		case ast.String:
+			return StringType
+		case ast.Void:
+			return VoidType
+		}
+	case *ast.ArrayType:
+		return &Array{Elem: c.resolveType(t.Elem)}
+	case *ast.ClassType:
+		if cl, ok := c.info.Classes[t.Name]; ok {
+			return cl
+		}
+		c.errorf(t.Pos(), "undefined class %s", t.Name)
+		return IntType
+	}
+	return IntType
+}
+
+func (c *checker) collect(prog *ast.Program) {
+	for _, cl := range prog.Classes {
+		if _, dup := c.info.Classes[cl.Name]; dup {
+			c.errorf(cl.Pos(), "class %s redeclared", cl.Name)
+			continue
+		}
+		c.info.Classes[cl.Name] = &Class{Name: cl.Name, Decl: cl}
+	}
+	for _, g := range prog.Globals {
+		if _, dup := c.info.Globals[g.Name]; dup {
+			c.errorf(g.Pos(), "global %s redeclared", g.Name)
+			continue
+		}
+		c.info.Globals[g.Name] = &Symbol{Name: g.Name, Kind: SymGlobal, Type: c.resolveType(g.Type)}
+	}
+	for _, f := range prog.Funcs {
+		c.collectFunc(f, "")
+	}
+	for _, cl := range prog.Classes {
+		for _, m := range cl.Methods {
+			c.collectFunc(m, cl.Name)
+		}
+	}
+}
+
+func (c *checker) collectFunc(f *ast.FuncDecl, class string) {
+	sig := &FuncSig{Name: f.Name, Class: class, Result: c.resolveType(f.Result), Decl: f}
+	for _, p := range f.Params {
+		sig.Params = append(sig.Params, c.resolveType(p.Type))
+	}
+	qn := sig.QName()
+	if _, dup := c.info.Funcs[qn]; dup {
+		c.errorf(f.Pos(), "%s redeclared", qn)
+		return
+	}
+	c.info.Funcs[qn] = sig
+}
+
+func (c *checker) checkBodies(prog *ast.Program) {
+	for _, g := range prog.Globals {
+		if g.Init != nil {
+			t := c.exprNoScope(g.Init)
+			gt := c.info.Globals[g.Name].Type
+			if !assignable(gt, t) {
+				c.errorf(g.Pos(), "cannot initialize global %s (%s) with %s", g.Name, gt, t)
+			}
+		}
+	}
+	for _, f := range prog.Funcs {
+		c.checkFunc(f, nil)
+	}
+	for _, cl := range prog.Classes {
+		ct := c.info.Classes[cl.Name]
+		seen := map[string]bool{}
+		for _, fd := range cl.Fields {
+			if seen[fd.Name] {
+				c.errorf(fd.Pos(), "field %s redeclared in class %s", fd.Name, cl.Name)
+			}
+			seen[fd.Name] = true
+		}
+		for _, m := range cl.Methods {
+			c.checkFunc(m, ct)
+		}
+	}
+}
+
+// exprNoScope checks an expression outside any function (global initializer).
+func (c *checker) exprNoScope(e ast.Expr) Type {
+	c.scopes = []map[string]*Symbol{{}}
+	t := c.expr(e)
+	c.scopes = nil
+	return t
+}
+
+func (c *checker) checkFunc(f *ast.FuncDecl, class *Class) {
+	c.curClass = class
+	key := f.Name
+	if class != nil {
+		key = class.Name + "." + f.Name
+	}
+	c.curSig = c.info.Funcs[key]
+	if c.curSig == nil {
+		return // duplicate; already reported
+	}
+	c.scopes = []map[string]*Symbol{{}}
+	for i, p := range f.Params {
+		sym := &Symbol{Name: p.Name, Kind: SymParam, Type: c.curSig.Params[i]}
+		if _, dup := c.scopes[0][p.Name]; dup {
+			c.errorf(p.NPos, "parameter %s redeclared", p.Name)
+		}
+		c.scopes[0][p.Name] = sym
+	}
+	c.block(f.Body)
+	c.scopes = nil
+	c.curSig = nil
+	c.curClass = nil
+}
+
+func (c *checker) pushScope() { c.scopes = append(c.scopes, map[string]*Symbol{}) }
+func (c *checker) popScope()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) declare(pos token.Pos, sym *Symbol) {
+	top := c.scopes[len(c.scopes)-1]
+	if _, dup := top[sym.Name]; dup {
+		c.errorf(pos, "%s %s redeclared in this scope", sym.Kind, sym.Name)
+	}
+	top[sym.Name] = sym
+}
+
+func (c *checker) lookup(name string) *Symbol {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if s, ok := c.scopes[i][name]; ok {
+			return s
+		}
+	}
+	if c.curClass != nil {
+		for _, fd := range c.curClass.Decl.Fields {
+			if fd.Name == name {
+				return &Symbol{Name: name, Kind: SymField, Type: c.resolveType(fd.Type), Class: c.curClass.Name}
+			}
+		}
+	}
+	if g, ok := c.info.Globals[name]; ok {
+		return g
+	}
+	return nil
+}
+
+func (c *checker) block(b *ast.Block) {
+	c.pushScope()
+	for _, s := range b.Stmts {
+		c.stmt(s)
+	}
+	c.popScope()
+}
+
+func (c *checker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.VarDecl:
+		t := c.resolveType(s.Type)
+		if s.Init != nil {
+			it := c.expr(s.Init)
+			if !assignable(t, it) {
+				c.errorf(s.Pos(), "cannot initialize %s (%s) with %s", s.Name, t, it)
+			}
+		}
+		c.declare(s.NPos, &Symbol{Name: s.Name, Kind: SymLocal, Type: t})
+	case *ast.Assign:
+		lt := c.lvalue(s.Lhs)
+		rt := c.expr(s.Rhs)
+		if lt != nil && rt != nil && !assignable(lt, rt) {
+			c.errorf(s.Pos(), "cannot assign %s to %s", rt, lt)
+		}
+	case *ast.If:
+		ct := c.expr(s.Cond)
+		if ct != nil && !ct.Equal(BoolType) {
+			c.errorf(s.Cond.Pos(), "if condition must be bool, got %s", ct)
+		}
+		c.block(s.Then)
+		if s.Else != nil {
+			c.block(s.Else)
+		}
+	case *ast.While:
+		ct := c.expr(s.Cond)
+		if ct != nil && !ct.Equal(BoolType) {
+			c.errorf(s.Cond.Pos(), "while condition must be bool, got %s", ct)
+		}
+		c.loopDepth++
+		c.block(s.Body)
+		c.loopDepth--
+	case *ast.For:
+		c.pushScope()
+		if s.Init != nil {
+			c.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			ct := c.expr(s.Cond)
+			if ct != nil && !ct.Equal(BoolType) {
+				c.errorf(s.Cond.Pos(), "for condition must be bool, got %s", ct)
+			}
+		}
+		if s.Post != nil {
+			c.stmt(s.Post)
+		}
+		c.loopDepth++
+		c.block(s.Body)
+		c.loopDepth--
+		c.popScope()
+	case *ast.Return:
+		var got Type = VoidType
+		if s.Value != nil {
+			got = c.expr(s.Value)
+		}
+		if c.curSig != nil && got != nil {
+			if s.Value == nil {
+				if !c.curSig.Result.Equal(VoidType) {
+					c.errorf(s.Pos(), "missing return value (want %s)", c.curSig.Result)
+				}
+			} else if !assignable(c.curSig.Result, got) {
+				c.errorf(s.Pos(), "cannot return %s (want %s)", got, c.curSig.Result)
+			}
+		}
+	case *ast.Break, *ast.Continue:
+		if c.loopDepth == 0 {
+			c.errorf(s.Pos(), "break/continue outside loop")
+		}
+	case *ast.Print:
+		for _, a := range s.Args {
+			c.expr(a)
+		}
+	case *ast.ExprStmt:
+		switch s.X.(type) {
+		case *ast.Call, *ast.MethodCall:
+			c.expr(s.X)
+		default:
+			c.errorf(s.Pos(), "expression statement must be a call")
+			c.expr(s.X)
+		}
+	case *ast.Block:
+		c.block(s)
+	}
+}
+
+// lvalue checks an assignable expression and returns its type.
+func (c *checker) lvalue(e ast.Expr) Type {
+	switch e.(type) {
+	case *ast.Ident, *ast.Index, *ast.FieldAccess:
+		return c.expr(e)
+	}
+	c.errorf(e.Pos(), "cannot assign to this expression")
+	c.expr(e)
+	return nil
+}
+
+func (c *checker) expr(e ast.Expr) Type {
+	t := c.exprInner(e)
+	if t != nil {
+		c.info.ExprTypes[e] = t
+	}
+	return t
+}
+
+func (c *checker) exprInner(e ast.Expr) Type {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return IntType
+	case *ast.FloatLit:
+		return FloatType
+	case *ast.BoolLit:
+		return BoolType
+	case *ast.StringLit:
+		return StringType
+	case *ast.NullLit:
+		return NullType
+	case *ast.Ident:
+		sym := c.lookup(e.Name)
+		if sym == nil {
+			c.errorf(e.Pos(), "undefined variable %s", e.Name)
+			return IntType
+		}
+		c.info.Uses[e] = sym
+		return sym.Type
+	case *ast.Unary:
+		xt := c.expr(e.X)
+		switch e.Op {
+		case token.MINUS:
+			if !IsNumeric(xt) {
+				c.errorf(e.Pos(), "operator - requires numeric operand, got %s", xt)
+			}
+			return xt
+		case token.NOT:
+			if !xt.Equal(BoolType) {
+				c.errorf(e.Pos(), "operator ! requires bool operand, got %s", xt)
+			}
+			return BoolType
+		}
+		return xt
+	case *ast.Binary:
+		return c.binary(e)
+	case *ast.Index:
+		at := c.expr(e.Arr)
+		it := c.expr(e.I)
+		if it != nil && !it.Equal(IntType) {
+			c.errorf(e.I.Pos(), "array index must be int, got %s", it)
+		}
+		if arr, ok := at.(*Array); ok {
+			return arr.Elem
+		}
+		c.errorf(e.Pos(), "indexing non-array type %s", at)
+		return IntType
+	case *ast.FieldAccess:
+		ot := c.expr(e.Obj)
+		cl, ok := ot.(*Class)
+		if !ok {
+			c.errorf(e.Pos(), "field access on non-class type %s", ot)
+			return IntType
+		}
+		for _, fd := range cl.Decl.Fields {
+			if fd.Name == e.Name {
+				return c.resolveType(fd.Type)
+			}
+		}
+		c.errorf(e.NPos, "class %s has no field %s", cl.Name, e.Name)
+		return IntType
+	case *ast.Call:
+		// A bare call inside a method resolves to a sibling method first
+		// (class scope shadows the global function namespace), then to a
+		// top-level function.
+		if c.curClass != nil {
+			if msig, ok := c.info.Funcs[c.curClass.Name+"."+e.Name]; ok {
+				return c.callSig(e.Pos(), msig, e.Args)
+			}
+		}
+		sig, ok := c.info.Funcs[e.Name]
+		if !ok {
+			c.errorf(e.Pos(), "undefined function %s", e.Name)
+			for _, a := range e.Args {
+				c.expr(a)
+			}
+			return IntType
+		}
+		return c.callSig(e.Pos(), sig, e.Args)
+	case *ast.MethodCall:
+		rt := c.expr(e.Recv)
+		cl, ok := rt.(*Class)
+		if !ok {
+			c.errorf(e.Pos(), "method call on non-class type %s", rt)
+			for _, a := range e.Args {
+				c.expr(a)
+			}
+			return IntType
+		}
+		sig, ok := c.info.Funcs[cl.Name+"."+e.Name]
+		if !ok {
+			c.errorf(e.NPos, "class %s has no method %s", cl.Name, e.Name)
+			for _, a := range e.Args {
+				c.expr(a)
+			}
+			return IntType
+		}
+		return c.callSig(e.Pos(), sig, e.Args)
+	case *ast.NewObject:
+		cl, ok := c.info.Classes[e.Name]
+		if !ok {
+			c.errorf(e.Pos(), "undefined class %s", e.Name)
+			return IntType
+		}
+		return cl
+	case *ast.NewArray:
+		st := c.expr(e.Size)
+		if st != nil && !st.Equal(IntType) {
+			c.errorf(e.Size.Pos(), "array size must be int, got %s", st)
+		}
+		return &Array{Elem: c.resolveType(e.Elem)}
+	case *ast.LenExpr:
+		at := c.expr(e.Arr)
+		if _, ok := at.(*Array); !ok {
+			if !at.Equal(StringType) {
+				c.errorf(e.Pos(), "len requires array or string, got %s", at)
+			}
+		}
+		return IntType
+	case *ast.Convert:
+		xt := c.expr(e.X)
+		if xt != nil && !IsNumeric(xt) {
+			c.errorf(e.Pos(), "cannot convert %s to %s", xt, e.To)
+		}
+		if e.To == ast.Float {
+			return FloatType
+		}
+		return IntType
+	case *ast.Cond:
+		ct := c.expr(e.C)
+		if ct != nil && !ct.Equal(BoolType) {
+			c.errorf(e.C.Pos(), "condition must be bool, got %s", ct)
+		}
+		tt := c.expr(e.T)
+		ft := c.expr(e.F)
+		if tt != nil && ft != nil && !tt.Equal(ft) {
+			c.errorf(e.Pos(), "mismatched conditional arms: %s vs %s", tt, ft)
+		}
+		return tt
+	}
+	return IntType
+}
+
+func (c *checker) callSig(pos token.Pos, sig *FuncSig, args []ast.Expr) Type {
+	if len(args) != len(sig.Params) {
+		c.errorf(pos, "%s expects %d arguments, got %d", sig.QName(), len(sig.Params), len(args))
+	}
+	for i, a := range args {
+		at := c.expr(a)
+		if i < len(sig.Params) && at != nil && !assignable(sig.Params[i], at) {
+			c.errorf(a.Pos(), "argument %d of %s: cannot use %s as %s", i+1, sig.QName(), at, sig.Params[i])
+		}
+	}
+	return sig.Result
+}
+
+func (c *checker) binary(e *ast.Binary) Type {
+	xt := c.expr(e.X)
+	yt := c.expr(e.Y)
+	if xt == nil || yt == nil {
+		return IntType
+	}
+	switch e.Op {
+	case token.PLUS:
+		if xt.Equal(StringType) && yt.Equal(StringType) {
+			return StringType
+		}
+		fallthrough
+	case token.MINUS, token.STAR, token.SLASH:
+		if !IsNumeric(xt) || !IsNumeric(yt) {
+			c.errorf(e.Pos(), "operator %s requires numeric operands, got %s and %s", e.Op, xt, yt)
+			return IntType
+		}
+		if !xt.Equal(yt) {
+			c.errorf(e.Pos(), "mismatched operands for %s: %s and %s", e.Op, xt, yt)
+		}
+		return xt
+	case token.PERCENT:
+		if !xt.Equal(IntType) || !yt.Equal(IntType) {
+			c.errorf(e.Pos(), "operator %% requires int operands, got %s and %s", xt, yt)
+		}
+		return IntType
+	case token.EQ, token.NEQ:
+		if !comparable(xt, yt) {
+			c.errorf(e.Pos(), "cannot compare %s and %s", xt, yt)
+		}
+		return BoolType
+	case token.LT, token.LEQ, token.GT, token.GEQ:
+		if !IsNumeric(xt) || !IsNumeric(yt) || !xt.Equal(yt) {
+			if !(xt.Equal(StringType) && yt.Equal(StringType)) {
+				c.errorf(e.Pos(), "operator %s requires matching numeric operands, got %s and %s", e.Op, xt, yt)
+			}
+		}
+		return BoolType
+	case token.AND, token.OR:
+		if !xt.Equal(BoolType) || !yt.Equal(BoolType) {
+			c.errorf(e.Pos(), "operator %s requires bool operands, got %s and %s", e.Op, xt, yt)
+		}
+		return BoolType
+	}
+	c.errorf(e.Pos(), "unknown binary operator %s", e.Op)
+	return IntType
+}
+
+func assignable(dst, src Type) bool {
+	if dst.Equal(src) {
+		return true
+	}
+	if _, isNull := src.(*Null); isNull && IsReference(dst) {
+		return true
+	}
+	return false
+}
+
+func comparable(a, b Type) bool {
+	if a.Equal(b) {
+		return true
+	}
+	if IsReference(a) && IsReference(b) {
+		_, an := a.(*Null)
+		_, bn := b.(*Null)
+		return an || bn || a.Equal(b)
+	}
+	return false
+}

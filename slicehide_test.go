@@ -1,0 +1,88 @@
+package slicehide
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+const facadeSrc = `
+func f(x: int, y: int): int {
+    var a: int = x * 3 + y;
+    var s: int = 0;
+    var i: int = 0;
+    while (i < a) {
+        s = s + i;
+        i = i + 1;
+    }
+    return s;
+}
+func main() { print(f(2, 3)); }
+`
+
+func TestFacadePipeline(t *testing.T) {
+	prog, err := Compile(facadeSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Split(prog, []Spec{{Func: "f", Seed: "a"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := RunOriginal(prog, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RunSplit(res, nil, 1_000_000)
+	if out.Err != nil {
+		t.Fatal(out.Err)
+	}
+	if out.Output != want {
+		t.Fatalf("split output %q, want %q", out.Output, want)
+	}
+	reports := AnalyzeILPs(res.Splits["f"])
+	if len(reports) == 0 {
+		t.Fatal("no ILP reports")
+	}
+}
+
+func TestFacadeLatencyWrapper(t *testing.T) {
+	prog, err := Compile(facadeSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Split(prog, []Spec{{Func: "f"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RunSplit(res, WithLatency(time.Microsecond), 1_000_000)
+	if out.Err != nil {
+		t.Fatal(out.Err)
+	}
+	if out.Interactions == 0 {
+		t.Error("no interactions counted")
+	}
+}
+
+func TestFacadeSplitWithOptions(t *testing.T) {
+	prog, err := Compile(facadeSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SplitWith(prog, []Spec{{Func: "f", Seed: "a"}}, Policy{}, Options{NoControlFlowHiding: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fr := range res.Splits["f"].Hidden.Frags {
+		if fr.HidesFlow {
+			t.Error("control-flow hiding not disabled")
+		}
+	}
+}
+
+func TestFacadeCompileError(t *testing.T) {
+	_, err := Compile("func f( {")
+	if err == nil || !strings.Contains(err.Error(), "expected") {
+		t.Fatalf("expected syntax error, got %v", err)
+	}
+}
