@@ -1,0 +1,28 @@
+# Developer/CI entry points. `make check` is the gate: vet, build, and the
+# full test suite (including the hrt chaos tests) under the race detector.
+
+GO ?= go
+
+.PHONY: check vet build test race bench fuzz
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Run the wire-codec fuzzers for a short budget each.
+fuzz:
+	$(GO) test ./internal/hrt -run=^$$ -fuzz=FuzzReadRequest -fuzztime=10s
+	$(GO) test ./internal/hrt -run=^$$ -fuzz=FuzzReadResponse -fuzztime=10s

@@ -20,6 +20,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"slicehide/internal/core"
 	"slicehide/internal/hrt"
@@ -27,17 +28,24 @@ import (
 	"slicehide/internal/slicer"
 )
 
+type serverOpts struct {
+	timeout  time.Duration
+	maxConns int
+}
+
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7070", "address to serve hidden components on")
 	split := flag.String("split", "", "comma-separated f[:seed] functions whose hidden components to host (required)")
+	timeout := flag.Duration("timeout", 0, "per-connection read/write deadline (0 disables; retry-capable clients reconnect after an idle disconnect)")
+	maxConns := flag.Int("max-conns", 0, "maximum concurrently served connections (0 = unlimited)")
 	flag.Parse()
-	if err := run(*listen, *split, flag.Args()); err != nil {
+	if err := run(*listen, *split, flag.Args(), serverOpts{timeout: *timeout, maxConns: *maxConns}); err != nil {
 		fmt.Fprintln(os.Stderr, "hiddend:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, split string, args []string) error {
+func run(listen, split string, args []string, opts serverOpts) error {
 	if split == "" || len(args) != 1 {
 		return fmt.Errorf("usage: hiddend -listen addr -split f[:seed],... program.mj")
 	}
@@ -58,7 +66,12 @@ func run(listen, split string, args []string) error {
 	if err != nil {
 		return err
 	}
-	server := &hrt.TCPServer{Server: hrt.NewServer(hrt.NewRegistry(res))}
+	server := &hrt.TCPServer{
+		Server:       hrt.NewServer(hrt.NewRegistry(res)),
+		ReadTimeout:  opts.timeout,
+		WriteTimeout: opts.timeout,
+		MaxConns:     opts.maxConns,
+	}
 	addr, err := server.ListenAndServe(listen)
 	if err != nil {
 		return err

@@ -11,7 +11,7 @@
 //	slicehide analyze <file.mj>
 //	slicehide split   -func f [-seed v] [-no-cfh] <file.mj>
 //	slicehide ilp     -func f [-seed v] <file.mj>
-//	slicehide run     [-split f[:v],g[:v],...] [-rtt d] [-server addr] <file.mj>
+//	slicehide run     [-split f[:v],g[:v],...] [-rtt d] [-server addr] [-timeout d] [-retries n] <file.mj>
 //	slicehide attack  -func f [-seed v] [-calls n] [-window k] <file.mj>
 package main
 
@@ -243,6 +243,8 @@ func cmdRun(args []string) error {
 	rtt := fs.Duration("rtt", 0, "simulated round-trip latency")
 	server := fs.String("server", "", "address of a remote hiddend (default: in-process)")
 	stats := fs.Bool("stats", false, "print interaction statistics")
+	timeout := fs.Duration("timeout", 5*time.Second, "per-attempt I/O deadline on the hiddend link")
+	retries := fs.Int("retries", 8, "max retries per round trip on the hiddend link (-1 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -262,9 +264,15 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
+	counters := &hrt.Counters{}
 	var t hrt.Transport
 	if *server != "" {
-		tr, err := hrt.DialTCP(*server)
+		tr, err := hrt.DialReconnect(hrt.ReconnectConfig{
+			Addr:     *server,
+			Timeout:  *timeout,
+			Policy:   hrt.RetryPolicy{Retries: *retries},
+			Counters: counters,
+		})
 		if err != nil {
 			return err
 		}
@@ -276,7 +284,6 @@ func cmdRun(args []string) error {
 	if *rtt > 0 {
 		t = &hrt.Latency{Inner: t, RTT: *rtt}
 	}
-	counters := &hrt.Counters{}
 	t = &hrt.Counting{Inner: t, Counters: counters}
 	in := interp.New(res.Open, interp.Options{
 		Out:        os.Stdout,
@@ -288,8 +295,10 @@ func cmdRun(args []string) error {
 		return err
 	}
 	if *stats {
-		fmt.Fprintf(os.Stderr, "interactions=%d values-sent=%d activations=%d elapsed=%s\n",
+		fmt.Fprintf(os.Stderr, "interactions=%d values-sent=%d activations=%d bytes-sent=%d bytes-recv=%d retries=%d reconnects=%d elapsed=%s\n",
 			counters.Interactions(), counters.ValuesSent.Load(), counters.Enters.Load(),
+			counters.BytesSent.Load(), counters.BytesRecv.Load(),
+			counters.Retries.Load(), counters.Reconnects.Load(),
 			time.Since(start).Round(time.Millisecond))
 	}
 	return nil

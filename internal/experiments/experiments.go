@@ -221,10 +221,13 @@ type Table5Row struct {
 	Benchmark    string
 	Input        string
 	Interactions int64
-	Before       time.Duration
-	After        time.Duration
-	PctIncrease  float64
-	Excluded     bool
+	// WireBytes is the logical open↔hidden wire volume (requests plus
+	// responses) of the split run.
+	WireBytes   int64
+	Before      time.Duration
+	After       time.Duration
+	PctIncrease float64
+	Excluded    bool
 }
 
 // Table5 runs every kernel unsplit and split (over the latency transport)
@@ -288,6 +291,7 @@ func runKernelOnce(k corpus.Kernel, label string, size int, cfg Config) (Table5R
 		Benchmark:    k.Name,
 		Input:        label,
 		Interactions: out.Interactions,
+		WireBytes:    out.BytesSent + out.BytesRecv,
 		Before:       before,
 		After:        after,
 		PctIncrease:  pct,
@@ -297,13 +301,13 @@ func runKernelOnce(k corpus.Kernel, label string, size int, cfg Config) (Table5R
 // RenderTable5 formats Table 5.
 func RenderTable5(rows []Table5Row) string {
 	t := report.New("Table 5. Runtime overhead caused by software splitting.",
-		"benchmark", "input", "interactions", "before", "after", "% increase")
+		"benchmark", "input", "interactions", "wire bytes", "before", "after", "% increase")
 	for _, r := range rows {
 		if r.Excluded {
-			t.Row(r.Benchmark, r.Input, "-", "-", "-", "-")
+			t.Row(r.Benchmark, r.Input, "-", "-", "-", "-", "-")
 			continue
 		}
-		t.Row(r.Benchmark, r.Input, r.Interactions,
+		t.Row(r.Benchmark, r.Input, r.Interactions, r.WireBytes,
 			r.Before.Round(time.Microsecond).String(),
 			r.After.Round(time.Microsecond).String(),
 			fmt.Sprintf("%.0f%%", r.PctIncrease))

@@ -88,6 +88,9 @@ func TestTable5Shape(t *testing.T) {
 		if r.Interactions == 0 {
 			t.Errorf("%s/%s: no interactions", r.Benchmark, r.Input)
 		}
+		if r.WireBytes == 0 {
+			t.Errorf("%s/%s: no wire volume accounted", r.Benchmark, r.Input)
+		}
 		if r.After <= 0 || r.Before <= 0 {
 			t.Errorf("%s/%s: missing timings", r.Benchmark, r.Input)
 		}

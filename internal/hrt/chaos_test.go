@@ -1,0 +1,359 @@
+package hrt
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"slicehide/internal/core"
+	"slicehide/internal/corpus"
+	"slicehide/internal/interp"
+	"slicehide/internal/ir"
+	"slicehide/internal/slicer"
+)
+
+const chaosMaxSteps = 100_000_000
+
+// chaosProgram is one corpus split program the chaos tests drive through
+// injected faults.
+type chaosProgram struct {
+	name string
+	res  *core.Result
+}
+
+// chaosCorpus compiles and splits every (non-excluded) workload kernel at
+// a test-friendly size, plus a call-heavy local program so faults are
+// guaranteed to fire even if kernels checkpoint rarely.
+func chaosCorpus(t *testing.T) []chaosProgram {
+	t.Helper()
+	var progs []chaosProgram
+	for _, k := range corpus.Kernels() {
+		if k.Excluded {
+			continue
+		}
+		size := k.Inputs[0].Size / 400
+		if size < 10 {
+			size = 10
+		}
+		prog, err := ir.Compile(k.Source(size))
+		if err != nil {
+			t.Fatalf("%s: compile: %v", k.Name, err)
+		}
+		res, err := core.SplitProgram(prog, k.Split, slicer.Policy{})
+		if err != nil {
+			t.Fatalf("%s: split: %v", k.Name, err)
+		}
+		progs = append(progs, chaosProgram{name: k.Name, res: res})
+	}
+	hot := split(t, `
+func f(x: int, y: int): int {
+    var a: int = x * 3 + y;
+    var s: int = 0;
+    var i: int = 0;
+    while (i < a) {
+        s = s + i * a;
+        i = i + 1;
+    }
+    return s;
+}
+func main() {
+    var total: int = 0;
+    for (var n: int = 0; n < 40; n++) {
+        total = total + f(n % 7, n % 5);
+    }
+    print(total);
+}`, core.Spec{Func: "f", Seed: "a"})
+	progs = append(progs, chaosProgram{name: "hotloop", res: hot})
+	return progs
+}
+
+// TestChaosCorpusOverFaultyTCP is the acceptance test for the
+// fault-tolerant link: every corpus split program runs over real TCP
+// through a fault-injecting proxy that severs the connection on a
+// schedule and randomly drops, delays, and corrupts frames — and still
+// produces output byte-identical to the unsplit interpreter run, with
+// hidden state mutated exactly once per logical call (server-side
+// execution counters equal client-side logical counters).
+func TestChaosCorpusOverFaultyTCP(t *testing.T) {
+	var totalInjected, totalRetries, totalReconnects int64
+	for i, cp := range chaosCorpus(t) {
+		cp := cp
+		seed := int64(7 + i)
+		t.Run(cp.name, func(t *testing.T) {
+			want, _, err := RunOriginal(cp.res.Orig, chaosMaxSteps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			server := NewServer(NewRegistry(cp.res))
+			ts := &TCPServer{Server: server, ReadTimeout: 5 * time.Second, WriteTimeout: 5 * time.Second}
+			addr, err := ts.ListenAndServe("127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ts.Close()
+
+			proxy := &FaultProxy{
+				Backend: addr.String(),
+				Script: ComposeScripts(
+					SeverEvery(17),
+					SeededScript(seed, FaultRates{
+						DropRequest:  0.004,
+						DropResponse: 0.004,
+						Delay:        0.01,
+						Corrupt:      0.003,
+					}),
+				),
+				Delay: 500 * time.Microsecond,
+			}
+			paddr, err := proxy.Start("127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer proxy.Close()
+
+			counters := &Counters{}
+			tr, err := DialReconnect(ReconnectConfig{
+				Addr:    paddr.String(),
+				Timeout: 250 * time.Millisecond,
+				Policy: RetryPolicy{
+					Retries:     40,
+					BackoffBase: time.Millisecond,
+					BackoffMax:  8 * time.Millisecond,
+					JitterSeed:  seed,
+				},
+				Counters: counters,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer tr.Close()
+
+			var b strings.Builder
+			in := interp.New(cp.res.Open, interp.Options{
+				Out:        &b,
+				MaxSteps:   chaosMaxSteps,
+				Hidden:     &Session{T: &Counting{Inner: tr, Counters: counters}},
+				SplitFuncs: cp.res.SplitSet(),
+			})
+			if err := in.Run(); err != nil {
+				t.Fatalf("split run under faults: %v", err)
+			}
+			if b.String() != want {
+				t.Fatalf("output diverged under faults:\n got %q\nwant %q", b.String(), want)
+			}
+			// Exactly-once: the server must have executed each logical
+			// operation precisely one time, regardless of how many
+			// retransmissions the faults forced.
+			stats := server.Stats()
+			if stats.Calls != counters.Calls.Load() ||
+				stats.Enters != counters.Enters.Load() ||
+				stats.Exits != counters.Exits.Load() {
+				t.Errorf("hidden state not mutated exactly once: server %+v, client calls=%d enters=%d exits=%d (retries=%d)",
+					stats, counters.Calls.Load(), counters.Enters.Load(), counters.Exits.Load(), counters.Retries.Load())
+			}
+			totalInjected += proxy.TotalInjected()
+			totalRetries += counters.Retries.Load()
+			totalReconnects += counters.Reconnects.Load()
+		})
+	}
+	if totalInjected == 0 {
+		t.Error("fault injector never fired; the chaos test is vacuous")
+	}
+	if totalRetries == 0 || totalReconnects == 0 {
+		t.Errorf("expected fault recoveries across the corpus: retries=%d reconnects=%d", totalRetries, totalReconnects)
+	}
+}
+
+// TestExactlyOnceInProcess exercises the Retry/Dedup pair without a
+// network: an in-process fault transport loses responses after execution
+// (the replay hazard) and the replay cache must absorb every retry.
+func TestExactlyOnceInProcess(t *testing.T) {
+	res := split(t, testSrc, core.Spec{Func: "f", Seed: "a"})
+	want, _, err := RunOriginal(res.Orig, chaosMaxSteps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := NewServer(NewRegistry(res))
+	dedup := &Dedup{Inner: &Local{Server: server}}
+	fault := &FaultTransport{
+		Inner: dedup,
+		Script: ComposeScripts(
+			func(trip int) FaultKind {
+				if trip%5 == 4 {
+					return FaultDropResponse
+				}
+				return FaultNone
+			},
+			SeededScript(11, FaultRates{DropRequest: 0.1, Sever: 0.05}),
+		),
+	}
+	counters := &Counters{}
+	retry := &Retry{
+		Inner:    fault,
+		Policy:   RetryPolicy{Retries: 20, Sleep: func(time.Duration) {}},
+		Counters: counters,
+	}
+	var b strings.Builder
+	in := interp.New(res.Open, interp.Options{
+		Out:        &b,
+		MaxSteps:   chaosMaxSteps,
+		Hidden:     &Session{T: &Counting{Inner: retry, Counters: counters}},
+		SplitFuncs: res.SplitSet(),
+	})
+	if err := in.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != want {
+		t.Fatalf("output %q, want %q", b.String(), want)
+	}
+	if fault.Injected.Load() == 0 || counters.Retries.Load() == 0 {
+		t.Fatalf("faults did not fire: injected=%d retries=%d", fault.Injected.Load(), counters.Retries.Load())
+	}
+	stats := server.Stats()
+	if stats.Calls != counters.Calls.Load() || stats.Enters != counters.Enters.Load() || stats.Exits != counters.Exits.Load() {
+		t.Errorf("exactly-once violated: server %+v, client calls=%d enters=%d exits=%d",
+			stats, counters.Calls.Load(), counters.Enters.Load(), counters.Exits.Load())
+	}
+	if dedup.Replays.Load() == 0 {
+		t.Error("replay cache never answered a retry")
+	}
+}
+
+// TestDedupReplaySemantics pins the cache behavior directly: same seq is
+// answered from cache, older seqs are rejected as stale, unstamped
+// requests bypass the cache.
+func TestDedupReplaySemantics(t *testing.T) {
+	res := split(t, testSrc, core.Spec{Func: "f", Seed: "a"})
+	server := NewServer(NewRegistry(res))
+	dedup := &Dedup{Inner: &Local{Server: server}}
+
+	req := Request{Op: OpEnter, Fn: "f", Session: 99, Seq: 1}
+	first, err := dedup.RoundTrip(req)
+	if err != nil || first.Err != "" {
+		t.Fatalf("enter: %v %q", err, first.Err)
+	}
+	replay, err := dedup.RoundTrip(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replay.Inst != first.Inst {
+		t.Errorf("replay created a second activation: %d vs %d", replay.Inst, first.Inst)
+	}
+	if server.Stats().Enters != 1 {
+		t.Errorf("server executed Enter %d times", server.Stats().Enters)
+	}
+	if dedup.Replays.Load() != 1 {
+		t.Errorf("replays=%d", dedup.Replays.Load())
+	}
+
+	if _, err := dedup.RoundTrip(Request{Op: OpExit, Fn: "f", Inst: first.Inst, Session: 99, Seq: 2}); err != nil {
+		t.Fatal(err)
+	}
+	stale, err := dedup.RoundTrip(Request{Op: OpEnter, Fn: "f", Session: 99, Seq: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stale.Err == "" {
+		t.Error("stale sequence must be rejected")
+	}
+
+	// Unstamped requests bypass the cache entirely.
+	before := server.Stats().Enters
+	for i := 0; i < 2; i++ {
+		if _, err := dedup.RoundTrip(Request{Op: OpEnter, Fn: "f"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := server.Stats().Enters - before; got != 2 {
+		t.Errorf("unstamped requests deduplicated: %d executions", got)
+	}
+}
+
+// TestDedupEviction bounds the replay cache.
+func TestDedupEviction(t *testing.T) {
+	res := split(t, testSrc, core.Spec{Func: "f", Seed: "a"})
+	dedup := &Dedup{Inner: &Local{Server: NewServer(NewRegistry(res))}, MaxSessions: 4}
+	for s := uint64(1); s <= 10; s++ {
+		if _, err := dedup.RoundTrip(Request{Op: OpEnter, Fn: "f", Session: s, Seq: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := dedup.Sessions(); got > 4 {
+		t.Errorf("cache holds %d sessions, cap is 4", got)
+	}
+}
+
+// TestRetryTerminalErrors pins the error classification: server-reported
+// errors surface through Response.Err without retries, and Terminal
+// transport errors stop the retry loop immediately.
+func TestRetryTerminalErrors(t *testing.T) {
+	attempts := 0
+	tr := &Retry{
+		Inner: roundTripFunc(func(req Request) (Response, error) {
+			attempts++
+			return Response{}, Terminal(fmt.Errorf("bad config"))
+		}),
+		Policy: RetryPolicy{Retries: 5, Sleep: func(time.Duration) {}},
+	}
+	if _, err := tr.RoundTrip(Request{Op: OpEnter, Fn: "f"}); err == nil {
+		t.Fatal("expected error")
+	}
+	if attempts != 1 {
+		t.Errorf("terminal error retried %d times", attempts-1)
+	}
+
+	attempts = 0
+	tr = &Retry{
+		Inner: roundTripFunc(func(req Request) (Response, error) {
+			attempts++
+			return Response{}, fmt.Errorf("flaky")
+		}),
+		Policy: RetryPolicy{Retries: 3, Sleep: func(time.Duration) {}},
+	}
+	if _, err := tr.RoundTrip(Request{Op: OpEnter, Fn: "f"}); err == nil {
+		t.Fatal("expected exhaustion error")
+	}
+	if attempts != 4 {
+		t.Errorf("retryable error attempted %d times, want 4", attempts)
+	}
+}
+
+// TestRetryStampsRequests verifies the (session, seq) stamping contract:
+// fresh seq per logical round trip, identical stamp across retries.
+func TestRetryStampsRequests(t *testing.T) {
+	var stamps []Request
+	fail := true
+	tr := &Retry{
+		Session: 42,
+		Inner: roundTripFunc(func(req Request) (Response, error) {
+			stamps = append(stamps, req)
+			if fail {
+				fail = false
+				return Response{}, fmt.Errorf("drop")
+			}
+			return Response{}, nil
+		}),
+		Policy: RetryPolicy{Retries: 2, Sleep: func(time.Duration) {}},
+	}
+	if _, err := tr.RoundTrip(Request{Op: OpEnter, Fn: "f"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.RoundTrip(Request{Op: OpExit, Fn: "f"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(stamps) != 3 {
+		t.Fatalf("attempts: %d", len(stamps))
+	}
+	if stamps[0].Session != 42 || stamps[0].Seq != 1 || stamps[1].Seq != 1 {
+		t.Errorf("retry changed the stamp: %+v %+v", stamps[0], stamps[1])
+	}
+	if stamps[2].Seq != 2 {
+		t.Errorf("second round trip seq = %d, want 2", stamps[2].Seq)
+	}
+}
+
+// roundTripFunc adapts a function to the Transport interface.
+type roundTripFunc func(Request) (Response, error)
+
+func (f roundTripFunc) RoundTrip(req Request) (Response, error) { return f(req) }

@@ -1,0 +1,124 @@
+package hrt
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Dedup is the server half of the exactly-once scheme. It caches the last
+// response per client session, keyed by the (session, seq) stamp a Retry
+// client puts on every request, and answers replays from the cache
+// instead of re-executing — so a retried Enter/Exit/Call mutates hidden
+// state exactly once no matter how many times a faulty link forced the
+// client to re-send it.
+//
+// Because the open component is sequential, one cached response per
+// session suffices: the client never sends seq+1 before it has the answer
+// to seq. A duplicate that arrives while the original is still executing
+// (a client whose deadline fired early) waits for that execution instead
+// of starting a second one.
+type Dedup struct {
+	Inner Transport
+	// MaxSessions caps the cache; the least recently used sessions are
+	// evicted beyond it. Default 1024.
+	MaxSessions int
+	// Replays counts requests answered from the cache.
+	Replays atomic.Int64
+
+	mu       sync.Mutex
+	sessions map[uint64]*dedupEntry
+	clock    uint64
+}
+
+// dedupEntry is one session's slot: the newest sequence number seen and
+// its response. done is closed once resp is valid; duplicates of an
+// in-flight request block on it rather than re-executing.
+type dedupEntry struct {
+	seq  uint64
+	resp Response
+	done chan struct{}
+	used uint64
+}
+
+const defaultMaxSessions = 1024
+
+// RoundTrip executes req exactly once per (session, seq), answering
+// replays from the cache. Unstamped requests (session 0) pass through.
+func (d *Dedup) RoundTrip(req Request) (Response, error) {
+	if req.Session == 0 {
+		return d.Inner.RoundTrip(req)
+	}
+	d.mu.Lock()
+	if d.sessions == nil {
+		d.sessions = make(map[uint64]*dedupEntry)
+	}
+	d.clock++
+	e := d.sessions[req.Session]
+	if e != nil {
+		e.used = d.clock
+		switch {
+		case req.Seq == e.seq:
+			done := e.done
+			d.mu.Unlock()
+			<-done // the close(done) below publishes e.resp
+			d.Replays.Add(1)
+			return e.resp, nil
+		case req.Seq < e.seq:
+			// A ghost duplicate from an abandoned connection; the client
+			// that sent it has already moved on.
+			d.mu.Unlock()
+			return Response{Err: fmt.Sprintf("hrt: stale request %d for session %d (newest %d)", req.Seq, req.Session, e.seq)}, nil
+		}
+	}
+	e = &dedupEntry{seq: req.Seq, done: make(chan struct{}), used: d.clock}
+	d.sessions[req.Session] = e
+	d.evictLocked()
+	d.mu.Unlock()
+
+	resp, err := d.Inner.RoundTrip(req)
+	if err != nil {
+		// Inner is in-process here; its errors are protocol violations,
+		// which are answers too — cache them so a replay gets the same
+		// verdict without re-executing.
+		resp = Response{Err: err.Error()}
+	}
+	e.resp = resp
+	close(e.done)
+	return resp, nil
+}
+
+// evictLocked drops the least recently used completed sessions while over
+// the cap. Caller holds d.mu.
+func (d *Dedup) evictLocked() {
+	max := d.MaxSessions
+	if max <= 0 {
+		max = defaultMaxSessions
+	}
+	for len(d.sessions) > max {
+		var victim uint64
+		var oldest uint64
+		found := false
+		for id, e := range d.sessions {
+			select {
+			case <-e.done:
+			default:
+				continue // still executing; never evict in-flight work
+			}
+			if !found || e.used < oldest {
+				victim, oldest, found = id, e.used, true
+			}
+		}
+		if !found {
+			return
+		}
+		delete(d.sessions, victim)
+	}
+}
+
+// Sessions reports the number of cached sessions (for tests).
+func (d *Dedup) Sessions() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.sessions)
+}

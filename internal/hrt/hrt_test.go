@@ -1,6 +1,7 @@
 package hrt
 
 import (
+	"errors"
 	"strings"
 	"sync"
 	"testing"
@@ -209,6 +210,78 @@ func TestUnknownFragment(t *testing.T) {
 	inst, _ := server.Enter("f", 0)
 	if _, err := server.Call("f", inst, 9999, nil); err == nil {
 		t.Error("expected unknown-fragment error")
+	}
+}
+
+// TestSessionServerReportedErrors covers the Session error paths: a
+// server-reported Response.Err must surface as an error from Enter, Exit,
+// and Call, distinct from transport failures.
+func TestSessionServerReportedErrors(t *testing.T) {
+	boom := roundTripFunc(func(req Request) (Response, error) {
+		return Response{Err: "hidden side exploded"}, nil
+	})
+	sess := &Session{T: boom}
+	if _, err := sess.Enter("f", 0); err == nil || !strings.Contains(err.Error(), "exploded") {
+		t.Errorf("Enter error: %v", err)
+	}
+	if err := sess.Exit("f", 1); err == nil || !strings.Contains(err.Error(), "exploded") {
+		t.Errorf("Exit error: %v", err)
+	}
+	if _, err := sess.Call("f", 1, 0, nil); err == nil || !strings.Contains(err.Error(), "exploded") {
+		t.Errorf("Call error: %v", err)
+	}
+
+	// Transport-level failures propagate unwrapped (the caller may
+	// classify them for retry).
+	dead := roundTripFunc(func(req Request) (Response, error) {
+		return Response{}, errSentinel
+	})
+	sess = &Session{T: dead}
+	if _, err := sess.Enter("f", 0); err != errSentinel {
+		t.Errorf("Enter transport error: %v", err)
+	}
+	if err := sess.Exit("f", 1); err != errSentinel {
+		t.Errorf("Exit transport error: %v", err)
+	}
+	if _, err := sess.Call("f", 1, 0, nil); err != errSentinel {
+		t.Errorf("Call transport error: %v", err)
+	}
+}
+
+var errSentinel = errors.New("link down")
+
+// TestLatencySleepInjection pins the virtual-clock hook: an injected
+// Sleep sees exactly one RTT per round trip and the real clock is never
+// touched; zero RTT must not call Sleep at all.
+func TestLatencySleepInjection(t *testing.T) {
+	inner := roundTripFunc(func(req Request) (Response, error) { return Response{}, nil })
+	var slept []time.Duration
+	lt := &Latency{
+		Inner: inner,
+		RTT:   5 * time.Millisecond,
+		Sleep: func(d time.Duration) { slept = append(slept, d) },
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := lt.RoundTrip(Request{Op: OpCall}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(slept) != 3 {
+		t.Fatalf("sleep calls: %d", len(slept))
+	}
+	for _, d := range slept {
+		if d != 5*time.Millisecond {
+			t.Errorf("slept %v, want 5ms", d)
+		}
+	}
+
+	lt.RTT = 0
+	slept = nil
+	if _, err := lt.RoundTrip(Request{Op: OpCall}); err != nil {
+		t.Fatal(err)
+	}
+	if len(slept) != 0 {
+		t.Errorf("zero RTT slept: %v", slept)
 	}
 }
 

@@ -1,0 +1,154 @@
+package hrt
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// ReconnectConfig configures the fault-tolerant client side of the TCP
+// link (see DialReconnect).
+type ReconnectConfig struct {
+	// Addr is the hidden server's address (used when Dial is nil).
+	Addr string
+	// Dial overrides how connections are established; fault-injection
+	// tests dial through a proxy or an in-memory pipe.
+	Dial func() (net.Conn, error)
+	// Timeout is the I/O deadline covering one attempt's write+read;
+	// default 5s.
+	Timeout time.Duration
+	// Policy bounds retries and backoff across attempts.
+	Policy RetryPolicy
+	// Session overrides the random session id (tests).
+	Session uint64
+	// Counters, when set, tallies retries and reconnects.
+	Counters *Counters
+}
+
+// ReconnectTransport is the fault-tolerant open-machine side of the TCP
+// link: every round trip is stamped with (session, seq), guarded by an
+// I/O deadline, and — when the link breaks or times out — re-sent with
+// bounded exponential backoff over a freshly dialed connection. Paired
+// with the server's replay cache this gives exactly-once execution of
+// hidden-state mutations.
+type ReconnectTransport struct {
+	retry *Retry
+	conn  *connTransport
+}
+
+// DialReconnect connects to a hidden-component server through cfg. The
+// initial dial happens eagerly so configuration errors surface here; later
+// re-dials happen on demand inside RoundTrip.
+func DialReconnect(cfg ReconnectConfig) (*ReconnectTransport, error) {
+	if cfg.Dial == nil {
+		addr := cfg.Addr
+		cfg.Dial = func() (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 5 * time.Second
+	}
+	ct := &connTransport{dial: cfg.Dial, timeout: cfg.Timeout, counters: cfg.Counters}
+	ct.mu.Lock()
+	err := ct.connectLocked()
+	ct.mu.Unlock()
+	if err != nil {
+		return nil, fmt.Errorf("hrt: dial hidden server: %w", err)
+	}
+	return &ReconnectTransport{
+		retry: &Retry{Inner: ct, Policy: cfg.Policy, Session: cfg.Session, Counters: cfg.Counters},
+		conn:  ct,
+	}, nil
+}
+
+// RoundTrip performs one exactly-once round trip.
+func (t *ReconnectTransport) RoundTrip(req Request) (Response, error) {
+	return t.retry.RoundTrip(req)
+}
+
+// Close shuts the link down; subsequent round trips fail terminally.
+func (t *ReconnectTransport) Close() error {
+	return t.conn.Close()
+}
+
+// connTransport is one attempt over one connection: dial if needed, set
+// the deadline, write, read. Any wire failure discards the connection so
+// the next attempt re-dials; the Retry layer above decides whether that
+// next attempt happens.
+type connTransport struct {
+	dial     func() (net.Conn, error)
+	timeout  time.Duration
+	counters *Counters
+
+	mu         sync.Mutex
+	conn       net.Conn
+	r          *bufio.Reader
+	w          *bufio.Writer
+	dialedOnce bool
+	closed     bool
+}
+
+func (t *connTransport) connectLocked() error {
+	conn, err := t.dial()
+	if err != nil {
+		return err
+	}
+	t.conn = conn
+	t.r = bufio.NewReader(conn)
+	t.w = bufio.NewWriter(conn)
+	if t.dialedOnce && t.counters != nil {
+		t.counters.Reconnects.Add(1)
+	}
+	t.dialedOnce = true
+	return nil
+}
+
+func (t *connTransport) RoundTrip(req Request) (Response, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return Response{}, Terminal(errors.New("hrt: transport closed"))
+	}
+	if t.conn == nil {
+		if err := t.connectLocked(); err != nil {
+			return Response{}, fmt.Errorf("hrt: redial hidden server: %w", err)
+		}
+	}
+	if t.timeout > 0 {
+		t.conn.SetDeadline(time.Now().Add(t.timeout))
+	}
+	if err := WriteRequest(t.w, req); err != nil {
+		return Response{}, t.brokenLocked(err)
+	}
+	if err := t.w.Flush(); err != nil {
+		return Response{}, t.brokenLocked(err)
+	}
+	resp, err := ReadResponse(t.r)
+	if err != nil {
+		return Response{}, t.brokenLocked(err)
+	}
+	return resp, nil
+}
+
+// brokenLocked discards the connection so the next attempt re-dials.
+func (t *connTransport) brokenLocked(err error) error {
+	if t.conn != nil {
+		t.conn.Close()
+		t.conn = nil
+	}
+	return err
+}
+
+func (t *connTransport) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.closed = true
+	if t.conn == nil {
+		return nil
+	}
+	err := t.conn.Close()
+	t.conn = nil
+	return err
+}

@@ -1,0 +1,166 @@
+package hrt
+
+import (
+	crand "crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Error classification for the fault-tolerant link: transport-level
+// failures (dial errors, I/O timeouts, broken or garbled frames) are
+// retryable — re-sending the same (session, seq) pair is safe because the
+// server's replay cache guarantees at-most-once execution. Failures the
+// hidden server itself reports travel inside Response.Err and are
+// terminal: the request was delivered and answered; retrying cannot
+// change the answer.
+
+// terminalError marks an error that retrying cannot fix.
+type terminalError struct{ err error }
+
+func (e *terminalError) Error() string { return e.err.Error() }
+func (e *terminalError) Unwrap() error { return e.err }
+
+// Terminal wraps err so Retryable reports false for it.
+func Terminal(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &terminalError{err: err}
+}
+
+// Retryable reports whether a transport error may succeed when the round
+// trip is re-sent.
+func Retryable(err error) bool {
+	var te *terminalError
+	return err != nil && !errors.As(err, &te)
+}
+
+// RetryPolicy bounds retries and shapes the backoff between attempts.
+type RetryPolicy struct {
+	// Retries is the number of re-attempts after the first try, so one
+	// round trip makes at most Retries+1 attempts. 0 means the default
+	// (8); negative disables retries.
+	Retries int
+	// BackoffBase and BackoffMax bound the exponential backoff between
+	// attempts (defaults 2ms and 250ms).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// JitterSeed seeds the backoff jitter; 0 uses a fixed seed so runs
+	// are deterministic unless configured otherwise.
+	JitterSeed int64
+	// Sleep replaces time.Sleep between attempts (tests use a virtual
+	// clock).
+	Sleep func(time.Duration)
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	switch {
+	case p.Retries == 0:
+		p.Retries = 8
+	case p.Retries < 0:
+		p.Retries = 0
+	}
+	if p.BackoffBase <= 0 {
+		p.BackoffBase = 2 * time.Millisecond
+	}
+	if p.BackoffMax <= 0 {
+		p.BackoffMax = 250 * time.Millisecond
+	}
+	if p.Sleep == nil {
+		p.Sleep = time.Sleep
+	}
+	return p
+}
+
+// NewSessionID returns a random nonzero session identifier.
+func NewSessionID() uint64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err == nil {
+		if id := binary.LittleEndian.Uint64(b[:]); id != 0 {
+			return id
+		}
+	}
+	return uint64(time.Now().UnixNano()) | 1
+}
+
+// Retry wraps a Transport with the client half of the exactly-once
+// scheme: every logical round trip is stamped with this client's session
+// id and a fresh sequence number, and retryable failures are re-sent with
+// the same stamp under bounded exponential backoff with jitter. The
+// server-side Dedup layer recognizes the stamp and answers replays from
+// its cache, so hidden state is mutated exactly once per logical request
+// no matter how many times the link forces a re-send.
+type Retry struct {
+	Inner  Transport
+	Policy RetryPolicy
+	// Session identifies this client; zero picks a random id on first
+	// use.
+	Session uint64
+	// Counters, when set, tallies retries.
+	Counters *Counters
+
+	once  sync.Once
+	pol   RetryPolicy
+	rngMu sync.Mutex
+	rng   *rand.Rand
+	seq   atomic.Uint64
+}
+
+func (t *Retry) init() {
+	t.pol = t.Policy.withDefaults()
+	if t.Session == 0 {
+		t.Session = NewSessionID()
+	}
+	seed := t.pol.JitterSeed
+	if seed == 0 {
+		seed = 1
+	}
+	t.rng = rand.New(rand.NewSource(seed))
+}
+
+// RoundTrip stamps, sends, and retries until success, a terminal error,
+// or attempt exhaustion.
+func (t *Retry) RoundTrip(req Request) (Response, error) {
+	t.once.Do(t.init)
+	req.Session = t.Session
+	req.Seq = t.seq.Add(1)
+	var lastErr error
+	attempts := 0
+	for attempt := 0; ; attempt++ {
+		resp, err := t.Inner.RoundTrip(req)
+		attempts++
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if !Retryable(err) || attempt >= t.pol.Retries {
+			break
+		}
+		if t.Counters != nil {
+			t.Counters.Retries.Add(1)
+		}
+		t.pol.Sleep(t.backoff(attempt))
+	}
+	return Response{}, fmt.Errorf("hrt: request %d of session %d failed after %d attempt(s): %w",
+		req.Seq, req.Session, attempts, lastErr)
+}
+
+// backoff returns the jittered exponential delay before retry `attempt`
+// (0-based): uniform in [base·2ᵃ/2, base·2ᵃ], capped at BackoffMax.
+func (t *Retry) backoff(attempt int) time.Duration {
+	d := t.pol.BackoffBase
+	for i := 0; i < attempt && d < t.pol.BackoffMax; i++ {
+		d *= 2
+	}
+	if d > t.pol.BackoffMax || d <= 0 {
+		d = t.pol.BackoffMax
+	}
+	t.rngMu.Lock()
+	defer t.rngMu.Unlock()
+	return d/2 + time.Duration(t.rng.Int63n(int64(d/2)+1))
+}

@@ -14,8 +14,16 @@ type RunOutcome struct {
 	Interactions int64
 	Enters       int64
 	ValuesSent   int64
-	Steps        int64
-	Err          error
+	// BytesSent/BytesRecv are the logical wire volume of the open↔hidden
+	// traffic (encoded request/response sizes, retransmissions excluded).
+	BytesSent int64
+	BytesRecv int64
+	// Retries/Reconnects count fault recoveries on retry-capable
+	// transports (zero on the plain local transport).
+	Retries    int64
+	Reconnects int64
+	Steps      int64
+	Err        error
 }
 
 // RunOriginal executes the unsplit program and returns its output.
@@ -50,6 +58,10 @@ func RunSplit(res *core.Result, wrap func(Transport) Transport, maxSteps int64) 
 		Interactions: counters.Interactions(),
 		Enters:       counters.Enters.Load(),
 		ValuesSent:   counters.ValuesSent.Load(),
+		BytesSent:    counters.BytesSent.Load(),
+		BytesRecv:    counters.BytesRecv.Load(),
+		Retries:      counters.Retries.Load(),
+		Reconnects:   counters.Reconnects.Load(),
 		Steps:        in.Steps(),
 		Err:          err,
 	}

@@ -11,6 +11,7 @@ package hrt
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"slicehide/internal/core"
 	"slicehide/internal/interp"
@@ -68,6 +69,14 @@ func constValue(c *ir.Const) interp.Value {
 // Server executes hidden fragments. It is safe for concurrent use.
 type Server struct {
 	reg *Registry
+
+	// Execution tallies: how many operations actually ran (replays a
+	// Dedup layer answers from its cache never reach the Server). The
+	// chaos tests compare these against client-side logical counts to
+	// verify exactly-once mutation under link faults.
+	statEnters atomic.Int64
+	statExits  atomic.Int64
+	statCalls  atomic.Int64
 
 	mu      sync.Mutex
 	stores  map[string]map[int64]*store
@@ -127,7 +136,23 @@ func (s *Server) Enter(fn string, obj int64) (int64, error) {
 		st.vals[v] = zeroValue(v)
 	}
 	s.stores[fn][inst] = st
+	s.statEnters.Add(1)
 	return inst, nil
+}
+
+// ServerStats reports how many operations the server executed.
+type ServerStats struct {
+	Enters, Exits, Calls int64
+}
+
+// Stats returns the execution tallies (state-mutating operations that
+// actually ran, as opposed to replays answered from a cache).
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		Enters: s.statEnters.Load(),
+		Exits:  s.statExits.Load(),
+		Calls:  s.statCalls.Load(),
+	}
 }
 
 // instanceStore returns (creating on first use) the hidden-field store of
@@ -169,6 +194,7 @@ func (s *Server) Exit(fn string, inst int64) error {
 	defer s.mu.Unlock()
 	if m := s.stores[fn]; m != nil {
 		delete(m, inst)
+		s.statExits.Add(1)
 		return nil
 	}
 	return fmt.Errorf("hrt: exit of unknown activation %s/%d", fn, inst)
@@ -224,6 +250,7 @@ func (s *Server) Call(fn string, inst int64, frag int, args []interp.Value) (int
 	for i, av := range fr.ArgVars {
 		ex.args = append(ex.args, argBinding{v: av, val: args[i]})
 	}
+	s.statCalls.Add(1)
 	return ex.run(fr.Body)
 }
 

@@ -6,17 +6,39 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 )
 
-// TCPServer serves a hidden component Server over TCP; this is the process
-// that would run on the secure machine (see cmd/hiddend).
+// TCPServer serves a hidden component Server over TCP; this is the
+// process that would run on the secure machine (see cmd/hiddend). It is
+// hardened against a hostile or flaky open side: requests are
+// deduplicated by (session, seq) so client retries mutate hidden state
+// exactly once, connections are tracked so Close terminates idle clients,
+// per-connection deadlines bound slow or stalled peers, a connection cap
+// bounds resource use, and a panic while serving one connection never
+// takes the server down.
 type TCPServer struct {
 	Server *Server
 
-	ln     net.Listener
-	wg     sync.WaitGroup
+	// ReadTimeout bounds how long a connection may sit idle between
+	// requests; 0 disables the deadline (clients with retry support
+	// simply reconnect after an idle disconnect).
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each response write; 0 disables the deadline.
+	WriteTimeout time.Duration
+	// MaxConns caps concurrently served connections; accepts beyond the
+	// cap are closed immediately. 0 means unlimited.
+	MaxConns int
+	// MaxSessions caps the replay cache (default 1024).
+	MaxSessions int
+
+	ln    net.Listener
+	wg    sync.WaitGroup
+	dedup *Dedup
+
 	mu     sync.Mutex
 	closed bool
+	conns  map[net.Conn]struct{}
 }
 
 // ListenAndServe starts accepting connections on addr. It returns once the
@@ -27,6 +49,8 @@ func (ts *TCPServer) ListenAndServe(addr string) (net.Addr, error) {
 		return nil, err
 	}
 	ts.ln = ln
+	ts.dedup = &Dedup{Inner: &Local{Server: ts.Server}, MaxSessions: ts.MaxSessions}
+	ts.conns = make(map[net.Conn]struct{})
 	ts.wg.Add(1)
 	go ts.acceptLoop()
 	return ln.Addr(), nil
@@ -39,27 +63,62 @@ func (ts *TCPServer) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		if !ts.track(conn) {
+			conn.Close()
+			continue
+		}
 		ts.wg.Add(1)
 		go func() {
 			defer ts.wg.Done()
-			defer conn.Close()
+			defer ts.untrack(conn)
 			ts.serveConn(conn)
 		}()
 	}
 }
 
+// track registers a live connection, refusing it when the server is
+// closed or at its connection cap.
+func (ts *TCPServer) track(conn net.Conn) bool {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if ts.closed {
+		return false
+	}
+	if ts.MaxConns > 0 && len(ts.conns) >= ts.MaxConns {
+		return false
+	}
+	ts.conns[conn] = struct{}{}
+	return true
+}
+
+func (ts *TCPServer) untrack(conn net.Conn) {
+	ts.mu.Lock()
+	delete(ts.conns, conn)
+	ts.mu.Unlock()
+	conn.Close()
+}
+
 func (ts *TCPServer) serveConn(conn net.Conn) {
+	// A panic while serving one connection (a codec or execution bug hit
+	// by an adversarial frame) must not take the hidden server down; the
+	// client sees a closed connection and retries elsewhere.
+	defer func() { recover() }()
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
-	local := &Local{Server: ts.Server}
 	for {
+		if ts.ReadTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(ts.ReadTimeout))
+		}
 		req, err := ReadRequest(r)
 		if err != nil {
-			return // EOF or broken connection
+			return // EOF, deadline, or broken connection
 		}
-		resp, err := local.RoundTrip(req)
+		resp, err := ts.dedup.RoundTrip(req)
 		if err != nil {
 			resp = Response{Err: err.Error()}
+		}
+		if ts.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(ts.WriteTimeout))
 		}
 		if err := WriteResponse(w, resp); err != nil {
 			return
@@ -70,7 +129,16 @@ func (ts *TCPServer) serveConn(conn net.Conn) {
 	}
 }
 
-// Close stops the listener and waits for in-flight connections.
+// ActiveConns reports the number of live connections (for tests).
+func (ts *TCPServer) ActiveConns() int {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return len(ts.conns)
+}
+
+// Close stops the listener, severs every live connection — including
+// idle-but-open clients that would otherwise keep Close hanging in
+// wg.Wait — and waits for the serving goroutines to drain.
 func (ts *TCPServer) Close() error {
 	ts.mu.Lock()
 	if ts.closed {
@@ -78,6 +146,9 @@ func (ts *TCPServer) Close() error {
 		return nil
 	}
 	ts.closed = true
+	for conn := range ts.conns {
+		conn.Close()
+	}
 	ts.mu.Unlock()
 	var err error
 	if ts.ln != nil {
@@ -87,9 +158,11 @@ func (ts *TCPServer) Close() error {
 	return err
 }
 
-// TCPTransport is the open-machine side of the TCP link. It serializes
-// round trips over a single connection (the open component is sequential,
-// matching the paper's synchronous RPC model).
+// TCPTransport is the plain (non-retrying) open-machine side of the TCP
+// link. It serializes round trips over a single connection (the open
+// component is sequential, matching the paper's synchronous RPC model).
+// Production deployments should prefer DialReconnect, which adds
+// deadlines, retries, and reconnection on top of the same wire protocol.
 type TCPTransport struct {
 	mu   sync.Mutex
 	conn net.Conn

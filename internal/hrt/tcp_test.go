@@ -2,8 +2,10 @@ package hrt
 
 import (
 	"bytes"
+	"net"
 	"strings"
 	"testing"
+	"time"
 
 	"slicehide/internal/core"
 	"slicehide/internal/interp"
@@ -141,5 +143,165 @@ func TestTCPTransportClosed(t *testing.T) {
 	tr := &TCPTransport{}
 	if _, err := tr.RoundTrip(Request{Op: OpEnter, Fn: "f"}); err == nil {
 		t.Error("closed transport must error")
+	}
+}
+
+// TestTCPServerClosePromptWithIdleClient is the regression test for the
+// Close hang: a client that connects and then sits idle must not keep
+// Close blocked in wg.Wait — the server severs tracked connections.
+func TestTCPServerClosePromptWithIdleClient(t *testing.T) {
+	res := split(t, testSrc, core.Spec{Func: "f", Seed: "a"})
+	ts := &TCPServer{Server: NewServer(NewRegistry(res))}
+	addr, err := ts.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Wait until the server has registered the connection, so Close
+	// really has a live idle conn to terminate.
+	deadline := time.Now().Add(2 * time.Second)
+	for ts.ActiveConns() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("server never tracked the connection")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	done := make(chan error, 1)
+	go func() { done <- ts.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung with an idle client connected")
+	}
+	if got := ts.ActiveConns(); got != 0 {
+		t.Errorf("connections left after Close: %d", got)
+	}
+}
+
+// TestTCPServerMaxConns verifies the connection cap: accepts beyond
+// MaxConns are closed immediately while the slot is occupied.
+func TestTCPServerMaxConns(t *testing.T) {
+	res := split(t, testSrc, core.Spec{Func: "f", Seed: "a"})
+	ts := &TCPServer{Server: NewServer(NewRegistry(res)), MaxConns: 1}
+	addr, err := ts.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+
+	first, err := DialTCP(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer first.Close()
+	sess := &Session{T: first}
+	inst, err := sess.Enter("f", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The second connection is over the cap: its first round trip must
+	// fail once the server closes it.
+	second, err := DialTCP(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer second.Close()
+	overCap := false
+	for i := 0; i < 100; i++ {
+		if _, err := (&Session{T: second}).Enter("f", 0); err != nil {
+			overCap = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !overCap {
+		t.Error("connection beyond MaxConns was served")
+	}
+	// The first connection keeps working.
+	if err := sess.Exit("f", inst); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTCPServerIdleReadTimeout verifies the per-connection read deadline:
+// an idle connection is disconnected, and a reconnecting client rides
+// through the disconnect transparently.
+func TestTCPServerIdleReadTimeout(t *testing.T) {
+	res := split(t, testSrc, core.Spec{Func: "f", Seed: "a"})
+	ts := &TCPServer{Server: NewServer(NewRegistry(res)), ReadTimeout: 50 * time.Millisecond}
+	addr, err := ts.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+
+	counters := &Counters{}
+	tr, err := DialReconnect(ReconnectConfig{
+		Addr:     addr.String(),
+		Timeout:  time.Second,
+		Policy:   RetryPolicy{BackoffBase: time.Millisecond, BackoffMax: 4 * time.Millisecond},
+		Counters: counters,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	sess := &Session{T: tr}
+	inst, err := sess.Enter("f", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let the server's idle deadline sever the connection, then keep
+	// using the transport: it must re-dial and the dedup'd session must
+	// still resolve the activation.
+	time.Sleep(150 * time.Millisecond)
+	if err := sess.Exit("f", inst); err != nil {
+		t.Fatalf("exit after idle disconnect: %v", err)
+	}
+	if counters.Reconnects.Load() == 0 {
+		t.Error("expected at least one reconnect after the idle timeout")
+	}
+}
+
+// TestTCPExactlyOnceSessionStamping runs a split program over plain TCP
+// with the reconnect transport and checks the server executed exactly one
+// operation per logical round trip (fault-free baseline of the chaos
+// test).
+func TestTCPExactlyOnceSessionStamping(t *testing.T) {
+	res := split(t, testSrc, core.Spec{Func: "f", Seed: "a"})
+	server := NewServer(NewRegistry(res))
+	ts := &TCPServer{Server: server}
+	addr, err := ts.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+	tr, err := DialReconnect(ReconnectConfig{Addr: addr.String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	counters := &Counters{}
+	var b strings.Builder
+	in := interp.New(res.Open, interp.Options{
+		Out:        &b,
+		Hidden:     &Session{T: &Counting{Inner: tr, Counters: counters}},
+		SplitFuncs: res.SplitSet(),
+	})
+	if err := in.Run(); err != nil {
+		t.Fatal(err)
+	}
+	stats := server.Stats()
+	if stats.Calls != counters.Calls.Load() || stats.Enters != counters.Enters.Load() || stats.Exits != counters.Exits.Load() {
+		t.Errorf("server executions %+v != client logical counts calls=%d enters=%d exits=%d",
+			stats, counters.Calls.Load(), counters.Enters.Load(), counters.Exits.Load())
 	}
 }

@@ -28,6 +28,13 @@ type Request struct {
 	Obj  int64
 	Frag int
 	Args []interp.Value
+	// Session identifies the client to the server's replay cache; zero
+	// disables deduplication (trusted in-process transports).
+	Session uint64
+	// Seq numbers logical round trips within a session. Retries of the
+	// same logical request carry the same Seq, so the server can answer a
+	// replay from its cache instead of mutating hidden state twice.
+	Seq uint64
 }
 
 // Response is the hidden component's reply.
@@ -120,6 +127,14 @@ type Counters struct {
 	Enters     atomic.Int64
 	Exits      atomic.Int64
 	ValuesSent atomic.Int64
+	// BytesSent/BytesRecv tally logical wire volume (one encode per round
+	// trip, retransmissions excluded; retries are visible in Retries).
+	BytesSent atomic.Int64
+	BytesRecv atomic.Int64
+	// Retries counts re-sent round trips; Reconnects counts re-dials of a
+	// broken link. Both stay zero on fault-free transports.
+	Retries    atomic.Int64
+	Reconnects atomic.Int64
 }
 
 // Interactions returns the number of fragment calls observed.
@@ -142,7 +157,12 @@ func (c *Counting) RoundTrip(req Request) (Response, error) {
 	case OpExit:
 		c.Counters.Exits.Add(1)
 	}
-	return c.Inner.RoundTrip(req)
+	c.Counters.BytesSent.Add(RequestWireSize(req))
+	resp, err := c.Inner.RoundTrip(req)
+	if err == nil {
+		c.Counters.BytesRecv.Add(ResponseWireSize(resp))
+	}
+	return resp, err
 }
 
 // ---------------------------------------------------------------------------

@@ -23,7 +23,14 @@ const (
 	wireString
 )
 
-const maxWireString = 1 << 20
+const (
+	maxWireString = 1 << 20
+	// maxWireArgs caps the argument count of a single request so that a
+	// malformed or adversarial frame can never make the hidden server
+	// over-allocate. Fragments take a handful of scalars by construction;
+	// the cap is generous.
+	maxWireArgs = 1024
+)
 
 // writeValue encodes v.
 func writeValue(w io.Writer, v interp.Value) error {
@@ -96,7 +103,16 @@ func readValue(r io.Reader) (interp.Value, error) {
 
 // WriteRequest encodes req onto w.
 func WriteRequest(w io.Writer, req Request) error {
+	if len(req.Args) > maxWireArgs {
+		return fmt.Errorf("hrt: request has %d args, wire limit is %d", len(req.Args), maxWireArgs)
+	}
 	if err := writeByte(w, byte(req.Op)); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, req.Session); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, req.Seq); err != nil {
 		return err
 	}
 	if err := writeString(w, req.Fn); err != nil {
@@ -130,6 +146,12 @@ func ReadRequest(r io.Reader) (Request, error) {
 		return req, err
 	}
 	req.Op = Op(op)
+	if err := binary.Read(r, binary.LittleEndian, &req.Session); err != nil {
+		return req, err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &req.Seq); err != nil {
+		return req, err
+	}
 	if req.Fn, err = readString(r); err != nil {
 		return req, err
 	}
@@ -147,6 +169,9 @@ func ReadRequest(r io.Reader) (Request, error) {
 	var n uint16
 	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
 		return req, err
+	}
+	if int(n) > maxWireArgs {
+		return req, fmt.Errorf("hrt: wire request arg count %d exceeds limit %d", n, maxWireArgs)
 	}
 	req.Args = make([]interp.Value, n)
 	for i := range req.Args {
@@ -180,6 +205,34 @@ func ReadResponse(r io.Reader) (Response, error) {
 	}
 	resp.Err, err = readString(r)
 	return resp, err
+}
+
+// RequestWireSize returns the encoded size of req in bytes. It is kept in
+// sync with WriteRequest and lets transports account wire volume without
+// re-encoding (the experiments report it alongside interaction counts).
+func RequestWireSize(req Request) int64 {
+	n := int64(1 + 8 + 8 + 4 + len(req.Fn) + 8 + 8 + 4 + 2)
+	for _, a := range req.Args {
+		n += valueWireSize(a)
+	}
+	return n
+}
+
+// ResponseWireSize returns the encoded size of resp in bytes.
+func ResponseWireSize(resp Response) int64 {
+	return valueWireSize(resp.Val) + 8 + 4 + int64(len(resp.Err))
+}
+
+func valueWireSize(v interp.Value) int64 {
+	switch v.Kind {
+	case interp.KindInt, interp.KindFloat:
+		return 9
+	case interp.KindBool:
+		return 2
+	case interp.KindString:
+		return int64(5 + len(v.S))
+	}
+	return 1
 }
 
 func writeByte(w io.Writer, b byte) error {

@@ -1,0 +1,161 @@
+package hrt
+
+import (
+	"bytes"
+	"testing"
+
+	"slicehide/internal/interp"
+)
+
+// The wire codec faces the network directly on the hidden (secure) side,
+// so a malformed or adversarial frame must never crash the server or make
+// it over-allocate. The fuzz targets decode arbitrary bytes; the seed
+// corpus includes valid frames so mutation explores near-valid space.
+// Decoded requests that re-encode must round trip losslessly.
+
+func fuzzSeedRequests() []Request {
+	return []Request{
+		{Op: OpEnter, Fn: "f", Obj: 3, Session: 7, Seq: 1},
+		{Op: OpExit, Fn: "Class.method", Inst: 9, Session: 7, Seq: 2},
+		{Op: OpCall, Fn: "f", Inst: 1, Frag: 4, Session: 1 << 60, Seq: 1 << 40,
+			Args: []interp.Value{interp.IntV(-5), interp.FloatV(2.5), interp.BoolV(true), interp.StrV("x\x00y"), interp.NullV()}},
+	}
+}
+
+func FuzzReadRequest(f *testing.F) {
+	for _, req := range fuzzSeedRequests() {
+		var buf bytes.Buffer
+		if err := WriteRequest(&buf, req); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xEE, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := ReadRequest(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever decoded must re-encode and decode to the same frame.
+		var buf bytes.Buffer
+		if err := WriteRequest(&buf, req); err != nil {
+			t.Fatalf("decoded request does not re-encode: %v (%+v)", err, req)
+		}
+		again, err := ReadRequest(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded request does not decode: %v", err)
+		}
+		if again.Op != req.Op || again.Fn != req.Fn || again.Inst != req.Inst ||
+			again.Obj != req.Obj || again.Frag != req.Frag ||
+			again.Session != req.Session || again.Seq != req.Seq ||
+			len(again.Args) != len(req.Args) {
+			t.Fatalf("request round trip diverged: %+v vs %+v", req, again)
+		}
+	})
+}
+
+func FuzzReadResponse(f *testing.F) {
+	for _, resp := range []Response{
+		{Val: interp.NullV()},
+		{Val: interp.IntV(42), Inst: 7},
+		{Val: interp.StrV("payload"), Err: "hrt: boom"},
+	} {
+		var buf bytes.Buffer
+		if err := WriteResponse(&buf, resp); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x04, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		resp, err := ReadResponse(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteResponse(&buf, resp); err != nil {
+			t.Fatalf("decoded response does not re-encode: %v (%+v)", err, resp)
+		}
+		again, err := ReadResponse(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded response does not decode: %v", err)
+		}
+		if !again.Val.Equal(resp.Val) || again.Inst != resp.Inst || again.Err != resp.Err {
+			t.Fatalf("response round trip diverged: %+v vs %+v", resp, again)
+		}
+	})
+}
+
+// TestWireArgCountCapped pins the over-allocation guard: a frame claiming
+// an enormous argument count is rejected on read, and the writer refuses
+// to produce one.
+func TestWireArgCountCapped(t *testing.T) {
+	req := Request{Op: OpCall, Fn: "f", Args: make([]interp.Value, maxWireArgs+1)}
+	for i := range req.Args {
+		req.Args[i] = interp.IntV(0)
+	}
+	var buf bytes.Buffer
+	if err := WriteRequest(&buf, req); err == nil {
+		t.Error("writer accepted more args than the wire limit")
+	}
+
+	// Hand-craft a frame whose arg count exceeds the cap.
+	buf.Reset()
+	ok := Request{Op: OpCall, Fn: "f", Args: []interp.Value{interp.IntV(1)}}
+	if err := WriteRequest(&buf, ok); err != nil {
+		t.Fatal(err)
+	}
+	frame := buf.Bytes()
+	// The arg count is the uint16 right before the single encoded int
+	// argument (9 bytes).
+	frame[len(frame)-9-2] = 0xFF
+	frame[len(frame)-9-1] = 0xFF
+	if _, err := ReadRequest(bytes.NewReader(frame)); err == nil {
+		t.Error("reader accepted a frame claiming 65535 args")
+	}
+}
+
+// TestWireSessionSeqRoundTrip pins the new header fields.
+func TestWireSessionSeqRoundTrip(t *testing.T) {
+	req := Request{Op: OpCall, Fn: "f", Session: 0xDEADBEEF01020304, Seq: 77}
+	var buf bytes.Buffer
+	if err := WriteRequest(&buf, req); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRequest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Session != req.Session || got.Seq != req.Seq {
+		t.Errorf("session/seq round trip: %+v", got)
+	}
+}
+
+// TestWireSizeMatchesEncoding keeps the size accounting in sync with the
+// codec.
+func TestWireSizeMatchesEncoding(t *testing.T) {
+	for _, req := range fuzzSeedRequests() {
+		var buf bytes.Buffer
+		if err := WriteRequest(&buf, req); err != nil {
+			t.Fatal(err)
+		}
+		if got := RequestWireSize(req); got != int64(buf.Len()) {
+			t.Errorf("RequestWireSize=%d, encoded %d bytes (%+v)", got, buf.Len(), req)
+		}
+	}
+	for _, resp := range []Response{
+		{Val: interp.NullV()},
+		{Val: interp.FloatV(1.5), Inst: 2, Err: "e"},
+		{Val: interp.StrV("abc")},
+	} {
+		var buf bytes.Buffer
+		if err := WriteResponse(&buf, resp); err != nil {
+			t.Fatal(err)
+		}
+		if got := ResponseWireSize(resp); got != int64(buf.Len()) {
+			t.Errorf("ResponseWireSize=%d, encoded %d bytes (%+v)", got, buf.Len(), resp)
+		}
+	}
+}
