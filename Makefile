@@ -1,11 +1,13 @@
-# Developer/CI entry points. `make check` is the gate: vet, build, and the
-# full test suite (including the hrt chaos tests) under the race detector.
+# Developer/CI entry points. `make check` is the gate: vet, build, the
+# full test suite (including the hrt chaos tests) under the race detector,
+# and the quick pipelining smoke run (which also replays the committed
+# wire-codec fuzz seeds, since seed corpora run as ordinary tests).
 
 GO ?= go
 
-.PHONY: check vet build test race bench fuzz
+.PHONY: check vet build test race bench bench-quick fuzz
 
-check: vet build race
+check: vet build race bench-quick
 
 vet:
 	$(GO) vet ./...
@@ -19,8 +21,19 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Full benchmark run; also regenerates the committed machine-readable
+# report (kernel, transport mode, RTT, wall time, interactions, blocking
+# round trips, wire bytes) so perf regressions show up in review diffs.
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+	$(GO) test -run='^TestWriteBenchJSON$$' -bench-json BENCH_hrt.json .
+
+# Short-mode smoke: byte-identical output in sync and pipelined modes and
+# pipelined blocking <= sync blocking at test scale, plus the wire fuzz
+# seed corpus (F.../seed entries replay under plain `go test`).
+bench-quick:
+	$(GO) test -short -run='^TestPipelineSmoke$$' -v .
+	$(GO) test -short ./internal/hrt -run='^Fuzz'
 
 # Run the wire-codec fuzzers for a short budget each.
 fuzz:

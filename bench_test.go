@@ -11,6 +11,7 @@ package slicehide
 // visible in benchstat diffs.
 
 import (
+	"flag"
 	"fmt"
 	"testing"
 	"time"
@@ -431,6 +432,86 @@ func BenchmarkMicroSelfContainedAnalysis(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		core.AnalyzeProgram("jfig", prog)
 	}
+}
+
+// BenchmarkAblationPipelining compares the synchronous latency model
+// (every hidden request blocks one RTT, the paper's deployment) against
+// the pipelined transport (reply-free requests stream one-way; only
+// reply-bearing requests and barriers block) on an update-heavy kernel at
+// the LAN RTT. The headline metrics are the blocking counts — operations
+// that paid a full round trip in each mode — and the wall-clock overhead
+// of each mode over the unsplit baseline.
+func BenchmarkAblationPipelining(b *testing.B) {
+	cfg := benchCfg()
+	k, err := corpus.KernelByName("jasmin")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var row experiments.Table5Row
+	for i := 0; i < b.N; i++ {
+		row, err = experiments.Table5ForKernel(k, k.Inputs[0], cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if row.PipelinedBlocking > row.Blocking {
+		b.Fatalf("pipelining increased blocking operations: %d vs %d",
+			row.PipelinedBlocking, row.Blocking)
+	}
+	b.ReportMetric(float64(row.Blocking), "blocking-sync")
+	b.ReportMetric(float64(row.PipelinedBlocking), "blocking-pipelined")
+	b.ReportMetric(row.PctIncrease, "overhead-sync-%")
+	b.ReportMetric(row.PipelinedPct, "overhead-pipelined-%")
+}
+
+// benchJSONPath makes `make bench` emit the machine-readable report:
+//
+//	go test -run TestWriteBenchJSON -bench-json BENCH_hrt.json .
+var benchJSONPath = flag.String("bench-json", "", "write BENCH_hrt.json-style report to this path")
+
+// TestWriteBenchJSON regenerates the committed BENCH_hrt.json when invoked
+// with -bench-json (it is skipped otherwise, so plain `go test` stays fast
+// and deterministic).
+func TestWriteBenchJSON(t *testing.T) {
+	if *benchJSONPath == "" {
+		t.Skip("pass -bench-json <path> to write the benchmark report")
+	}
+	cfg := benchCfg()
+	if err := experiments.WriteBenchJSONFile(*benchJSONPath, cfg); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", *benchJSONPath)
+}
+
+// TestPipelineSmoke is the `make bench-quick` gate: at test scale it checks
+// every kernel row still produces byte-identical output in both transport
+// modes and that pipelining never blocks more often than the synchronous
+// transport.
+func TestPipelineSmoke(t *testing.T) {
+	cfg := experiments.Fast()
+	rows, err := experiments.Table5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var syncTotal, pipeTotal int64
+	for _, r := range rows {
+		if r.Excluded {
+			continue
+		}
+		if r.PipelinedBlocking > r.Blocking {
+			t.Errorf("%s/%s: pipelined blocking %d > sync blocking %d",
+				r.Benchmark, r.Input, r.PipelinedBlocking, r.Blocking)
+		}
+		syncTotal += r.Blocking
+		pipeTotal += r.PipelinedBlocking
+	}
+	// Individual rows can be too small to save anything at test scale, but
+	// across the kernel corpus pipelining must strictly reduce the number
+	// of operations that pay a round trip.
+	if pipeTotal >= syncTotal {
+		t.Errorf("pipelining saved nothing overall: %d blocking vs %d sync", pipeTotal, syncTotal)
+	}
+	t.Logf("blocking operations: sync=%d pipelined=%d", syncTotal, pipeTotal)
 }
 
 // BenchmarkAblationBatching measures the call-batching optimization:

@@ -29,8 +29,9 @@ import (
 )
 
 type serverOpts struct {
-	timeout  time.Duration
-	maxConns int
+	timeout    time.Duration
+	maxConns   int
+	noPipeline bool
 }
 
 func main() {
@@ -38,8 +39,9 @@ func main() {
 	split := flag.String("split", "", "comma-separated f[:seed] functions whose hidden components to host (required)")
 	timeout := flag.Duration("timeout", 0, "per-connection read/write deadline (0 disables; retry-capable clients reconnect after an idle disconnect)")
 	maxConns := flag.Int("max-conns", 0, "maximum concurrently served connections (0 = unlimited)")
+	pipeline := flag.Bool("pipeline", true, "accept pipelined (reply-free) frames; -pipeline=false forces clients back to the synchronous protocol")
 	flag.Parse()
-	if err := run(*listen, *split, flag.Args(), serverOpts{timeout: *timeout, maxConns: *maxConns}); err != nil {
+	if err := run(*listen, *split, flag.Args(), serverOpts{timeout: *timeout, maxConns: *maxConns, noPipeline: !*pipeline}); err != nil {
 		fmt.Fprintln(os.Stderr, "hiddend:", err)
 		os.Exit(1)
 	}
@@ -67,10 +69,11 @@ func run(listen, split string, args []string, opts serverOpts) error {
 		return err
 	}
 	server := &hrt.TCPServer{
-		Server:       hrt.NewServer(hrt.NewRegistry(res)),
-		ReadTimeout:  opts.timeout,
-		WriteTimeout: opts.timeout,
-		MaxConns:     opts.maxConns,
+		Server:          hrt.NewServer(hrt.NewRegistry(res)),
+		ReadTimeout:     opts.timeout,
+		WriteTimeout:    opts.timeout,
+		MaxConns:        opts.maxConns,
+		DisablePipeline: opts.noPipeline,
 	}
 	addr, err := server.ListenAndServe(listen)
 	if err != nil {

@@ -11,7 +11,7 @@
 //	slicehide analyze <file.mj>
 //	slicehide split   -func f [-seed v] [-no-cfh] <file.mj>
 //	slicehide ilp     -func f [-seed v] <file.mj>
-//	slicehide run     [-split f[:v],g[:v],...] [-rtt d] [-server addr] [-timeout d] [-retries n] <file.mj>
+//	slicehide run     [-split f[:v],g[:v],...] [-rtt d] [-server addr] [-timeout d] [-retries n] [-pipeline] [-window n] <file.mj>
 //	slicehide attack  -func f [-seed v] [-calls n] [-window k] <file.mj>
 package main
 
@@ -245,6 +245,8 @@ func cmdRun(args []string) error {
 	stats := fs.Bool("stats", false, "print interaction statistics")
 	timeout := fs.Duration("timeout", 5*time.Second, "per-attempt I/O deadline on the hiddend link")
 	retries := fs.Int("retries", 8, "max retries per round trip on the hiddend link (-1 disables)")
+	pipeline := fs.Bool("pipeline", true, "pipeline reply-free hidden calls (one-way sends, coalesced writes)")
+	window := fs.Int("window", 64, "max unacknowledged in-flight requests when pipelining")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -267,17 +269,32 @@ func cmdRun(args []string) error {
 	counters := &hrt.Counters{}
 	var t hrt.Transport
 	if *server != "" {
-		tr, err := hrt.DialReconnect(hrt.ReconnectConfig{
-			Addr:     *server,
-			Timeout:  *timeout,
-			Policy:   hrt.RetryPolicy{Retries: *retries},
-			Counters: counters,
-		})
-		if err != nil {
-			return err
+		if *pipeline {
+			tr, err := hrt.DialPipeline(hrt.PipelineConfig{
+				Addr:     *server,
+				Timeout:  *timeout,
+				Policy:   hrt.RetryPolicy{Retries: *retries},
+				Window:   *window,
+				Counters: counters,
+			})
+			if err != nil {
+				return err
+			}
+			defer tr.Close()
+			t = tr
+		} else {
+			tr, err := hrt.DialReconnect(hrt.ReconnectConfig{
+				Addr:     *server,
+				Timeout:  *timeout,
+				Policy:   hrt.RetryPolicy{Retries: *retries},
+				Counters: counters,
+			})
+			if err != nil {
+				return err
+			}
+			defer tr.Close()
+			t = tr
 		}
-		defer tr.Close()
-		t = tr
 	} else {
 		t = &hrt.Local{Server: hrt.NewServer(hrt.NewRegistry(res))}
 	}
@@ -285,9 +302,17 @@ func cmdRun(args []string) error {
 		t = &hrt.Latency{Inner: t, RTT: *rtt}
 	}
 	t = &hrt.Counting{Inner: t, Counters: counters}
+	var hidden interp.HiddenSession = &hrt.Session{T: t}
+	if *pipeline {
+		// Falls back to the synchronous session when the chain cannot do
+		// one-way sends (a sync-only server or wrapper).
+		if as := hrt.NewAsyncSession(t); as != nil {
+			hidden = as
+		}
+	}
 	in := interp.New(res.Open, interp.Options{
 		Out:        os.Stdout,
-		Hidden:     &hrt.Session{T: t},
+		Hidden:     hidden,
 		SplitFuncs: res.SplitSet(),
 	})
 	start := time.Now()
@@ -295,9 +320,12 @@ func cmdRun(args []string) error {
 		return err
 	}
 	if *stats {
-		fmt.Fprintf(os.Stderr, "interactions=%d values-sent=%d activations=%d bytes-sent=%d bytes-recv=%d retries=%d reconnects=%d elapsed=%s\n",
-			counters.Interactions(), counters.ValuesSent.Load(), counters.Enters.Load(),
+		fmt.Fprintf(os.Stderr, "interactions=%d one-way=%d blocking=%d flushes=%d window-stalls=%d values-sent=%d activations=%d bytes-sent=%d bytes-recv=%d wire-sent=%d wire-recv=%d retries=%d reconnects=%d elapsed=%s\n",
+			counters.Interactions(), counters.OneWay.Load(), counters.Blocking(),
+			counters.Flushes.Load(), counters.WindowStalls.Load(),
+			counters.ValuesSent.Load(), counters.Enters.Load(),
 			counters.BytesSent.Load(), counters.BytesRecv.Load(),
+			counters.WireBytesSent.Load(), counters.WireBytesRecv.Load(),
 			counters.Retries.Load(), counters.Reconnects.Load(),
 			time.Since(start).Round(time.Millisecond))
 	}

@@ -101,6 +101,6 @@ func (s *splitter) mergeRun(run []*ir.HCallStmt) ir.Stmt {
 		fr.HidesFlow = fr.HidesFlow || sub.HidesFlow
 		fr.HasLoop = fr.HasLoop || sub.HasLoop
 	}
-	call := &ir.HCallExpr{FragID: fr.ID, Args: args}
+	call := &ir.HCallExpr{FragID: fr.ID, Args: args, NoReply: true}
 	return s.open.NewHCallStmt(run[0].Pos(), call)
 }

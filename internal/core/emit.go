@@ -74,7 +74,7 @@ func (s *splitter) emitAssign(st *ir.AssignStmt) []ir.Stmt {
 		fr := s.newFragment(FragExec, fmt.Sprintf("s%d: %s = %s", st.ID(), hv, ir.ExprString(st.Rhs)))
 		fb := s.builder(fr)
 		fr.Body = []ir.Stmt{s.comp.shell.NewAssign(st.Pos(), &ir.VarTarget{Var: hv}, fb.rewriteHidden(st.Rhs))}
-		call := &ir.HCallExpr{FragID: fr.ID, Args: fb.openArgs}
+		call := &ir.HCallExpr{FragID: fr.ID, Args: fb.openArgs, NoReply: true}
 		return []ir.Stmt{s.open.NewHCallStmt(st.Pos(), call)}
 	case slicer.RoleSend:
 		// Case (ii): rhs computed openly, value sent to Hf.
@@ -83,7 +83,7 @@ func (s *splitter) emitAssign(st *ir.AssignStmt) []ir.Stmt {
 			return s.emitOpenAssign(st)
 		}
 		fr := s.updateFrag(hv)
-		call := &ir.HCallExpr{FragID: fr.ID, Args: []ir.Expr{s.rewriteOpen(st.Rhs)}}
+		call := &ir.HCallExpr{FragID: fr.ID, Args: []ir.Expr{s.rewriteOpen(st.Rhs)}, NoReply: true}
 		return []ir.Stmt{s.open.NewHCallStmt(st.Pos(), call)}
 	case slicer.RoleLeak:
 		// Case (iii): rhs moves to Hf; the returned value is stored into the
@@ -146,7 +146,7 @@ func (s *splitter) emitIf(st *ir.IfStmt) []ir.Stmt {
 			s.transformMovable(fb, st.Then), s.transformMovable(fb, st.Else))
 		fr.HasLoop = containsLoop([]ir.Stmt{body})
 		fr.Body = []ir.Stmt{body}
-		call := &ir.HCallExpr{FragID: fr.ID, Args: fb.openArgs}
+		call := &ir.HCallExpr{FragID: fr.ID, Args: fb.openArgs, NoReply: true}
 		return []ir.Stmt{s.open.NewHCallStmt(st.Pos(), call)}
 	}
 
@@ -174,7 +174,7 @@ func (s *splitter) emitIf(st *ir.IfStmt) []ir.Stmt {
 				s.comp.shell.NewReturn(st.Pos(), &ir.VarRef{Var: tmp}),
 			}
 			if len(st.Else) == 0 {
-				call := &ir.HCallExpr{FragID: fr.ID, Args: fb.openArgs}
+				call := &ir.HCallExpr{FragID: fr.ID, Args: fb.openArgs, NoReply: true}
 				return []ir.Stmt{s.open.NewHCallStmt(st.Pos(), call)}
 			}
 			site := &ir.HCallExpr{FragID: fr.ID, Args: fb.openArgs, Leaks: true}
@@ -232,7 +232,7 @@ func (s *splitter) emitWhile(st *ir.WhileStmt) []ir.Stmt {
 		fb := s.builder(fr)
 		fr.Body = []ir.Stmt{s.comp.shell.NewWhile(st.Pos(), fb.rewriteHidden(st.Cond),
 			s.transformMovable(fb, st.Body), s.transformMovable(fb, st.Post))}
-		call := &ir.HCallExpr{FragID: fr.ID, Args: fb.openArgs}
+		call := &ir.HCallExpr{FragID: fr.ID, Args: fb.openArgs, NoReply: true}
 		return []ir.Stmt{s.open.NewHCallStmt(st.Pos(), call)}
 	}
 

@@ -200,7 +200,7 @@ func (rw *refRewriter) stmt(st ir.Stmt) ir.Stmt {
 	case *ir.AssignStmt:
 		if vt, ok := st.Lhs.(*ir.VarTarget); ok && rw.hiddenGlobal[vt.Var] {
 			fr := rw.res.Globals.updateFrag(vt.Var)
-			call := &ir.HCallExpr{FragID: fr.ID, Component: GlobalsComponent, Args: []ir.Expr{rw.expr(st.Rhs)}}
+			call := &ir.HCallExpr{FragID: fr.ID, Component: GlobalsComponent, Args: []ir.Expr{rw.expr(st.Rhs)}, NoReply: true}
 			return rw.out.NewHCallStmt(st.Pos(), call)
 		}
 		if ft, ok := st.Lhs.(*ir.FieldTarget); ok && ft.FieldVar != nil && rw.hiddenFields[ft.FieldVar] {
@@ -211,6 +211,7 @@ func (rw *refRewriter) stmt(st ir.Stmt) ir.Stmt {
 				Component: ClassComponentPrefix + ft.FieldVar.Class,
 				Obj:       rw.expr(ft.Obj),
 				Args:      []ir.Expr{rw.expr(st.Rhs)},
+				NoReply:   true,
 			}
 			return rw.out.NewHCallStmt(st.Pos(), call)
 		}
@@ -320,7 +321,7 @@ func (rw *refRewriter) expr(e ir.Expr) ir.Expr {
 		for i, a := range e.Args {
 			args[i] = rw.expr(a)
 		}
-		return &ir.HCallExpr{FragID: e.FragID, Args: args, Leaks: e.Leaks, Component: e.Component, Obj: rw.expr(e.Obj)}
+		return &ir.HCallExpr{FragID: e.FragID, Args: args, Leaks: e.Leaks, Component: e.Component, Obj: rw.expr(e.Obj), NoReply: e.NoReply}
 	}
 	panic(fmt.Sprintf("core: ref rewrite: unexpected expr %T", e))
 }

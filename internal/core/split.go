@@ -86,7 +86,7 @@ func SplitOpts(f *ir.Func, seed *ir.Var, policy slicer.Policy, opts Options) (*S
 	for _, p := range f.Params {
 		if s.hidden[p] {
 			fr := s.updateFrag(p)
-			call := &ir.HCallExpr{FragID: fr.ID, Args: []ir.Expr{&ir.VarRef{Var: p}}}
+			call := &ir.HCallExpr{FragID: fr.ID, Args: []ir.Expr{&ir.VarRef{Var: p}}, NoReply: true}
 			body = append(body, s.open.NewHCallStmt(token.Pos{}, call))
 		}
 	}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// BenchRow is one machine-readable measurement in BENCH_hrt.json: a
+// kernel/input pair run over one transport mode. Wall time is the split
+// run's duration; blocking counts the operations that paid a full RTT
+// (every request in sync mode, reply-bearing requests plus barriers in
+// pipelined mode), so wall-clock communication cost is blocking × rtt.
+type BenchRow struct {
+	Kernel       string  `json:"kernel"`
+	Input        string  `json:"input"`
+	Transport    string  `json:"transport"` // "sync" or "pipelined"
+	RTTNs        int64   `json:"rtt_ns"`
+	WallNs       int64   `json:"wall_ns"`
+	BaselineNs   int64   `json:"baseline_ns"` // unsplit run, same machine
+	Interactions int64   `json:"interactions"`
+	Blocking     int64   `json:"blocking"`
+	WireBytes    int64   `json:"wire_bytes"`
+	OverheadPct  float64 `json:"overhead_pct"`
+}
+
+// BenchReport is the top-level BENCH_hrt.json document.
+type BenchReport struct {
+	Config struct {
+		KernelScale int   `json:"kernel_scale"`
+		RTTNs       int64 `json:"rtt_ns"`
+	} `json:"config"`
+	Rows []BenchRow `json:"rows"`
+}
+
+// BenchRows flattens Table 5 measurements into per-transport rows.
+func BenchRows(rows []Table5Row, rtt time.Duration) []BenchRow {
+	var out []BenchRow
+	for _, r := range rows {
+		if r.Excluded {
+			continue
+		}
+		out = append(out,
+			BenchRow{
+				Kernel: r.Benchmark, Input: r.Input, Transport: "sync",
+				RTTNs: rtt.Nanoseconds(), WallNs: r.After.Nanoseconds(),
+				BaselineNs: r.Before.Nanoseconds(), Interactions: r.Interactions,
+				Blocking: r.Blocking, WireBytes: r.WireBytes, OverheadPct: r.PctIncrease,
+			},
+			BenchRow{
+				Kernel: r.Benchmark, Input: r.Input, Transport: "pipelined",
+				RTTNs: rtt.Nanoseconds(), WallNs: r.Pipelined.Nanoseconds(),
+				BaselineNs: r.Before.Nanoseconds(), Interactions: r.Interactions,
+				Blocking: r.PipelinedBlocking, WireBytes: r.WireBytes, OverheadPct: r.PipelinedPct,
+			})
+	}
+	return out
+}
+
+// WriteBenchJSON runs Table 5 under cfg and writes the report to w.
+func WriteBenchJSON(w io.Writer, cfg Config) error {
+	rows, err := Table5(cfg)
+	if err != nil {
+		return err
+	}
+	var rep BenchReport
+	rep.Config.KernelScale = cfg.KernelScale
+	rep.Config.RTTNs = cfg.RTT.Nanoseconds()
+	rep.Rows = BenchRows(rows, cfg.RTT)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// WriteBenchJSONFile is WriteBenchJSON to a file path (used by `make bench`).
+func WriteBenchJSONFile(path string, cfg Config) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("experiments: create %s: %w", path, err)
+	}
+	if err := WriteBenchJSON(f, cfg); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

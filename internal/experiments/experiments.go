@@ -216,7 +216,10 @@ func RenderTable4(splits []BenchmarkSplit) string {
 // ---------------------------------------------------------------------------
 // Table 5 — runtime overhead
 
-// Table5Row is one benchmark/input measurement.
+// Table5Row is one benchmark/input measurement. Each row measures the
+// synchronous transport (every request blocks one RTT, the paper's model)
+// and the pipelined transport (reply-free requests go one-way; only
+// reply-bearing requests and barriers block).
 type Table5Row struct {
 	Benchmark    string
 	Input        string
@@ -227,7 +230,14 @@ type Table5Row struct {
 	Before      time.Duration
 	After       time.Duration
 	PctIncrease float64
-	Excluded    bool
+	// Blocking counts operations that paid a full RTT in the synchronous
+	// run; PipelinedBlocking counts them in the pipelined run (round trips
+	// plus flush barriers). Their ratio is the latency-model speedup.
+	Blocking          int64
+	Pipelined         time.Duration
+	PipelinedPct      float64
+	PipelinedBlocking int64
+	Excluded          bool
 }
 
 // Table5 runs every kernel unsplit and split (over the latency transport)
@@ -272,10 +282,12 @@ func runKernelOnce(k corpus.Kernel, label string, size int, cfg Config) (Table5R
 	}
 	before := time.Since(start)
 
-	start = time.Now()
-	out := hrt.RunSplit(res, func(t hrt.Transport) hrt.Transport {
+	wrap := func(t hrt.Transport) hrt.Transport {
 		return &hrt.Latency{Inner: t, RTT: cfg.RTT}
-	}, cfg.MaxSteps)
+	}
+
+	start = time.Now()
+	out := hrt.RunSplit(res, wrap, cfg.MaxSteps)
 	after := time.Since(start)
 	if out.Err != nil {
 		return Table5Row{}, out.Err
@@ -283,34 +295,57 @@ func runKernelOnce(k corpus.Kernel, label string, size int, cfg Config) (Table5R
 	if out.Output != wantOut {
 		return Table5Row{}, fmt.Errorf("split changed output: %q vs %q", out.Output, wantOut)
 	}
+
+	start = time.Now()
+	pout := hrt.RunSplitOpts(res, wrap, cfg.MaxSteps, hrt.RunOptions{Pipeline: true})
+	pipelined := time.Since(start)
+	if pout.Err != nil {
+		return Table5Row{}, fmt.Errorf("pipelined run: %w", pout.Err)
+	}
+	if pout.Output != wantOut {
+		return Table5Row{}, fmt.Errorf("pipelining changed output: %q vs %q", pout.Output, wantOut)
+	}
+
 	pct := 0.0
+	ppct := 0.0
 	if before > 0 {
 		pct = 100 * float64(after-before) / float64(before)
+		ppct = 100 * float64(pipelined-before) / float64(before)
 	}
 	return Table5Row{
-		Benchmark:    k.Name,
-		Input:        label,
-		Interactions: out.Interactions,
-		WireBytes:    out.BytesSent + out.BytesRecv,
-		Before:       before,
-		After:        after,
-		PctIncrease:  pct,
+		Benchmark:         k.Name,
+		Input:             label,
+		Interactions:      out.Interactions,
+		WireBytes:         out.BytesSent + out.BytesRecv,
+		Before:            before,
+		After:             after,
+		PctIncrease:       pct,
+		Blocking:          out.Blocking,
+		Pipelined:         pipelined,
+		PipelinedPct:      ppct,
+		PipelinedBlocking: pout.Blocking,
 	}, nil
 }
 
-// RenderTable5 formats Table 5.
+// RenderTable5 formats Table 5, extended with the pipelined transport
+// ("pipelined"/"pipe %") and the latency model ("blocking sync/pipe":
+// operations that paid a full RTT in each mode).
 func RenderTable5(rows []Table5Row) string {
 	t := report.New("Table 5. Runtime overhead caused by software splitting.",
-		"benchmark", "input", "interactions", "wire bytes", "before", "after", "% increase")
+		"benchmark", "input", "interactions", "wire bytes", "before", "after", "% increase",
+		"pipelined", "pipe %", "blocking sync/pipe")
 	for _, r := range rows {
 		if r.Excluded {
-			t.Row(r.Benchmark, r.Input, "-", "-", "-", "-", "-")
+			t.Row(r.Benchmark, r.Input, "-", "-", "-", "-", "-", "-", "-", "-")
 			continue
 		}
 		t.Row(r.Benchmark, r.Input, r.Interactions, r.WireBytes,
 			r.Before.Round(time.Microsecond).String(),
 			r.After.Round(time.Microsecond).String(),
-			fmt.Sprintf("%.0f%%", r.PctIncrease))
+			fmt.Sprintf("%.0f%%", r.PctIncrease),
+			r.Pipelined.Round(time.Microsecond).String(),
+			fmt.Sprintf("%.0f%%", r.PipelinedPct),
+			fmt.Sprintf("%d/%d", r.Blocking, r.PipelinedBlocking))
 	}
 	return t.String()
 }

@@ -165,6 +165,106 @@ func TestChaosCorpusOverFaultyTCP(t *testing.T) {
 	}
 }
 
+// TestChaosCorpusPipelinedOverFaultyTCP repeats the chaos acceptance test
+// over the pipelined transport: one-way frames stream through the same
+// fault-injecting proxy (drops now create server-side sequence gaps, the
+// case the resend protocol exists for) and every split program must still
+// produce byte-identical output with hidden state mutated exactly once.
+func TestChaosCorpusPipelinedOverFaultyTCP(t *testing.T) {
+	var totalInjected, totalRetries, totalOneWay int64
+	for i, cp := range chaosCorpus(t) {
+		cp := cp
+		seed := int64(101 + i)
+		t.Run(cp.name, func(t *testing.T) {
+			want, _, err := RunOriginal(cp.res.Orig, chaosMaxSteps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			server := NewServer(NewRegistry(cp.res))
+			ts := &TCPServer{Server: server, ReadTimeout: 5 * time.Second, WriteTimeout: 5 * time.Second}
+			addr, err := ts.ListenAndServe("127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ts.Close()
+
+			proxy := &FaultProxy{
+				Backend: addr.String(),
+				Script: ComposeScripts(
+					SeverEvery(23),
+					SeededScript(seed, FaultRates{
+						DropRequest:  0.004,
+						DropResponse: 0.004,
+						Delay:        0.01,
+						Corrupt:      0.003,
+					}),
+				),
+				Delay: 500 * time.Microsecond,
+			}
+			paddr, err := proxy.Start("127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer proxy.Close()
+
+			counters := &Counters{}
+			tr, err := DialPipeline(PipelineConfig{
+				Addr:    paddr.String(),
+				Timeout: 250 * time.Millisecond,
+				Policy: RetryPolicy{
+					Retries:     40,
+					BackoffBase: time.Millisecond,
+					BackoffMax:  8 * time.Millisecond,
+					JitterSeed:  seed,
+				},
+				Window:   32,
+				Counters: counters,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer tr.Close()
+
+			as := NewAsyncSession(&Counting{Inner: tr, Counters: counters})
+			if as == nil {
+				t.Fatal("pipelined transport not async-capable")
+			}
+			var b strings.Builder
+			in := interp.New(cp.res.Open, interp.Options{
+				Out:        &b,
+				MaxSteps:   chaosMaxSteps,
+				Hidden:     as,
+				SplitFuncs: cp.res.SplitSet(),
+			})
+			if err := in.Run(); err != nil {
+				t.Fatalf("pipelined run under faults: %v", err)
+			}
+			if b.String() != want {
+				t.Fatalf("output diverged under faults:\n got %q\nwant %q", b.String(), want)
+			}
+			stats := server.Stats()
+			if stats.Calls != counters.Calls.Load() ||
+				stats.Enters != counters.Enters.Load() ||
+				stats.Exits != counters.Exits.Load() {
+				t.Errorf("hidden state not mutated exactly once: server %+v, client calls=%d enters=%d exits=%d (retries=%d)",
+					stats, counters.Calls.Load(), counters.Enters.Load(), counters.Exits.Load(), counters.Retries.Load())
+			}
+			totalInjected += proxy.TotalInjected()
+			totalRetries += counters.Retries.Load()
+			totalOneWay += counters.OneWay.Load()
+		})
+	}
+	if totalInjected == 0 {
+		t.Error("fault injector never fired; the chaos test is vacuous")
+	}
+	if totalRetries == 0 {
+		t.Errorf("expected fault recoveries across the corpus: retries=%d", totalRetries)
+	}
+	if totalOneWay == 0 {
+		t.Error("no requests went one-way; the pipelined chaos test degenerated to sync")
+	}
+}
+
 // TestExactlyOnceInProcess exercises the Retry/Dedup pair without a
 // network: an in-process fault transport loses responses after execution
 // (the replay hazard) and the replay cache must absorb every retry.

@@ -6,45 +6,67 @@ import (
 	"sync/atomic"
 )
 
-// Dedup is the server half of the exactly-once scheme. It caches the last
-// response per client session, keyed by the (session, seq) stamp a Retry
-// client puts on every request, and answers replays from the cache
-// instead of re-executing — so a retried Enter/Exit/Call mutates hidden
-// state exactly once no matter how many times a faulty link forced the
-// client to re-send it.
+// Dedup is the server half of the exactly-once scheme. It executes each
+// session's requests in sequence order exactly once, keyed by the
+// (session, seq) stamp the client puts on every request, and answers
+// replays of reply-bearing requests from a cache — so a retried
+// Enter/Exit/Call mutates hidden state exactly once no matter how many
+// times a faulty link forced the client to re-send it.
 //
-// Because the open component is sequential, one cached response per
-// session suffices: the client never sends seq+1 before it has the answer
-// to seq. A duplicate that arrives while the original is still executing
-// (a client whose deadline fired early) waits for that execution instead
-// of starting a second one.
+// Pipelined clients additionally send reply-free requests (ReqNoReply)
+// one-way. Dedup executes those in order too, but defers their errors: the
+// first failure poisons the session and surfaces in the next reply-bearing
+// response or flush barrier, where the in-order semantics put it. A
+// sequence gap (a one-way frame lost on a severed connection) makes Dedup
+// refuse to execute the reply-bearing request that revealed it; the
+// response carries RespResend plus the highest executed seq in Ack, and
+// the client replays its in-flight window from Ack+1. Replayed frames at
+// or below the session's high-water mark are skipped silently, preserving
+// exactly-once across the resend.
 type Dedup struct {
 	Inner Transport
 	// MaxSessions caps the cache; the least recently used sessions are
 	// evicted beyond it. Default 1024.
 	MaxSessions int
-	// Replays counts requests answered from the cache.
+	// Replays counts requests answered from the cache or skipped as
+	// already-executed duplicates.
 	Replays atomic.Int64
+	// Resends counts reply-bearing requests bounced with RespResend
+	// because a sequence gap showed an earlier one-way frame was lost.
+	Resends atomic.Int64
 
 	mu       sync.Mutex
 	sessions map[uint64]*dedupEntry
 	clock    uint64
 }
 
-// dedupEntry is one session's slot: the newest sequence number seen and
-// its response. done is closed once resp is valid; duplicates of an
-// in-flight request block on it rather than re-executing.
+// dedupEntry is one session's slot.
 type dedupEntry struct {
-	seq  uint64
-	resp Response
+	// lastSeq is the high-water mark: every seq ≤ lastSeq has been
+	// executed (or deliberately skipped on a poisoned session) in order.
+	lastSeq uint64
+	// respSeq/resp cache the newest reply-bearing response, so a client
+	// whose deadline fired can replay the request and get the same answer
+	// without re-execution.
+	respSeq uint64
+	resp    Response
+	// deferred holds the first error a reply-free request produced; once
+	// set, later requests are skipped (not executed) and the error
+	// surfaces in the next reply-bearing response.
+	deferred string
+	// done is non-nil while a request of this session is executing;
+	// duplicates and successors wait on it instead of racing. Requests
+	// within a session execute strictly one at a time, in seq order.
 	done chan struct{}
 	used uint64
 }
 
 const defaultMaxSessions = 1024
 
-// RoundTrip executes req exactly once per (session, seq), answering
-// replays from the cache. Unstamped requests (session 0) pass through.
+// RoundTrip executes req exactly once per (session, seq), in sequence
+// order, answering replays from the cache. Unstamped requests (session 0)
+// pass through. For reply-free requests the returned Response is
+// meaningless and must not be written back to the client.
 func (d *Dedup) RoundTrip(req Request) (Response, error) {
 	if req.Session == 0 {
 		return d.Inner.RoundTrip(req)
@@ -55,41 +77,105 @@ func (d *Dedup) RoundTrip(req Request) (Response, error) {
 	}
 	d.clock++
 	e := d.sessions[req.Session]
-	if e != nil {
-		e.used = d.clock
-		switch {
-		case req.Seq == e.seq:
-			done := e.done
-			d.mu.Unlock()
-			<-done // the close(done) below publishes e.resp
-			d.Replays.Add(1)
-			return e.resp, nil
-		case req.Seq < e.seq:
-			// A ghost duplicate from an abandoned connection; the client
-			// that sent it has already moved on.
-			d.mu.Unlock()
-			return Response{Err: fmt.Sprintf("hrt: stale request %d for session %d (newest %d)", req.Seq, req.Session, e.seq)}, nil
-		}
+	if e == nil {
+		e = &dedupEntry{}
+		d.sessions[req.Session] = e
+		d.evictLocked()
 	}
-	e = &dedupEntry{seq: req.Seq, done: make(chan struct{}), used: d.clock}
-	d.sessions[req.Session] = e
-	d.evictLocked()
+	e.used = d.clock
+
+	// Serialize the session: wait out any in-flight execution so requests
+	// run strictly in order and duplicates observe the cached result.
+	for e.done != nil {
+		done := e.done
+		d.mu.Unlock()
+		<-done
+		d.mu.Lock()
+	}
+
+	switch {
+	case req.Seq <= e.lastSeq:
+		// Already executed (or skipped). One-way duplicates — window
+		// replays after a resend — are dropped silently.
+		d.Replays.Add(1)
+		if req.NoReply() {
+			d.mu.Unlock()
+			return Response{}, nil
+		}
+		if req.Seq == e.respSeq {
+			resp := e.resp
+			d.mu.Unlock()
+			return resp, nil
+		}
+		last := e.lastSeq
+		d.mu.Unlock()
+		return Response{
+			Seq: req.Seq,
+			Ack: last,
+			Err: fmt.Sprintf("hrt: stale request %d for session %d (newest %d)", req.Seq, req.Session, last),
+		}, nil
+
+	case req.Seq > e.lastSeq+1:
+		// Sequence gap: an earlier frame never arrived. Executing out of
+		// order would corrupt hidden state, so don't. One-way frames are
+		// dropped (the barrier will flush out the loss); reply-bearing
+		// requests bounce with a resend demand.
+		last := e.lastSeq
+		d.mu.Unlock()
+		if req.NoReply() {
+			return Response{}, nil
+		}
+		d.Resends.Add(1)
+		return Response{Seq: req.Seq, Ack: last, Flags: RespResend}, nil
+	}
+
+	// req.Seq == e.lastSeq+1: the next request in order. Execute it —
+	// unless the session is poisoned, in which case the window drains
+	// without touching hidden state and the deferred error reports.
+	e.done = make(chan struct{})
+	poisoned := e.deferred
 	d.mu.Unlock()
 
-	resp, err := d.Inner.RoundTrip(req)
-	if err != nil {
-		// Inner is in-process here; its errors are protocol violations,
-		// which are answers too — cache them so a replay gets the same
-		// verdict without re-executing.
-		resp = Response{Err: err.Error()}
+	var resp Response
+	if poisoned == "" {
+		var err error
+		resp, err = d.Inner.RoundTrip(req)
+		if err != nil {
+			// Inner is in-process here; its errors are protocol
+			// violations, which are answers too — record them so a replay
+			// gets the same verdict without re-executing.
+			resp = Response{Err: err.Error()}
+		}
 	}
+
+	d.mu.Lock()
+	e.lastSeq = req.Seq
+	if req.NoReply() {
+		if resp.Err != "" && e.deferred == "" {
+			e.deferred = resp.Err
+		}
+		close(e.done)
+		e.done = nil
+		d.mu.Unlock()
+		return Response{}, nil
+	}
+	if e.deferred != "" {
+		// The failure happened earlier in program order; it outranks
+		// whatever this request produced.
+		resp = Response{Err: e.deferred}
+	}
+	resp.Seq = req.Seq
+	resp.Ack = e.lastSeq
+	e.respSeq = req.Seq
 	e.resp = resp
 	close(e.done)
+	e.done = nil
+	d.mu.Unlock()
 	return resp, nil
 }
 
-// evictLocked drops the least recently used completed sessions while over
-// the cap. Caller holds d.mu.
+// evictLocked drops the least recently used idle sessions while over the
+// cap. Caller holds d.mu.
 func (d *Dedup) evictLocked() {
 	max := d.MaxSessions
 	if max <= 0 {
@@ -100,9 +186,7 @@ func (d *Dedup) evictLocked() {
 		var oldest uint64
 		found := false
 		for id, e := range d.sessions {
-			select {
-			case <-e.done:
-			default:
+			if e.done != nil {
 				continue // still executing; never evict in-flight work
 			}
 			if !found || e.used < oldest {

@@ -283,6 +283,17 @@ func (p *FaultProxy) serve(client net.Conn) {
 		if err := bw.Flush(); err != nil {
 			return
 		}
+		if req.NoReply() {
+			// Reply-free pipelined frame: the backend sends nothing back,
+			// so don't block reading a response. A drop-response fault is
+			// meaningless here (there is no response to lose); a delay
+			// fault stalls the stream like a congested link would.
+			if fault == FaultDelay {
+				p.injected[FaultDelay].Add(1)
+				time.Sleep(p.Delay)
+			}
+			continue
+		}
 		resp, err := ReadResponse(br)
 		if err != nil {
 			return

@@ -1,0 +1,477 @@
+package hrt
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// PipelineConfig configures the pipelined fault-tolerant client side of
+// the TCP link (see DialPipeline).
+type PipelineConfig struct {
+	// Addr is the hidden server's address (used when Dial is nil).
+	Addr string
+	// Dial overrides how connections are established; fault-injection
+	// tests dial through a proxy or an in-memory pipe.
+	Dial func() (net.Conn, error)
+	// Timeout is the I/O deadline covering one blocking exchange attempt;
+	// default 5s.
+	Timeout time.Duration
+	// Policy bounds retries and backoff across attempts.
+	Policy RetryPolicy
+	// Session overrides the random session id (tests).
+	Session uint64
+	// Window caps the number of unacknowledged in-flight requests; a full
+	// window forces an early flush barrier (counted in WindowStalls).
+	// Default 64.
+	Window int
+	// Counters, when set, tallies retries, reconnects, window stalls, and
+	// true wire volume.
+	Counters *Counters
+}
+
+const defaultWindow = 64
+
+// PipelineTransport is the pipelined open-machine side of the TCP link.
+// Reply-free requests (ReqNoReply) are written into the connection's
+// buffered writer without waiting — consecutive frames coalesce into one
+// segment — while an ordered in-flight window retains every
+// unacknowledged request. Blocking exchanges (reply-bearing requests and
+// flush barriers) flush the writer and wait for the matching response; the
+// response's Ack prunes the window.
+//
+// Fault tolerance composes with pipelining: every request carries the
+// (session, seq) stamp from PR 1, so when the link breaks the client
+// re-dials and replays the whole unacked window — the server's Dedup
+// layer skips already-executed sequence numbers and detects gaps, making
+// the replay exactly-once. A RespResend response (the server saw a gap
+// from a frame lost in transit) rewinds the write cursor to the server's
+// high-water mark and resends from there without re-dialing.
+type PipelineTransport struct {
+	timeout time.Duration
+	pol     RetryPolicy
+	window  int
+	dial    func() (net.Conn, error)
+
+	session  uint64
+	counters *Counters
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	mu  sync.Mutex
+	seq uint64
+	// acked is the highest sequence number the server has acknowledged;
+	// inflight holds every request above it, in sequence order.
+	acked    uint64
+	inflight []Request
+	// conn state. wroteSeq is the highest sequence number written to the
+	// current connection; frames in (wroteSeq, seq] still need writing.
+	conn     net.Conn
+	w        *bufio.Writer
+	wroteSeq uint64
+	dead     chan struct{} // closed when the reader goroutine exits
+	// pending routes responses read by the reader goroutine to the
+	// blocking exchange waiting for them, keyed by sequence number.
+	// Responses with no waiting seq — duplicates from an abandoned
+	// attempt, or malformed acks — are dropped, so they can never wedge
+	// the window.
+	pending    map[uint64]chan Response
+	dialedOnce bool
+	closed     bool
+}
+
+// DialPipeline connects a pipelined client to a hidden-component server.
+// The initial dial happens eagerly so configuration errors surface here;
+// later re-dials happen on demand.
+func DialPipeline(cfg PipelineConfig) (*PipelineTransport, error) {
+	if cfg.Dial == nil {
+		addr := cfg.Addr
+		cfg.Dial = func() (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 5 * time.Second
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = defaultWindow
+	}
+	if cfg.Session == 0 {
+		cfg.Session = NewSessionID()
+	}
+	pol := cfg.Policy.withDefaults()
+	seed := pol.JitterSeed
+	if seed == 0 {
+		seed = 1
+	}
+	t := &PipelineTransport{
+		timeout:  cfg.Timeout,
+		pol:      pol,
+		window:   cfg.Window,
+		dial:     cfg.Dial,
+		session:  cfg.Session,
+		counters: cfg.Counters,
+		rng:      rand.New(rand.NewSource(seed)),
+		pending:  make(map[uint64]chan Response),
+	}
+	t.mu.Lock()
+	err := t.connectLocked()
+	t.mu.Unlock()
+	if err != nil {
+		return nil, fmt.Errorf("hrt: dial hidden server: %w", err)
+	}
+	return t, nil
+}
+
+var _ AsyncTransport = (*PipelineTransport)(nil)
+
+// connectLocked dials a fresh connection and starts its reader goroutine.
+// Caller holds t.mu.
+func (t *PipelineTransport) connectLocked() error {
+	conn, err := t.dial()
+	if err != nil {
+		return err
+	}
+	t.conn = conn
+	var w io.Writer = conn
+	var r io.Reader = conn
+	if t.counters != nil {
+		w = &meterWriter{w: conn, n: &t.counters.WireBytesSent}
+		r = &meterReader{r: conn, n: &t.counters.WireBytesRecv}
+	}
+	t.w = bufio.NewWriter(w)
+	// A fresh connection has seen nothing: replay starts after the last
+	// acknowledged request.
+	t.wroteSeq = t.acked
+	t.dead = make(chan struct{})
+	if t.dialedOnce && t.counters != nil {
+		t.counters.Reconnects.Add(1)
+	}
+	t.dialedOnce = true
+	go t.readLoop(conn, bufio.NewReader(r), t.dead)
+	return nil
+}
+
+// readLoop decodes responses off one connection and hands each to the
+// exchange waiting on its sequence number. It exits when the connection
+// dies (its own read error, or the exchange path closing the socket).
+func (t *PipelineTransport) readLoop(conn net.Conn, r *bufio.Reader, dead chan struct{}) {
+	defer close(dead)
+	for {
+		resp, err := ReadResponse(r)
+		if err != nil {
+			t.dropConn(conn)
+			return
+		}
+		t.mu.Lock()
+		ch := t.pending[resp.Seq]
+		delete(t.pending, resp.Seq)
+		closed := t.closed
+		t.mu.Unlock()
+		if closed {
+			return
+		}
+		if ch != nil {
+			ch <- resp // buffered; never blocks
+		}
+	}
+}
+
+// dropConn discards conn if it is still current, forcing the next
+// exchange to re-dial.
+func (t *PipelineTransport) dropConn(conn net.Conn) {
+	t.mu.Lock()
+	if t.conn == conn {
+		t.conn = nil
+		t.w = nil
+	}
+	t.mu.Unlock()
+	conn.Close()
+}
+
+// writeWindowLocked writes every in-flight frame newer than wroteSeq into
+// the buffered writer (without flushing — coalescing is the point).
+// Caller holds t.mu and has ensured a live connection.
+func (t *PipelineTransport) writeWindowLocked() error {
+	if t.timeout > 0 {
+		t.conn.SetWriteDeadline(time.Now().Add(t.timeout))
+	}
+	for _, req := range t.inflight {
+		if req.Seq <= t.wroteSeq {
+			continue
+		}
+		if err := WriteRequest(t.w, req); err != nil {
+			return err
+		}
+		t.wroteSeq = req.Seq
+	}
+	return nil
+}
+
+// pruneLocked drops acknowledged requests from the window. Caller holds
+// t.mu.
+func (t *PipelineTransport) pruneLocked(ack uint64) {
+	if ack > t.seq {
+		// A malformed ack cannot acknowledge the future; ignore it.
+		return
+	}
+	if ack > t.acked {
+		t.acked = ack
+	}
+	for len(t.inflight) > 0 && t.inflight[0].Seq <= ack {
+		t.inflight = t.inflight[1:]
+	}
+}
+
+// Send queues a reply-free request: it is stamped, retained in the
+// in-flight window, and written into the connection's buffer without
+// waiting for any acknowledgement. A full window forces an early barrier
+// first (WindowStalls).
+func (t *PipelineTransport) Send(req Request) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return Terminal(errors.New("hrt: transport closed"))
+	}
+	if len(t.inflight) >= t.window {
+		t.mu.Unlock()
+		if t.counters != nil {
+			t.counters.WindowStalls.Add(1)
+		}
+		if err := t.Flush(); err != nil {
+			return err
+		}
+		t.mu.Lock()
+	}
+	t.seq++
+	req.Session, req.Seq = t.session, t.seq
+	req.Flags |= ReqNoReply
+	t.inflight = append(t.inflight, req)
+	// Write eagerly so the kernel can move bytes while the open component
+	// keeps computing. A write failure is not an error yet: the frame
+	// stays in the window and the next exchange replays it over a fresh
+	// connection.
+	if t.conn != nil {
+		if err := t.writeWindowLocked(); err != nil {
+			conn := t.conn
+			t.conn, t.w = nil, nil
+			t.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+	}
+	t.mu.Unlock()
+	return nil
+}
+
+// Flush is the barrier: it blocks until the server has executed every
+// in-flight request, surfacing the first deferred one-way error. An empty
+// window returns immediately without touching the link.
+func (t *PipelineTransport) Flush() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return Terminal(errors.New("hrt: transport closed"))
+	}
+	if len(t.inflight) == 0 {
+		t.mu.Unlock()
+		return nil
+	}
+	t.seq++
+	req := Request{Op: OpFlush, Session: t.session, Seq: t.seq}
+	t.inflight = append(t.inflight, req)
+	t.mu.Unlock()
+	resp, err := t.exchange(req)
+	if err != nil {
+		return err
+	}
+	if resp.Err != "" {
+		return fmt.Errorf("hrt: %s", resp.Err)
+	}
+	return nil
+}
+
+// RoundTrip performs a reply-bearing exchange. It is an implicit barrier:
+// the in-order server executes every queued one-way request before this
+// one, and the response acknowledges them all.
+func (t *PipelineTransport) RoundTrip(req Request) (Response, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return Response{}, Terminal(errors.New("hrt: transport closed"))
+	}
+	t.seq++
+	req.Session, req.Seq = t.session, t.seq
+	t.inflight = append(t.inflight, req)
+	t.mu.Unlock()
+	return t.exchange(req)
+}
+
+// exchange drives one blocking request to completion: ensure a
+// connection, (re)write the window, flush the coalesced frames, and wait
+// for the response matching req.Seq — re-dialing, resending, and backing
+// off across attempts, bounded by the retry policy.
+func (t *PipelineTransport) exchange(req Request) (Response, error) {
+	var lastErr error = errors.New("hrt: link failure")
+	attempts := 0
+	for attempt := 0; ; attempt++ {
+		resp, err := t.attempt(req)
+		attempts++
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if !Retryable(err) || attempt >= t.pol.Retries {
+			break
+		}
+		if t.counters != nil {
+			t.counters.Retries.Add(1)
+		}
+		t.rngMu.Lock()
+		d := backoffDelay(t.pol, t.rng, attempt)
+		t.rngMu.Unlock()
+		t.pol.Sleep(d)
+	}
+	return Response{}, fmt.Errorf("hrt: request %d of session %d failed after %d attempt(s): %w",
+		req.Seq, req.Session, attempts, lastErr)
+}
+
+// attempt is one try of an exchange. A RespResend answer (the server
+// detected a lost one-way frame) rewinds the write cursor and resends on
+// the same connection without consuming a retry attempt; resend rounds
+// are bounded so a misbehaving peer cannot loop the client forever.
+func (t *PipelineTransport) attempt(req Request) (Response, error) {
+	for resend := 0; ; resend++ {
+		if resend > t.window+2 {
+			return Response{}, errors.New("hrt: server demanded resend repeatedly without progress")
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			return Response{}, Terminal(errors.New("hrt: transport closed"))
+		}
+		if t.conn == nil {
+			if err := t.connectLocked(); err != nil {
+				t.mu.Unlock()
+				return Response{}, fmt.Errorf("hrt: redial hidden server: %w", err)
+			}
+		}
+		ch := make(chan Response, 1)
+		t.pending[req.Seq] = ch
+		err := t.writeWindowLocked()
+		if err == nil {
+			err = t.w.Flush()
+		}
+		conn, dead := t.conn, t.dead
+		if err != nil {
+			delete(t.pending, req.Seq)
+			t.conn, t.w = nil, nil
+			t.mu.Unlock()
+			conn.Close()
+			return Response{}, err
+		}
+		t.mu.Unlock()
+
+		var timer *time.Timer
+		var timeout <-chan time.Time
+		if t.timeout > 0 {
+			timer = time.NewTimer(t.timeout)
+			timeout = timer.C
+		}
+		stop := func() {
+			if timer != nil {
+				timer.Stop()
+			}
+		}
+		select {
+		case resp := <-ch:
+			stop()
+			t.mu.Lock()
+			if resp.Flags&RespResend != 0 && resp.Ack < req.Seq {
+				// The server refused to execute past a sequence gap;
+				// rewind to its high-water mark and resend the tail.
+				t.pruneLocked(resp.Ack)
+				if resp.Ack < t.wroteSeq {
+					t.wroteSeq = resp.Ack
+				}
+				t.mu.Unlock()
+				if t.counters != nil {
+					t.counters.Retries.Add(1)
+				}
+				continue
+			}
+			t.pruneLocked(resp.Ack)
+			t.pruneLocked(req.Seq)
+			t.mu.Unlock()
+			return resp, nil
+		case <-dead:
+			stop()
+			t.removePending(req.Seq)
+			return Response{}, errors.New("hrt: connection lost")
+		case <-timeout:
+			t.removePending(req.Seq)
+			// Close the socket so the reader goroutine exits too.
+			t.dropConn(conn)
+			return Response{}, errors.New("hrt: exchange timed out")
+		}
+	}
+}
+
+// removePending discards an exchange's response slot.
+func (t *PipelineTransport) removePending(seq uint64) {
+	t.mu.Lock()
+	delete(t.pending, seq)
+	t.mu.Unlock()
+}
+
+// InFlight reports the number of unacknowledged requests (for tests).
+func (t *PipelineTransport) InFlight() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.inflight)
+}
+
+// Close shuts the link down; subsequent operations fail terminally.
+func (t *PipelineTransport) Close() error {
+	t.mu.Lock()
+	t.closed = true
+	conn := t.conn
+	t.conn, t.w = nil, nil
+	t.mu.Unlock()
+	if conn != nil {
+		return conn.Close()
+	}
+	return nil
+}
+
+// meterWriter tallies bytes actually written to the wire (coalesced
+// frames and retransmissions included) — the satellite fix for
+// wire-volume accounting: logical sizes live in BytesSent, true volume
+// here.
+type meterWriter struct {
+	w io.Writer
+	n *atomic.Int64
+}
+
+func (m *meterWriter) Write(p []byte) (int, error) {
+	n, err := m.w.Write(p)
+	m.n.Add(int64(n))
+	return n, err
+}
+
+// meterReader tallies bytes actually read off the wire.
+type meterReader struct {
+	r io.Reader
+	n *atomic.Int64
+}
+
+func (m *meterReader) Read(p []byte) (int, error) {
+	n, err := m.r.Read(p)
+	m.n.Add(int64(n))
+	return n, err
+}

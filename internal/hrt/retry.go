@@ -153,14 +153,21 @@ func (t *Retry) RoundTrip(req Request) (Response, error) {
 // backoff returns the jittered exponential delay before retry `attempt`
 // (0-based): uniform in [base·2ᵃ/2, base·2ᵃ], capped at BackoffMax.
 func (t *Retry) backoff(attempt int) time.Duration {
-	d := t.pol.BackoffBase
-	for i := 0; i < attempt && d < t.pol.BackoffMax; i++ {
-		d *= 2
-	}
-	if d > t.pol.BackoffMax || d <= 0 {
-		d = t.pol.BackoffMax
-	}
 	t.rngMu.Lock()
 	defer t.rngMu.Unlock()
-	return d/2 + time.Duration(t.rng.Int63n(int64(d/2)+1))
+	return backoffDelay(t.pol, t.rng, attempt)
+}
+
+// backoffDelay computes one jittered exponential backoff step; shared by
+// the synchronous Retry transport and the pipelined transport so both
+// links pace re-sends identically. Caller guards rng.
+func backoffDelay(pol RetryPolicy, rng *rand.Rand, attempt int) time.Duration {
+	d := pol.BackoffBase
+	for i := 0; i < attempt && d < pol.BackoffMax; i++ {
+		d *= 2
+	}
+	if d > pol.BackoffMax || d <= 0 {
+		d = pol.BackoffMax
+	}
+	return d/2 + time.Duration(rng.Int63n(int64(d/2)+1))
 }

@@ -22,8 +22,25 @@ type RunOutcome struct {
 	// transports (zero on the plain local transport).
 	Retries    int64
 	Reconnects int64
-	Steps      int64
-	Err        error
+	// Flushes/WindowStalls/Blocking describe the pipelined link: barriers
+	// awaited, early flushes forced by a full window, and the total number
+	// of operations that blocked for a round trip (reply-bearing requests
+	// plus barriers). On a latency-bound link wall-clock communication
+	// cost is Blocking × RTT; in synchronous mode Blocking equals the
+	// request count.
+	Flushes      int64
+	WindowStalls int64
+	Blocking     int64
+	Steps        int64
+	Err          error
+}
+
+// RunOptions tunes RunSplitOpts.
+type RunOptions struct {
+	// Pipeline runs the open program over the async contract: reply-free
+	// hidden calls go one-way and only barriers/reply-bearing calls block.
+	// The outermost wrapped transport must be async-capable.
+	Pipeline bool
 }
 
 // RunOriginal executes the unsplit program and returns its output.
@@ -38,6 +55,11 @@ func RunOriginal(prog *ir.Program, maxSteps int64) (string, int64, error) {
 // hidden server reached through transport wrapper wrap (nil for a direct
 // local transport). It returns the program output and interaction counts.
 func RunSplit(res *core.Result, wrap func(Transport) Transport, maxSteps int64) RunOutcome {
+	return RunSplitOpts(res, wrap, maxSteps, RunOptions{})
+}
+
+// RunSplitOpts is RunSplit with pipelining control.
+func RunSplitOpts(res *core.Result, wrap func(Transport) Transport, maxSteps int64, opts RunOptions) RunOutcome {
 	server := NewServer(NewRegistry(res))
 	var t Transport = &Local{Server: server}
 	if wrap != nil {
@@ -45,11 +67,17 @@ func RunSplit(res *core.Result, wrap func(Transport) Transport, maxSteps int64) 
 	}
 	counters := &Counters{}
 	t = &Counting{Inner: t, Counters: counters}
+	var hidden interp.HiddenSession = &Session{T: t}
+	if opts.Pipeline {
+		if as := NewAsyncSession(t); as != nil {
+			hidden = as
+		}
+	}
 	var b strings.Builder
 	in := interp.New(res.Open, interp.Options{
 		Out:        &b,
 		MaxSteps:   maxSteps,
-		Hidden:     &Session{T: t},
+		Hidden:     hidden,
 		SplitFuncs: res.SplitSet(),
 	})
 	err := in.Run()
@@ -62,6 +90,9 @@ func RunSplit(res *core.Result, wrap func(Transport) Transport, maxSteps int64) 
 		BytesRecv:    counters.BytesRecv.Load(),
 		Retries:      counters.Retries.Load(),
 		Reconnects:   counters.Reconnects.Load(),
+		Flushes:      counters.Flushes.Load(),
+		WindowStalls: counters.WindowStalls.Load(),
+		Blocking:     counters.Blocking(),
 		Steps:        in.Steps(),
 		Err:          err,
 	}

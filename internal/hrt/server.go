@@ -79,7 +79,7 @@ type Server struct {
 	statCalls  atomic.Int64
 
 	mu      sync.Mutex
-	stores  map[string]map[int64]*store
+	stores  map[string]map[actKey]*store
 	globals *store
 	// instances holds per-object hidden-field stores (the §2.2
 	// object-oriented extension), keyed by class and object instance id.
@@ -90,6 +90,15 @@ type Server struct {
 type instanceKey struct {
 	class string
 	obj   int64
+}
+
+// actKey addresses one activation record. Activations are namespaced by
+// client session so that pipelined clients can assign instance ids locally
+// (removing the Enter round trip) without colliding across clients; the
+// synchronous path uses session 0 with server-assigned ids.
+type actKey struct {
+	session uint64
+	inst    int64
 }
 
 // store is one hidden activation record: the values of the hidden variables
@@ -104,7 +113,7 @@ type store struct {
 func NewServer(reg *Registry) *Server {
 	s := &Server{
 		reg:       reg,
-		stores:    make(map[string]map[int64]*store),
+		stores:    make(map[string]map[actKey]*store),
 		instances: make(map[instanceKey]*store),
 	}
 	s.globals = &store{vals: make(map[*ir.Var]interp.Value)}
@@ -117,16 +126,26 @@ func NewServer(reg *Registry) *Server {
 // Enter opens a hidden activation for split function fn; obj is the
 // receiver instance id for methods of classes with hidden fields.
 func (s *Server) Enter(fn string, obj int64) (int64, error) {
+	return s.EnterSession(0, fn, obj, 0)
+}
+
+// EnterSession opens an activation in the given session's namespace. When
+// inst is non-zero it is a client-assigned instance id (the pipelined
+// transport picks ids locally so Enter needs no reply); zero asks the
+// server to assign one.
+func (s *Server) EnterSession(session uint64, fn string, obj, inst int64) (int64, error) {
 	comp := s.reg.Components[fn]
 	if comp == nil {
 		return 0, fmt.Errorf("hrt: no hidden component for %s", fn)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.nextInst++
-	inst := s.nextInst
+	if inst == 0 {
+		s.nextInst++
+		inst = s.nextInst
+	}
 	if s.stores[fn] == nil {
-		s.stores[fn] = make(map[int64]*store)
+		s.stores[fn] = make(map[actKey]*store)
 	}
 	st := &store{vals: make(map[*ir.Var]interp.Value, len(comp.Vars)), obj: obj}
 	for _, v := range comp.Vars {
@@ -135,7 +154,7 @@ func (s *Server) Enter(fn string, obj int64) (int64, error) {
 		}
 		st.vals[v] = zeroValue(v)
 	}
-	s.stores[fn][inst] = st
+	s.stores[fn][actKey{session: session, inst: inst}] = st
 	s.statEnters.Add(1)
 	return inst, nil
 }
@@ -190,10 +209,15 @@ func cutPrefix(s, prefix string) (string, bool) {
 
 // Exit discards the hidden activation.
 func (s *Server) Exit(fn string, inst int64) error {
+	return s.ExitSession(0, fn, inst)
+}
+
+// ExitSession discards an activation in the given session's namespace.
+func (s *Server) ExitSession(session uint64, fn string, inst int64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if m := s.stores[fn]; m != nil {
-		delete(m, inst)
+		delete(m, actKey{session: session, inst: inst})
 		s.statExits.Add(1)
 		return nil
 	}
@@ -215,6 +239,12 @@ func (s *Server) ActiveInstances() int {
 // inst. It returns the fragment's value, or the sentinel "any" (null) for
 // fragments that return nothing.
 func (s *Server) Call(fn string, inst int64, frag int, args []interp.Value) (interp.Value, error) {
+	return s.CallSession(0, fn, inst, frag, args)
+}
+
+// CallSession executes a fragment against an activation in the given
+// session's namespace.
+func (s *Server) CallSession(session uint64, fn string, inst int64, frag int, args []interp.Value) (interp.Value, error) {
 	comp := s.reg.Components[fn]
 	if comp == nil {
 		return interp.NullV(), fmt.Errorf("hrt: no hidden component for %s", fn)
@@ -225,7 +255,7 @@ func (s *Server) Call(fn string, inst int64, frag int, args []interp.Value) (int
 	}
 	class := classOf(fn)
 	s.mu.Lock()
-	st := s.stores[fn][inst]
+	st := s.stores[fn][actKey{session: session, inst: inst}]
 	if st == nil && fn == core.GlobalsComponent {
 		// The shared globals component has a single implicit activation.
 		st = s.globals

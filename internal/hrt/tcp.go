@@ -31,6 +31,10 @@ type TCPServer struct {
 	MaxConns int
 	// MaxSessions caps the replay cache (default 1024).
 	MaxSessions int
+	// DisablePipeline refuses reply-free (pipelined) frames: a connection
+	// that sends one is closed, forcing the client back to the
+	// synchronous protocol (cmd/hiddend -pipeline=false).
+	DisablePipeline bool
 
 	ln    net.Listener
 	wg    sync.WaitGroup
@@ -112,6 +116,16 @@ func (ts *TCPServer) serveConn(conn net.Conn) {
 		req, err := ReadRequest(r)
 		if err != nil {
 			return // EOF, deadline, or broken connection
+		}
+		if req.NoReply() {
+			if ts.DisablePipeline {
+				return // refuse pipelined clients
+			}
+			// Reply-free: execute in order via the dedup layer (which
+			// defers errors and skips duplicates/gaps) and read the next
+			// frame without writing anything back.
+			_, _ = ts.dedup.RoundTrip(req)
+			continue
 		}
 		resp, err := ts.dedup.RoundTrip(req)
 		if err != nil {

@@ -2,6 +2,7 @@ package hrt
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -16,6 +17,26 @@ const (
 	OpEnter Op = iota + 1
 	OpExit
 	OpCall
+	// OpFlush is the pipelined barrier: it executes nothing but its
+	// response acknowledges every earlier request of the session and
+	// carries any error a reply-free request deferred.
+	OpFlush
+)
+
+// Request flag bits.
+const (
+	// ReqNoReply marks a reply-free request: the sender does not wait for
+	// (and the server does not produce) a response. Errors are deferred to
+	// the session's next reply-bearing request or flush barrier.
+	ReqNoReply byte = 1 << 0
+)
+
+// Response flag bits.
+const (
+	// RespResend reports that the server saw a sequence gap (an earlier
+	// one-way request never arrived) and did not execute this request: the
+	// client must resend its in-flight window starting after Ack.
+	RespResend byte = 1 << 0
 )
 
 // Request is one message from the open component to the hidden component.
@@ -35,13 +56,26 @@ type Request struct {
 	// same logical request carry the same Seq, so the server can answer a
 	// replay from its cache instead of mutating hidden state twice.
 	Seq uint64
+	// Flags carries the ReqNoReply bit for pipelined one-way requests.
+	Flags byte
 }
+
+// NoReply reports whether the request is reply-free.
+func (r Request) NoReply() bool { return r.Flags&ReqNoReply != 0 }
 
 // Response is the hidden component's reply.
 type Response struct {
 	Val  interp.Value
 	Inst int64
 	Err  string
+	// Seq echoes the request's sequence number so a pipelined client can
+	// match responses read by its reader goroutine to waiting callers.
+	Seq uint64
+	// Ack is the highest sequence number the server has executed for this
+	// session; it lets the client prune its in-flight window.
+	Ack uint64
+	// Flags carries the RespResend bit.
+	Flags byte
 }
 
 // Transport carries requests to wherever the hidden component lives.
@@ -49,26 +83,115 @@ type Transport interface {
 	RoundTrip(req Request) (Response, error)
 }
 
+// AsyncTransport is a Transport that can additionally send reply-free
+// requests one-way — without blocking for a round trip — and flush them at
+// a barrier. Implementations must preserve request order: a later
+// RoundTrip observes the effects of every earlier Send, and surfaces any
+// error an earlier Send deferred.
+type AsyncTransport interface {
+	Transport
+	// Send queues a reply-free request. It must not block on the link
+	// round-trip time; errors the hidden side reports are deferred to the
+	// next Flush or RoundTrip.
+	Send(req Request) error
+	// Flush blocks until every queued request has executed on the hidden
+	// side, surfacing the first deferred error.
+	Flush() error
+}
+
+// AsAsync returns t's async capability, if it has one.
+func AsAsync(t Transport) (AsyncTransport, bool) {
+	at, ok := t.(AsyncTransport)
+	return at, ok
+}
+
+// transportAsyncCapable reports whether t can actually deliver one-way
+// sends. Wrapping transports (Latency, Counting) implement AsyncTransport
+// structurally no matter what they wrap, so capability is probed
+// dynamically down the chain.
+func transportAsyncCapable(t Transport) bool {
+	if c, ok := t.(interface{ asyncCapable() bool }); ok {
+		return c.asyncCapable()
+	}
+	_, ok := t.(AsyncTransport)
+	return ok
+}
+
 // ---------------------------------------------------------------------------
 
-// Local is a Transport that invokes a Server directly (no network).
+// Local is a Transport that invokes a Server directly (no network). It
+// also implements AsyncTransport: sends execute immediately (there is no
+// link to hide latency on) with server errors deferred to the next
+// barrier, mirroring the pipelined TCP contract for tests and simulations.
 type Local struct {
 	Server *Server
+
+	mu       sync.Mutex
+	deferred error
 }
 
 // RoundTrip dispatches the request to the in-process server.
 func (l *Local) RoundTrip(req Request) (Response, error) {
+	l.mu.Lock()
+	deferred := l.deferred
+	l.mu.Unlock()
+	if deferred != nil {
+		// In-order semantics: an earlier one-way request failed; nothing
+		// after it may appear to succeed.
+		return Response{Seq: req.Seq, Err: deferred.Error()}, nil
+	}
+	resp, err := l.dispatch(req)
+	resp.Seq, resp.Ack = req.Seq, req.Seq
+	return resp, err
+}
+
+func (l *Local) dispatch(req Request) (Response, error) {
 	switch req.Op {
 	case OpEnter:
-		inst, err := l.Server.Enter(req.Fn, req.Obj)
+		inst, err := l.Server.EnterSession(req.Session, req.Fn, req.Obj, req.Inst)
 		return Response{Inst: inst, Err: errString(err)}, nil
 	case OpExit:
-		return Response{Err: errString(l.Server.Exit(req.Fn, req.Inst))}, nil
+		return Response{Err: errString(l.Server.ExitSession(req.Session, req.Fn, req.Inst))}, nil
 	case OpCall:
-		v, err := l.Server.Call(req.Fn, req.Inst, req.Frag, req.Args)
+		v, err := l.Server.CallSession(req.Session, req.Fn, req.Inst, req.Frag, req.Args)
 		return Response{Val: v, Err: errString(err)}, nil
+	case OpFlush:
+		return Response{}, nil
 	}
 	return Response{}, fmt.Errorf("hrt: unknown op %d", req.Op)
+}
+
+// Send executes the request immediately, deferring any failure to the next
+// Flush or RoundTrip (one-way semantics without a wire).
+func (l *Local) Send(req Request) error {
+	l.mu.Lock()
+	poisoned := l.deferred != nil
+	l.mu.Unlock()
+	if poisoned {
+		return nil
+	}
+	resp, err := l.dispatch(req)
+	if err == nil && resp.Err != "" {
+		err = fmt.Errorf("hrt: %s", resp.Err)
+	}
+	if err != nil {
+		l.mu.Lock()
+		if l.deferred == nil {
+			l.deferred = err
+		}
+		l.mu.Unlock()
+	}
+	return nil
+}
+
+func (l *Local) asyncCapable() bool { return true }
+
+// Flush surfaces the first deferred one-way error. Everything already
+// executed, so there is nothing to wait for.
+func (l *Local) Flush() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.deferred
 }
 
 func errString(err error) string {
@@ -83,16 +206,65 @@ func errString(err error) string {
 // Latency wraps a Transport and adds a fixed round-trip delay, simulating
 // the LAN between the unsecure machine and the secure server in the paper's
 // Table 5 setup (or a smart-card/serial link with a larger delay).
+//
+// Latency models the pipelined link too: one-way sends cost nothing (the
+// frame leaves in the socket buffer and the client moves on), while every
+// reply-bearing round trip and every flush barrier over a non-empty window
+// pays one RTT. This makes N consecutive hidden updates followed by a
+// barrier cost ~1 RTT instead of N — exactly the behavior of the real
+// pipelined TCP transport, without sockets.
 type Latency struct {
 	Inner Transport
 	// RTT is added to every round trip.
 	RTT time.Duration
 	// Sleep replaces time.Sleep when set (tests use a virtual clock).
 	Sleep func(time.Duration)
+
+	mu        sync.Mutex
+	unflushed int
 }
 
 // RoundTrip delays, then forwards.
 func (l *Latency) RoundTrip(req Request) (Response, error) {
+	l.sleep()
+	l.mu.Lock()
+	l.unflushed = 0 // a reply acknowledges everything sent before it
+	l.mu.Unlock()
+	return l.Inner.RoundTrip(req)
+}
+
+// Send forwards one-way without paying the round trip.
+func (l *Latency) Send(req Request) error {
+	at, ok := AsAsync(l.Inner)
+	if !ok {
+		return fmt.Errorf("hrt: latency inner transport %T is not async-capable", l.Inner)
+	}
+	l.mu.Lock()
+	l.unflushed++
+	l.mu.Unlock()
+	return at.Send(req)
+}
+
+// Flush pays one RTT for the barrier acknowledgement — but only when
+// something was sent since the last reply; an empty window needs no ack.
+func (l *Latency) Flush() error {
+	at, ok := AsAsync(l.Inner)
+	if !ok {
+		return fmt.Errorf("hrt: latency inner transport %T is not async-capable", l.Inner)
+	}
+	l.mu.Lock()
+	pending := l.unflushed
+	l.unflushed = 0
+	l.mu.Unlock()
+	if pending > 0 {
+		l.sleep()
+	}
+	return at.Flush()
+}
+
+func (l *Latency) asyncCapable() bool { return transportAsyncCapable(l.Inner) }
+
+func (l *Latency) sleep() {
 	if l.RTT > 0 {
 		if l.Sleep != nil {
 			l.Sleep(l.RTT)
@@ -100,7 +272,6 @@ func (l *Latency) RoundTrip(req Request) (Response, error) {
 			preciseSleep(l.RTT)
 		}
 	}
-	return l.Inner.RoundTrip(req)
 }
 
 // preciseSleep delays for d with sub-millisecond accuracy. time.Sleep
@@ -127,18 +298,39 @@ type Counters struct {
 	Enters     atomic.Int64
 	Exits      atomic.Int64
 	ValuesSent atomic.Int64
-	// BytesSent/BytesRecv tally logical wire volume (one encode per round
-	// trip, retransmissions excluded; retries are visible in Retries).
+	// BytesSent/BytesRecv tally logical wire volume (one encode per
+	// logical request/response, retransmissions excluded; retries are
+	// visible in Retries). Pipelined transports additionally report true
+	// on-the-wire volume in WireBytesSent/WireBytesRecv.
 	BytesSent atomic.Int64
 	BytesRecv atomic.Int64
+	// WireBytesSent/WireBytesRecv are the exact encoded bytes a wire
+	// transport put on / took off the link, including coalesced frames and
+	// retransmissions. Zero on in-process transports, which have no wire.
+	WireBytesSent atomic.Int64
+	WireBytesRecv atomic.Int64
 	// Retries counts re-sent round trips; Reconnects counts re-dials of a
 	// broken link. Both stay zero on fault-free transports.
 	Retries    atomic.Int64
 	Reconnects atomic.Int64
+	// OneWay counts reply-free requests sent without blocking; RoundTrips
+	// counts requests that blocked for a reply. Their split is the
+	// pipelining win: only RoundTrips + Flushes pay link latency.
+	OneWay     atomic.Int64
+	RoundTrips atomic.Int64
+	// Flushes counts barrier acknowledgements awaited; WindowStalls counts
+	// flushes forced early because the in-flight window filled up.
+	Flushes      atomic.Int64
+	WindowStalls atomic.Int64
 }
 
 // Interactions returns the number of fragment calls observed.
 func (c *Counters) Interactions() int64 { return c.Calls.Load() }
+
+// Blocking returns the number of operations that blocked on the link for a
+// full round trip: reply-bearing requests plus flush barriers. On a
+// latency-bound link, wall-clock communication cost is Blocking × RTT.
+func (c *Counters) Blocking() int64 { return c.RoundTrips.Load() + c.Flushes.Load() }
 
 // Counting wraps a Transport with counters.
 type Counting struct {
@@ -146,8 +338,7 @@ type Counting struct {
 	Counters *Counters
 }
 
-// RoundTrip counts, then forwards.
-func (c *Counting) RoundTrip(req Request) (Response, error) {
+func (c *Counting) count(req Request) {
 	switch req.Op {
 	case OpCall:
 		c.Counters.Calls.Add(1)
@@ -158,11 +349,40 @@ func (c *Counting) RoundTrip(req Request) (Response, error) {
 		c.Counters.Exits.Add(1)
 	}
 	c.Counters.BytesSent.Add(RequestWireSize(req))
+}
+
+// RoundTrip counts, then forwards.
+func (c *Counting) RoundTrip(req Request) (Response, error) {
+	c.count(req)
+	c.Counters.RoundTrips.Add(1)
 	resp, err := c.Inner.RoundTrip(req)
 	if err == nil {
 		c.Counters.BytesRecv.Add(ResponseWireSize(resp))
 	}
 	return resp, err
+}
+
+// Send counts a one-way request, then forwards it without blocking.
+func (c *Counting) Send(req Request) error {
+	at, ok := AsAsync(c.Inner)
+	if !ok {
+		return fmt.Errorf("hrt: counting inner transport %T is not async-capable", c.Inner)
+	}
+	c.count(req)
+	c.Counters.OneWay.Add(1)
+	return at.Send(req)
+}
+
+func (c *Counting) asyncCapable() bool { return transportAsyncCapable(c.Inner) }
+
+// Flush counts the barrier, then forwards.
+func (c *Counting) Flush() error {
+	at, ok := AsAsync(c.Inner)
+	if !ok {
+		return fmt.Errorf("hrt: counting inner transport %T is not async-capable", c.Inner)
+	}
+	c.Counters.Flushes.Add(1)
+	return at.Flush()
 }
 
 // ---------------------------------------------------------------------------
@@ -212,4 +432,56 @@ func (s *Session) Call(fn string, inst int64, frag int, args []interp.Value) (in
 		return interp.NullV(), fmt.Errorf("hrt: %s", resp.Err)
 	}
 	return resp.Val, nil
+}
+
+// ---------------------------------------------------------------------------
+
+// AsyncSession adapts an AsyncTransport to the interpreter's
+// AsyncHiddenSession contract: reply-free fragment calls and Exits go
+// one-way, Enter assigns the activation instance id on the client so it
+// needs no reply either, and Barrier flushes the in-flight window before
+// externally visible events (program output, shutdown).
+//
+// Client-assigned instance ids are namespaced by the transport's session
+// on the server, so concurrent clients cannot collide.
+type AsyncSession struct {
+	Session
+	at       AsyncTransport
+	nextInst atomic.Int64
+}
+
+// NewAsyncSession wraps t; it returns nil when t has no async capability,
+// letting callers fall back to the synchronous Session.
+func NewAsyncSession(t Transport) *AsyncSession {
+	at, ok := AsAsync(t)
+	if !ok || !transportAsyncCapable(t) {
+		return nil
+	}
+	return &AsyncSession{Session: Session{T: t}, at: at}
+}
+
+var _ interp.AsyncHiddenSession = (*AsyncSession)(nil)
+
+// EnterAsync opens a hidden activation one-way under a client-assigned
+// instance id. A failure (unknown component) surfaces at the next barrier
+// or reply-bearing call, exactly where the in-order semantics put it.
+func (s *AsyncSession) EnterAsync(fn string, obj int64) (int64, error) {
+	inst := s.nextInst.Add(1)
+	return inst, s.at.Send(Request{Op: OpEnter, Fn: fn, Obj: obj, Inst: inst})
+}
+
+// ExitAsync closes the activation one-way.
+func (s *AsyncSession) ExitAsync(fn string, inst int64) error {
+	return s.at.Send(Request{Op: OpExit, Fn: fn, Inst: inst})
+}
+
+// CallOneWay executes a reply-free hidden fragment without blocking.
+func (s *AsyncSession) CallOneWay(fn string, inst int64, frag int, args []interp.Value) error {
+	return s.at.Send(Request{Op: OpCall, Fn: fn, Inst: inst, Frag: frag, Args: args})
+}
+
+// Barrier blocks until every one-way request has executed, surfacing
+// deferred errors.
+func (s *AsyncSession) Barrier() error {
+	return s.at.Flush()
 }

@@ -109,6 +109,9 @@ func WriteRequest(w io.Writer, req Request) error {
 	if err := writeByte(w, byte(req.Op)); err != nil {
 		return err
 	}
+	if err := writeByte(w, req.Flags); err != nil {
+		return err
+	}
 	if err := binary.Write(w, binary.LittleEndian, req.Session); err != nil {
 		return err
 	}
@@ -146,6 +149,9 @@ func ReadRequest(r io.Reader) (Request, error) {
 		return req, err
 	}
 	req.Op = Op(op)
+	if req.Flags, err = readByte(r); err != nil {
+		return req, err
+	}
 	if err := binary.Read(r, binary.LittleEndian, &req.Session); err != nil {
 		return req, err
 	}
@@ -184,6 +190,15 @@ func ReadRequest(r io.Reader) (Request, error) {
 
 // WriteResponse encodes resp onto w.
 func WriteResponse(w io.Writer, resp Response) error {
+	if err := writeByte(w, resp.Flags); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, resp.Seq); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, resp.Ack); err != nil {
+		return err
+	}
 	if err := writeValue(w, resp.Val); err != nil {
 		return err
 	}
@@ -197,6 +212,15 @@ func WriteResponse(w io.Writer, resp Response) error {
 func ReadResponse(r io.Reader) (Response, error) {
 	var resp Response
 	var err error
+	if resp.Flags, err = readByte(r); err != nil {
+		return resp, err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &resp.Seq); err != nil {
+		return resp, err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &resp.Ack); err != nil {
+		return resp, err
+	}
 	if resp.Val, err = readValue(r); err != nil {
 		return resp, err
 	}
@@ -211,7 +235,7 @@ func ReadResponse(r io.Reader) (Response, error) {
 // sync with WriteRequest and lets transports account wire volume without
 // re-encoding (the experiments report it alongside interaction counts).
 func RequestWireSize(req Request) int64 {
-	n := int64(1 + 8 + 8 + 4 + len(req.Fn) + 8 + 8 + 4 + 2)
+	n := int64(1 + 1 + 8 + 8 + 4 + len(req.Fn) + 8 + 8 + 4 + 2)
 	for _, a := range req.Args {
 		n += valueWireSize(a)
 	}
@@ -220,7 +244,7 @@ func RequestWireSize(req Request) int64 {
 
 // ResponseWireSize returns the encoded size of resp in bytes.
 func ResponseWireSize(resp Response) int64 {
-	return valueWireSize(resp.Val) + 8 + 4 + int64(len(resp.Err))
+	return 1 + 8 + 8 + valueWireSize(resp.Val) + 8 + 4 + int64(len(resp.Err))
 }
 
 func valueWireSize(v interp.Value) int64 {

@@ -19,6 +19,10 @@ func fuzzSeedRequests() []Request {
 		{Op: OpExit, Fn: "Class.method", Inst: 9, Session: 7, Seq: 2},
 		{Op: OpCall, Fn: "f", Inst: 1, Frag: 4, Session: 1 << 60, Seq: 1 << 40,
 			Args: []interp.Value{interp.IntV(-5), interp.FloatV(2.5), interp.BoolV(true), interp.StrV("x\x00y"), interp.NullV()}},
+		// Pipelined frames: a reply-free call and a flush barrier.
+		{Op: OpCall, Fn: "f", Inst: 1, Frag: 2, Session: 8, Seq: 3, Flags: ReqNoReply,
+			Args: []interp.Value{interp.IntV(1)}},
+		{Op: OpFlush, Session: 8, Seq: 4},
 	}
 }
 
@@ -49,6 +53,7 @@ func FuzzReadRequest(f *testing.F) {
 		if again.Op != req.Op || again.Fn != req.Fn || again.Inst != req.Inst ||
 			again.Obj != req.Obj || again.Frag != req.Frag ||
 			again.Session != req.Session || again.Seq != req.Seq ||
+			again.Flags != req.Flags ||
 			len(again.Args) != len(req.Args) {
 			t.Fatalf("request round trip diverged: %+v vs %+v", req, again)
 		}
@@ -60,6 +65,9 @@ func FuzzReadResponse(f *testing.F) {
 		{Val: interp.NullV()},
 		{Val: interp.IntV(42), Inst: 7},
 		{Val: interp.StrV("payload"), Err: "hrt: boom"},
+		// Window acknowledgement and a resend demand (gap detected).
+		{Val: interp.NullV(), Seq: 9, Ack: 9},
+		{Val: interp.NullV(), Seq: 12, Ack: 7, Flags: RespResend},
 	} {
 		var buf bytes.Buffer
 		if err := WriteResponse(&buf, resp); err != nil {
@@ -82,7 +90,8 @@ func FuzzReadResponse(f *testing.F) {
 		if err != nil {
 			t.Fatalf("re-encoded response does not decode: %v", err)
 		}
-		if !again.Val.Equal(resp.Val) || again.Inst != resp.Inst || again.Err != resp.Err {
+		if !again.Val.Equal(resp.Val) || again.Inst != resp.Inst || again.Err != resp.Err ||
+			again.Seq != resp.Seq || again.Ack != resp.Ack || again.Flags != resp.Flags {
 			t.Fatalf("response round trip diverged: %+v vs %+v", resp, again)
 		}
 	})

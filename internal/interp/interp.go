@@ -39,6 +39,33 @@ type HiddenSession interface {
 	Call(fn string, inst int64, frag int, args []Value) (Value, error)
 }
 
+// AsyncHiddenSession is the pipelined variant of HiddenSession: reply-free
+// operations are sent one-way into an ordered in-flight window instead of
+// blocking for a round trip, and Barrier flushes the window. An
+// implementation must preserve program order — a reply-bearing Call
+// observes the effects of every earlier one-way operation — and must
+// surface a one-way operation's error no later than the next Barrier or
+// reply-bearing Call.
+//
+// The interpreter uses the async contract automatically when
+// Options.Hidden implements it: Enter/Exit/non-leaking fragment calls go
+// one-way, and a Barrier runs before every print statement and at the end
+// of Run, so program output stays byte-identical to the synchronous
+// execution (including which outputs an error suppresses).
+type AsyncHiddenSession interface {
+	HiddenSession
+	// EnterAsync opens a hidden activation one-way, returning a
+	// client-assigned instance id immediately.
+	EnterAsync(fn string, obj int64) (int64, error)
+	// ExitAsync closes the activation one-way.
+	ExitAsync(fn string, inst int64) error
+	// CallOneWay executes a reply-free hidden fragment without waiting.
+	CallOneWay(fn string, inst int64, frag int, args []Value) error
+	// Barrier blocks until every one-way operation has executed,
+	// surfacing the first deferred error.
+	Barrier() error
+}
+
 // Options configures an interpreter.
 type Options struct {
 	// Out receives program output (print statements). Defaults to io.Discard.
@@ -62,6 +89,8 @@ type Interp struct {
 	steps   int64
 	nextObj int64
 	depth   int
+	// async is non-nil when opts.Hidden supports the pipelined contract.
+	async AsyncHiddenSession
 }
 
 // New creates an interpreter for prog.
@@ -69,7 +98,11 @@ func New(prog *ir.Program, opts Options) *Interp {
 	if opts.Out == nil {
 		opts.Out = io.Discard
 	}
-	return &Interp{prog: prog, opts: opts, globals: make(map[*ir.Var]Value)}
+	in := &Interp{prog: prog, opts: opts, globals: make(map[*ir.Var]Value)}
+	if ah, ok := opts.Hidden.(AsyncHiddenSession); ok {
+		in.async = ah
+	}
+	return in
 }
 
 // Steps returns the number of simple statements executed so far.
@@ -85,6 +118,12 @@ func (in *Interp) Run() error {
 		return &RuntimeError{Msg: "no main function"}
 	}
 	_, err := in.Call("main", nil)
+	if err == nil && in.async != nil {
+		// Drain the in-flight window before reporting success: a one-way
+		// hidden operation near the end of the program may still hold a
+		// deferred error.
+		err = in.async.Barrier()
+	}
 	return err
 }
 
@@ -166,13 +205,26 @@ func (in *Interp) callFunc(f *ir.Func, recv *ObjectVal, args []Value) (Value, er
 		if recv != nil {
 			objID = recv.ID
 		}
-		inst, err := in.opts.Hidden.Enter(f.QName(), objID)
+		var inst int64
+		var err error
+		if in.async != nil {
+			// Pipelined: the instance id is client-assigned so Enter needs
+			// no reply, and Exit goes one-way too. Errors surface at the
+			// next barrier.
+			inst, err = in.async.EnterAsync(f.QName(), objID)
+		} else {
+			inst, err = in.opts.Hidden.Enter(f.QName(), objID)
+		}
 		if err != nil {
 			return NullV(), err
 		}
 		fr.inst, fr.split = inst, true
 		defer func() {
-			_ = in.opts.Hidden.Exit(f.QName(), fr.inst)
+			if in.async != nil {
+				_ = in.async.ExitAsync(f.QName(), fr.inst)
+			} else {
+				_ = in.opts.Hidden.Exit(f.QName(), fr.inst)
+			}
 		}()
 	}
 	sig, val, err := in.execStmts(fr, f.Body)
@@ -276,16 +328,57 @@ func (in *Interp) execStmt(fr *frame, s ir.Stmt) (signal, Value, error) {
 			}
 			parts[i] = v.String()
 		}
+		if in.async != nil {
+			// Output is externally visible: flush the in-flight window
+			// first so a deferred one-way error suppresses exactly the
+			// same output it would under synchronous execution.
+			if err := in.async.Barrier(); err != nil {
+				return sigNone, Value{}, err
+			}
+		}
 		fmt.Fprintln(in.opts.Out, strings.Join(parts, " "))
 		return sigNone, Value{}, nil
 	case *ir.CallStmt:
 		_, err := in.eval(fr, s.Call)
 		return sigNone, Value{}, err
 	case *ir.HCallStmt:
+		if s.Call.NoReply && in.async != nil {
+			return sigNone, Value{}, in.hcallOneWay(fr, s.Call)
+		}
 		_, err := in.eval(fr, s.Call)
 		return sigNone, Value{}, err
 	}
 	return sigNone, Value{}, &RuntimeError{Pos: s.Pos(), Msg: fmt.Sprintf("unknown statement %T", s)}
+}
+
+// hcallOneWay dispatches a reply-free hidden statement call without
+// blocking: the splitter marked it NoReply (its value is discarded and it
+// leaks nothing), so the open side can keep running while the update is in
+// flight.
+func (in *Interp) hcallOneWay(fr *frame, e *ir.HCallExpr) error {
+	args := make([]Value, len(e.Args))
+	for i, a := range e.Args {
+		v, err := in.eval(fr, a)
+		if err != nil {
+			return err
+		}
+		args[i] = v
+	}
+	if e.Component != "" {
+		var inst int64
+		if e.Obj != nil {
+			ov, err := in.eval(fr, e.Obj)
+			if err != nil {
+				return err
+			}
+			if ov.Kind != KindObject || ov.Obj == nil {
+				return &RuntimeError{Msg: "hidden-field access on null object"}
+			}
+			inst = ov.Obj.ID
+		}
+		return in.async.CallOneWay(e.Component, inst, e.FragID, args)
+	}
+	return in.async.CallOneWay(fr.fn.QName(), fr.inst, e.FragID, args)
 }
 
 func (in *Interp) store(fr *frame, s ir.Stmt, t ir.Target, v Value) error {

@@ -192,6 +192,11 @@ type HCallExpr struct {
 	// store the call addresses (hidden class fields); its instance id is
 	// sent as the activation id.
 	Obj Expr
+	// NoReply marks statement-position calls whose value is discarded and
+	// which leak nothing: a pipelined transport may send them one-way
+	// instead of blocking for a round trip. Set by the splitter; only
+	// meaningful inside an HCallStmt.
+	NoReply bool
 }
 
 func (*Const) exprNode()         {}
@@ -646,7 +651,7 @@ func CloneExpr(e Expr) Expr {
 		for i, a := range e.Args {
 			args[i] = CloneExpr(a)
 		}
-		return &HCallExpr{FragID: e.FragID, Args: args, Leaks: e.Leaks, Component: e.Component, Obj: CloneExpr(e.Obj)}
+		return &HCallExpr{FragID: e.FragID, Args: args, Leaks: e.Leaks, Component: e.Component, Obj: CloneExpr(e.Obj), NoReply: e.NoReply}
 	}
 	panic(fmt.Sprintf("ir.CloneExpr: unknown expr %T", e))
 }
