@@ -6,11 +6,18 @@
 //
 // Usage:
 //
-//	hiddend -listen :7070 -split f[:seed][,g[:seed]...] program.mj
+//	hiddend -listen :7070 -split f[:seed][,g[:seed]...] [-admin :8081] program.mj
 //
 // The open side connects with:
 //
 //	slicehide run -split f[:seed] -server host:7070 program.mj
+//
+// When -admin is set, an HTTP observability endpoint serves /healthz
+// (liveness), /metrics (counters, gauges, and latency histograms as
+// JSON), /trace (recent redacted runtime events), and /debug/pprof/.
+// Bind it to a trusted interface only: it reports operational state of
+// the secure side. Trace events never contain hidden values — argument
+// and result payloads are redacted before they are recorded.
 package main
 
 import (
@@ -25,13 +32,18 @@ import (
 	"slicehide/internal/core"
 	"slicehide/internal/hrt"
 	"slicehide/internal/ir"
+	"slicehide/internal/obs"
 	"slicehide/internal/slicer"
 )
 
 type serverOpts struct {
-	timeout    time.Duration
-	maxConns   int
-	noPipeline bool
+	timeout     time.Duration
+	maxConns    int
+	maxSessions int
+	evictGrace  time.Duration
+	noPipeline  bool
+	admin       string
+	trace       string
 }
 
 func main() {
@@ -39,9 +51,22 @@ func main() {
 	split := flag.String("split", "", "comma-separated f[:seed] functions whose hidden components to host (required)")
 	timeout := flag.Duration("timeout", 0, "per-connection read/write deadline (0 disables; retry-capable clients reconnect after an idle disconnect)")
 	maxConns := flag.Int("max-conns", 0, "maximum concurrently served connections (0 = unlimited)")
+	maxSessions := flag.Int("max-sessions", 0, "maximum cached replay sessions (0 = default 1024)")
+	evictGrace := flag.Duration("evict-grace", 0, "protect sessions seen within this window from replay-cache eviction (0 disables)")
 	pipeline := flag.Bool("pipeline", true, "accept pipelined (reply-free) frames; -pipeline=false forces clients back to the synchronous protocol")
+	admin := flag.String("admin", "", "serve the admin endpoint (/healthz, /metrics, /trace, /debug/pprof/) on this address (empty disables)")
+	trace := flag.String("trace", "", "write redacted runtime trace events (JSON lines) to this file")
 	flag.Parse()
-	if err := run(*listen, *split, flag.Args(), serverOpts{timeout: *timeout, maxConns: *maxConns, noPipeline: !*pipeline}); err != nil {
+	opts := serverOpts{
+		timeout:     *timeout,
+		maxConns:    *maxConns,
+		maxSessions: *maxSessions,
+		evictGrace:  *evictGrace,
+		noPipeline:  !*pipeline,
+		admin:       *admin,
+		trace:       *trace,
+	}
+	if err := run(*listen, *split, flag.Args(), opts); err != nil {
 		fmt.Fprintln(os.Stderr, "hiddend:", err)
 		os.Exit(1)
 	}
@@ -68,16 +93,54 @@ func run(listen, split string, args []string, opts serverOpts) error {
 	if err != nil {
 		return err
 	}
+
+	var tracer *obs.Tracer
+	if opts.trace != "" {
+		f, err := os.Create(opts.trace)
+		if err != nil {
+			return fmt.Errorf("create trace file: %w", err)
+		}
+		defer f.Close()
+		tracer = obs.NewTracer(obs.TracerConfig{Level: obs.LevelDebug, Output: f})
+	} else if opts.admin != "" {
+		// No sink, but keep the ring so /trace has recent events to show.
+		tracer = obs.NewTracer(obs.TracerConfig{Level: obs.LevelInfo})
+	}
+
 	server := &hrt.TCPServer{
 		Server:          hrt.NewServer(hrt.NewRegistry(res)),
 		ReadTimeout:     opts.timeout,
 		WriteTimeout:    opts.timeout,
 		MaxConns:        opts.maxConns,
+		MaxSessions:     opts.maxSessions,
+		EvictGrace:      opts.evictGrace,
 		DisablePipeline: opts.noPipeline,
+		Tracer:          tracer,
 	}
+	reg := obs.NewRegistry()
+	server.RegisterMetrics(reg)
+
 	addr, err := server.ListenAndServe(listen)
 	if err != nil {
 		return err
+	}
+	if opts.admin != "" {
+		mux := obs.AdminMux(obs.AdminConfig{
+			Registry: reg,
+			Tracer:   tracer,
+			Info: map[string]string{
+				"component": "hiddend",
+				"listen":    addr.String(),
+				"split":     split,
+			},
+		})
+		adminSrv, err := obs.ServeAdmin(opts.admin, mux)
+		if err != nil {
+			server.Close()
+			return fmt.Errorf("admin endpoint: %w", err)
+		}
+		defer adminSrv.Close()
+		fmt.Printf("admin endpoint on http://%s (healthz, metrics, trace, debug/pprof)\n", adminSrv.Addr())
 	}
 	for _, name := range res.SplitNames() {
 		sf := res.Splits[name]

@@ -11,7 +11,7 @@
 //	slicehide analyze <file.mj>
 //	slicehide split   -func f [-seed v] [-no-cfh] <file.mj>
 //	slicehide ilp     -func f [-seed v] <file.mj>
-//	slicehide run     [-split f[:v],g[:v],...] [-rtt d] [-server addr] [-timeout d] [-retries n] [-pipeline] [-window n] <file.mj>
+//	slicehide run     [-split f[:v],g[:v],...] [-rtt d] [-server addr] [-timeout d] [-retries n] [-pipeline] [-window n] [-stats text|json] [-trace file] <file.mj>
 //	slicehide attack  -func f [-seed v] [-calls n] [-window k] <file.mj>
 package main
 
@@ -31,6 +31,7 @@ import (
 	"slicehide/internal/hrt"
 	"slicehide/internal/interp"
 	"slicehide/internal/ir"
+	"slicehide/internal/obs"
 	"slicehide/internal/report"
 	"slicehide/internal/slicer"
 )
@@ -242,7 +243,8 @@ func cmdRun(args []string) error {
 	split := fs.String("split", "", "comma-separated f[:seed] functions to split")
 	rtt := fs.Duration("rtt", 0, "simulated round-trip latency")
 	server := fs.String("server", "", "address of a remote hiddend (default: in-process)")
-	stats := fs.Bool("stats", false, "print interaction statistics")
+	stats := fs.String("stats", "", `emit interaction statistics to stderr: "text" (one line) or "json" (schema-stable document)`)
+	trace := fs.String("trace", "", "write redacted runtime trace events (JSON lines) to this file")
 	timeout := fs.Duration("timeout", 5*time.Second, "per-attempt I/O deadline on the hiddend link")
 	retries := fs.Int("retries", 8, "max retries per round trip on the hiddend link (-1 disables)")
 	pipeline := fs.Bool("pipeline", true, "pipeline reply-free hidden calls (one-way sends, coalesced writes)")
@@ -252,6 +254,10 @@ func cmdRun(args []string) error {
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("run: expected one source file")
+	}
+	statsMode, err := parseStatsMode(*stats)
+	if err != nil {
+		return err
 	}
 	prog, err := loadProgram(fs.Arg(0))
 	if err != nil {
@@ -266,6 +272,22 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
+
+	// Observability: the tracer records redacted runtime events when
+	// -trace is set; the registry collects the latency histograms and
+	// gauges that -stats json folds into its document.
+	var tracer *obs.Tracer
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			return fmt.Errorf("run: create trace file: %w", err)
+		}
+		defer f.Close()
+		tracer = obs.NewTracer(obs.TracerConfig{Level: obs.LevelDebug, Output: f})
+	}
+	reg := obs.NewRegistry()
+	metrics := hrt.NewRuntimeMetrics(reg)
+
 	counters := &hrt.Counters{}
 	var t hrt.Transport
 	if *server != "" {
@@ -276,11 +298,13 @@ func cmdRun(args []string) error {
 				Policy:   hrt.RetryPolicy{Retries: *retries},
 				Window:   *window,
 				Counters: counters,
+				Tracer:   tracer,
 			})
 			if err != nil {
 				return err
 			}
 			defer tr.Close()
+			reg.Gauge("hrt_inflight_window", func() int64 { return int64(tr.InFlight()) })
 			t = tr
 		} else {
 			tr, err := hrt.DialReconnect(hrt.ReconnectConfig{
@@ -288,6 +312,7 @@ func cmdRun(args []string) error {
 				Timeout:  *timeout,
 				Policy:   hrt.RetryPolicy{Retries: *retries},
 				Counters: counters,
+				Tracer:   tracer,
 			})
 			if err != nil {
 				return err
@@ -302,6 +327,9 @@ func cmdRun(args []string) error {
 		t = &hrt.Latency{Inner: t, RTT: *rtt}
 	}
 	t = &hrt.Counting{Inner: t, Counters: counters}
+	// Outermost wrapper: the measured latency covers the whole chain —
+	// simulated RTT, retries, backoff — which is what the user waits for.
+	t = &hrt.Instrument{Inner: t, Metrics: metrics, Tracer: tracer}
 	var hidden interp.HiddenSession = &hrt.Session{T: t}
 	if *pipeline {
 		// Falls back to the synchronous session when the chain cannot do
@@ -310,26 +338,44 @@ func cmdRun(args []string) error {
 			hidden = as
 		}
 	}
-	in := interp.New(res.Open, interp.Options{
+	opts := interp.Options{
 		Out:        os.Stdout,
 		Hidden:     hidden,
 		SplitFuncs: res.SplitSet(),
-	})
+	}
+	if tracer != nil {
+		opts.Trace = hrt.InterpTracer{T: tracer}
+	}
+	in := interp.New(res.Open, opts)
 	start := time.Now()
-	if err := in.Run(); err != nil {
-		return err
+	runErr := in.Run()
+	if statsMode != "" {
+		doc := experiments.NewRunStats(counters, time.Since(start), runErr)
+		doc.AddRegistry(reg)
+		if statsMode == "json" {
+			if err := doc.WriteJSON(os.Stderr); err != nil {
+				return err
+			}
+		} else {
+			fmt.Fprintln(os.Stderr, doc.Text())
+		}
 	}
-	if *stats {
-		fmt.Fprintf(os.Stderr, "interactions=%d one-way=%d blocking=%d flushes=%d window-stalls=%d values-sent=%d activations=%d bytes-sent=%d bytes-recv=%d wire-sent=%d wire-recv=%d retries=%d reconnects=%d elapsed=%s\n",
-			counters.Interactions(), counters.OneWay.Load(), counters.Blocking(),
-			counters.Flushes.Load(), counters.WindowStalls.Load(),
-			counters.ValuesSent.Load(), counters.Enters.Load(),
-			counters.BytesSent.Load(), counters.BytesRecv.Load(),
-			counters.WireBytesSent.Load(), counters.WireBytesRecv.Load(),
-			counters.Retries.Load(), counters.Reconnects.Load(),
-			time.Since(start).Round(time.Millisecond))
+	return runErr
+}
+
+// parseStatsMode normalizes the -stats flag. The flag used to be a
+// boolean, so boolean literals stay accepted as aliases for the legacy
+// text line.
+func parseStatsMode(s string) (string, error) {
+	switch strings.ToLower(s) {
+	case "", "none", "off", "false", "0":
+		return "", nil
+	case "text", "true", "1":
+		return "text", nil
+	case "json":
+		return "json", nil
 	}
-	return nil
+	return "", fmt.Errorf(`run: invalid -stats mode %q (want "text" or "json")`, s)
 }
 
 func cmdAttack(args []string) error {

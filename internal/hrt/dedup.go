@@ -2,8 +2,12 @@ package hrt
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"slicehide/internal/obs"
 )
 
 // Dedup is the server half of the exactly-once scheme. It executes each
@@ -23,21 +27,44 @@ import (
 // the client replays its in-flight window from Ack+1. Replayed frames at
 // or below the session's high-water mark are skipped silently, preserving
 // exactly-once across the resend.
+//
+// Eviction is fenced two ways, because dropping a live session's lastSeq
+// high-water mark would let a later retry re-execute already-applied
+// mutations as if fresh: sessions seen within EvictGrace are not evicted
+// (the cache temporarily exceeds the cap instead), and a request stamped
+// seq > 1 for a session the cache has never seen — the signature of a
+// post-eviction replay or a server restart — is bounced with a distinct
+// session-evicted error rather than executed.
 type Dedup struct {
 	Inner Transport
-	// MaxSessions caps the cache; the least recently used sessions are
-	// evicted beyond it. Default 1024.
+	// MaxSessions caps the cache; the least recently used idle sessions
+	// are evicted beyond it. Default 1024.
 	MaxSessions int
+	// EvictGrace protects sessions seen within this window from eviction
+	// even when the cache is over cap; their clients are likely still
+	// alive, and evicting them would discard the replay high-water mark
+	// exactly-once depends on. 0 disables the grace fence (the bounce
+	// fence below still holds).
+	EvictGrace time.Duration
+	// Tracer, when set, receives replay/resend/evict/bounce events.
+	Tracer *obs.Tracer
 	// Replays counts requests answered from the cache or skipped as
 	// already-executed duplicates.
 	Replays atomic.Int64
 	// Resends counts reply-bearing requests bounced with RespResend
 	// because a sequence gap showed an earlier one-way frame was lost.
 	Resends atomic.Int64
+	// Evictions counts sessions dropped by the cache cap.
+	Evictions atomic.Int64
+	// Bounces counts requests refused with the session-evicted error
+	// because their session's replay state was lost.
+	Bounces atomic.Int64
 
 	mu       sync.Mutex
 	sessions map[uint64]*dedupEntry
 	clock    uint64
+	// now is stubbed by tests driving the grace window.
+	now func() time.Time
 }
 
 // dedupEntry is one session's slot.
@@ -54,14 +81,41 @@ type dedupEntry struct {
 	// set, later requests are skipped (not executed) and the error
 	// surfaces in the next reply-bearing response.
 	deferred string
+	// lost marks a session whose replay state was evicted (or predates a
+	// server restart): its true high-water mark is unknown, so nothing is
+	// executed and every reply-bearing request bounces with the
+	// session-evicted error.
+	lost bool
 	// done is non-nil while a request of this session is executing;
 	// duplicates and successors wait on it instead of racing. Requests
 	// within a session execute strictly one at a time, in seq order.
 	done chan struct{}
 	used uint64
+	// lastSeen timestamps the session's newest request, for EvictGrace.
+	lastSeen time.Time
 }
 
 const defaultMaxSessions = 1024
+
+// sessionEvictedMsg is the distinct marker carried in Response.Err when a
+// request is refused because its session's replay state was lost.
+const sessionEvictedMsg = "session replay state evicted"
+
+// IsSessionEvicted reports whether err marks a request the server bounced
+// because its session's exactly-once replay state was evicted. The client
+// must treat this as fatal for the session (re-running the program opens a
+// fresh session); retrying cannot succeed and re-executing would risk
+// double-applying hidden-state mutations.
+func IsSessionEvicted(err error) bool {
+	return err != nil && strings.Contains(err.Error(), sessionEvictedMsg)
+}
+
+func (d *Dedup) timeNow() time.Time {
+	if d.now != nil {
+		return d.now()
+	}
+	return time.Now()
+}
 
 // RoundTrip executes req exactly once per (session, seq), in sequence
 // order, answering replays from the cache. Unstamped requests (session 0)
@@ -77,12 +131,25 @@ func (d *Dedup) RoundTrip(req Request) (Response, error) {
 	}
 	d.clock++
 	e := d.sessions[req.Session]
-	if e == nil {
+	isNew := e == nil
+	if isNew {
 		e = &dedupEntry{}
+		if req.Seq > 1 {
+			// A session the cache has never seen must start at seq 1. A
+			// higher first seq means its entry was evicted or the server
+			// restarted: the high-water mark is gone, and executing could
+			// replay an already-applied mutation. Refuse, loudly.
+			e.lost = true
+		}
 		d.sessions[req.Session] = e
+	}
+	// Freshen before any eviction runs, so the newcomer is never its own
+	// LRU victim and is covered by the grace window from the start.
+	e.used = d.clock
+	e.lastSeen = d.timeNow()
+	if isNew {
 		d.evictLocked()
 	}
-	e.used = d.clock
 
 	// Serialize the session: wait out any in-flight execution so requests
 	// run strictly in order and duplicates observe the cached result.
@@ -93,11 +160,34 @@ func (d *Dedup) RoundTrip(req Request) (Response, error) {
 		d.mu.Lock()
 	}
 
+	if e.lost {
+		// Nothing executes on a lost session; it only drains, bouncing
+		// every reply-bearing request with the distinct eviction error the
+		// client surfaces instead of silently re-executing.
+		if req.Seq > e.lastSeq {
+			e.lastSeq = req.Seq
+		}
+		d.Bounces.Add(1)
+		d.mu.Unlock()
+		d.Tracer.Emit(obs.LevelWarn, "dedup_bounce",
+			obs.Uint("session", req.Session), obs.Uint("seq", req.Seq))
+		if req.NoReply() {
+			return Response{}, nil
+		}
+		return Response{
+			Seq: req.Seq,
+			Ack: req.Seq,
+			Err: fmt.Sprintf("hrt: session %d %s; cannot replay request %d exactly once", req.Session, sessionEvictedMsg, req.Seq),
+		}, nil
+	}
+
 	switch {
 	case req.Seq <= e.lastSeq:
 		// Already executed (or skipped). One-way duplicates — window
 		// replays after a resend — are dropped silently.
 		d.Replays.Add(1)
+		d.Tracer.Emit(obs.LevelDebug, "dedup_replay",
+			obs.Uint("session", req.Session), obs.Uint("seq", req.Seq))
 		if req.NoReply() {
 			d.mu.Unlock()
 			return Response{}, nil
@@ -126,6 +216,8 @@ func (d *Dedup) RoundTrip(req Request) (Response, error) {
 			return Response{}, nil
 		}
 		d.Resends.Add(1)
+		d.Tracer.Emit(obs.LevelInfo, "dedup_gap_resend",
+			obs.Uint("session", req.Session), obs.Uint("seq", req.Seq), obs.Uint("ack", last))
 		return Response{Seq: req.Seq, Ack: last, Flags: RespResend}, nil
 	}
 
@@ -175,11 +267,18 @@ func (d *Dedup) RoundTrip(req Request) (Response, error) {
 }
 
 // evictLocked drops the least recently used idle sessions while over the
-// cap. Caller holds d.mu.
+// cap, sparing sessions seen within the grace window — their clients are
+// likely still alive, and losing their high-water mark would break
+// exactly-once on the next retry. When everyone is in grace (or
+// executing) the cache runs over cap instead. Caller holds d.mu.
 func (d *Dedup) evictLocked() {
 	max := d.MaxSessions
 	if max <= 0 {
 		max = defaultMaxSessions
+	}
+	var cutoff time.Time
+	if d.EvictGrace > 0 {
+		cutoff = d.timeNow().Add(-d.EvictGrace)
 	}
 	for len(d.sessions) > max {
 		var victim uint64
@@ -189,6 +288,9 @@ func (d *Dedup) evictLocked() {
 			if e.done != nil {
 				continue // still executing; never evict in-flight work
 			}
+			if d.EvictGrace > 0 && e.lastSeen.After(cutoff) {
+				continue // seen within grace; presumed alive
+			}
 			if !found || e.used < oldest {
 				victim, oldest, found = id, e.used, true
 			}
@@ -197,10 +299,13 @@ func (d *Dedup) evictLocked() {
 			return
 		}
 		delete(d.sessions, victim)
+		d.Evictions.Add(1)
+		d.Tracer.Emit(obs.LevelInfo, "dedup_evict", obs.Uint("session", victim))
 	}
 }
 
-// Sessions reports the number of cached sessions (for tests).
+// Sessions reports the number of cached sessions (for tests and the
+// hrt_dedup_sessions gauge).
 func (d *Dedup) Sessions() int {
 	d.mu.Lock()
 	defer d.mu.Unlock()

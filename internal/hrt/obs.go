@@ -1,0 +1,125 @@
+package hrt
+
+import (
+	"strings"
+	"time"
+
+	"slicehide/internal/interp"
+	"slicehide/internal/obs"
+)
+
+// Observability glue: the names and shapes of the metrics and trace
+// events the runtime exports. The client (slicehide run) and the server
+// (hiddend) both build a RuntimeMetrics over their obs.Registry, so the
+// two sides of the link report latency under the same metric names:
+//
+//	hrt_latency_<op>_sync_ns    reply-bearing round trips, per op
+//	hrt_latency_<op>_oneway_ns  pipelined one-way sends, per op
+//	hrt_latency_flush_ns        barrier waits
+//
+// Trace events carry request structure (op, session, seq, fn, frag) —
+// which the open machine can observe on the wire anyway — but never
+// hidden values: argument and result payloads are attached with
+// obs.Secret and redacted before they reach the ring or any sink.
+
+// String names the op for metrics and trace events.
+func (op Op) String() string {
+	switch op {
+	case OpEnter:
+		return "enter"
+	case OpExit:
+		return "exit"
+	case OpCall:
+		return "call"
+	case OpFlush:
+		return "flush"
+	}
+	return "unknown"
+}
+
+// LatencyMetricName returns the histogram name for one request kind.
+func LatencyMetricName(op Op, oneWay bool) string {
+	if op == OpFlush {
+		return "hrt_latency_flush_ns"
+	}
+	mode := "_sync_ns"
+	if oneWay {
+		mode = "_oneway_ns"
+	}
+	return "hrt_latency_" + op.String() + mode
+}
+
+// RuntimeMetrics is the per-request-kind latency histogram set.
+type RuntimeMetrics struct {
+	hists map[histKey]*obs.Histogram
+}
+
+type histKey struct {
+	op     Op
+	oneWay bool
+}
+
+// NewRuntimeMetrics registers the runtime's latency histograms in reg.
+func NewRuntimeMetrics(reg *obs.Registry) *RuntimeMetrics {
+	m := &RuntimeMetrics{hists: make(map[histKey]*obs.Histogram)}
+	for _, op := range []Op{OpEnter, OpExit, OpCall, OpFlush} {
+		m.hists[histKey{op: op}] = reg.Histogram(LatencyMetricName(op, false))
+		if op != OpFlush {
+			m.hists[histKey{op: op, oneWay: true}] = reg.Histogram(LatencyMetricName(op, true))
+		}
+	}
+	return m
+}
+
+// Observe records one operation's latency.
+func (m *RuntimeMetrics) Observe(op Op, oneWay bool, d time.Duration) {
+	if m == nil {
+		return
+	}
+	if op == OpFlush {
+		oneWay = false
+	}
+	m.hists[histKey{op: op, oneWay: oneWay}].Observe(d)
+}
+
+// valuesAttr formats a value list for tracing. Always attach it with
+// obs.Secret: the values are hidden-state inputs or outputs.
+func valuesAttr(key string, vals []interp.Value) obs.Attr {
+	if len(vals) == 0 {
+		return obs.Secret(key, "")
+	}
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = v.String()
+	}
+	return obs.Secret(key, strings.Join(parts, ","))
+}
+
+// InterpTracer adapts an obs.Tracer to the interpreter's trace hook, so
+// `slicehide run -trace` records fragment enter/exit and hidden calls
+// alongside the transport's events.
+type InterpTracer struct {
+	T *obs.Tracer
+}
+
+var _ interp.Tracer = InterpTracer{}
+
+// FragEnter records a split-function activation opening.
+func (it InterpTracer) FragEnter(fn string, inst int64) {
+	it.T.Emit(obs.LevelDebug, "frag_enter", obs.Str("fn", fn), obs.Int("inst", inst))
+}
+
+// FragExit records a split-function activation closing.
+func (it InterpTracer) FragExit(fn string, inst int64) {
+	it.T.Emit(obs.LevelDebug, "frag_exit", obs.Str("fn", fn), obs.Int("inst", inst))
+}
+
+// HiddenCall records one hidden fragment invocation.
+func (it InterpTracer) HiddenCall(fn string, inst int64, frag int, oneWay bool) {
+	mode := "sync"
+	if oneWay {
+		mode = "oneway"
+	}
+	it.T.Emit(obs.LevelDebug, "hidden_call",
+		obs.Str("fn", fn), obs.Int("inst", inst), obs.Int("frag", int64(frag)), obs.Str("mode", mode))
+}

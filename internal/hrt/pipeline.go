@@ -10,6 +10,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"slicehide/internal/obs"
 )
 
 // PipelineConfig configures the pipelined fault-tolerant client side of
@@ -34,6 +36,9 @@ type PipelineConfig struct {
 	// Counters, when set, tallies retries, reconnects, window stalls, and
 	// true wire volume.
 	Counters *Counters
+	// Tracer, when set, receives reconnect, retry, window-stall, and
+	// resend-rewind events.
+	Tracer *obs.Tracer
 }
 
 const defaultWindow = 64
@@ -61,6 +66,7 @@ type PipelineTransport struct {
 
 	session  uint64
 	counters *Counters
+	tracer   *obs.Tracer
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -116,6 +122,7 @@ func DialPipeline(cfg PipelineConfig) (*PipelineTransport, error) {
 		dial:     cfg.Dial,
 		session:  cfg.Session,
 		counters: cfg.Counters,
+		tracer:   cfg.Tracer,
 		rng:      rand.New(rand.NewSource(seed)),
 		pending:  make(map[uint64]chan Response),
 	}
@@ -149,8 +156,12 @@ func (t *PipelineTransport) connectLocked() error {
 	// acknowledged request.
 	t.wroteSeq = t.acked
 	t.dead = make(chan struct{})
-	if t.dialedOnce && t.counters != nil {
-		t.counters.Reconnects.Add(1)
+	if t.dialedOnce {
+		if t.counters != nil {
+			t.counters.Reconnects.Add(1)
+		}
+		t.tracer.Emit(obs.LevelInfo, "reconnect",
+			obs.Uint("session", t.session), obs.Uint("acked", t.acked), obs.Int("inflight", int64(len(t.inflight))))
 	}
 	t.dialedOnce = true
 	go t.readLoop(conn, bufio.NewReader(r), t.dead)
@@ -243,6 +254,8 @@ func (t *PipelineTransport) Send(req Request) error {
 		if t.counters != nil {
 			t.counters.WindowStalls.Add(1)
 		}
+		t.tracer.Emit(obs.LevelDebug, "window_stall",
+			obs.Uint("session", t.session), obs.Int("window", int64(t.window)))
 		if err := t.Flush(); err != nil {
 			return err
 		}
@@ -335,6 +348,9 @@ func (t *PipelineTransport) exchange(req Request) (Response, error) {
 		t.rngMu.Lock()
 		d := backoffDelay(t.pol, t.rng, attempt)
 		t.rngMu.Unlock()
+		t.tracer.Emit(obs.LevelInfo, "retry",
+			obs.Uint("session", t.session), obs.Uint("seq", req.Seq),
+			obs.Int("attempt", int64(attempt+1)), obs.Dur("backoff", d), obs.Err(err))
 		t.pol.Sleep(d)
 	}
 	return Response{}, fmt.Errorf("hrt: request %d of session %d failed after %d attempt(s): %w",
@@ -403,6 +419,8 @@ func (t *PipelineTransport) attempt(req Request) (Response, error) {
 				if t.counters != nil {
 					t.counters.Retries.Add(1)
 				}
+				t.tracer.Emit(obs.LevelInfo, "resend_rewind",
+					obs.Uint("session", t.session), obs.Uint("seq", req.Seq), obs.Uint("ack", resp.Ack))
 				continue
 			}
 			t.pruneLocked(resp.Ack)

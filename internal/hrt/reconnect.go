@@ -7,6 +7,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"slicehide/internal/obs"
 )
 
 // ReconnectConfig configures the fault-tolerant client side of the TCP
@@ -26,6 +28,8 @@ type ReconnectConfig struct {
 	Session uint64
 	// Counters, when set, tallies retries and reconnects.
 	Counters *Counters
+	// Tracer, when set, receives retry and reconnect events.
+	Tracer *obs.Tracer
 }
 
 // ReconnectTransport is the fault-tolerant open-machine side of the TCP
@@ -50,7 +54,7 @@ func DialReconnect(cfg ReconnectConfig) (*ReconnectTransport, error) {
 	if cfg.Timeout == 0 {
 		cfg.Timeout = 5 * time.Second
 	}
-	ct := &connTransport{dial: cfg.Dial, timeout: cfg.Timeout, counters: cfg.Counters}
+	ct := &connTransport{dial: cfg.Dial, timeout: cfg.Timeout, counters: cfg.Counters, tracer: cfg.Tracer}
 	ct.mu.Lock()
 	err := ct.connectLocked()
 	ct.mu.Unlock()
@@ -58,7 +62,7 @@ func DialReconnect(cfg ReconnectConfig) (*ReconnectTransport, error) {
 		return nil, fmt.Errorf("hrt: dial hidden server: %w", err)
 	}
 	return &ReconnectTransport{
-		retry: &Retry{Inner: ct, Policy: cfg.Policy, Session: cfg.Session, Counters: cfg.Counters},
+		retry: &Retry{Inner: ct, Policy: cfg.Policy, Session: cfg.Session, Counters: cfg.Counters, Tracer: cfg.Tracer},
 		conn:  ct,
 	}, nil
 }
@@ -81,6 +85,7 @@ type connTransport struct {
 	dial     func() (net.Conn, error)
 	timeout  time.Duration
 	counters *Counters
+	tracer   *obs.Tracer
 
 	mu         sync.Mutex
 	conn       net.Conn
@@ -98,8 +103,11 @@ func (t *connTransport) connectLocked() error {
 	t.conn = conn
 	t.r = bufio.NewReader(conn)
 	t.w = bufio.NewWriter(conn)
-	if t.dialedOnce && t.counters != nil {
-		t.counters.Reconnects.Add(1)
+	if t.dialedOnce {
+		if t.counters != nil {
+			t.counters.Reconnects.Add(1)
+		}
+		t.tracer.Emit(obs.LevelInfo, "reconnect")
 	}
 	t.dialedOnce = true
 	return nil

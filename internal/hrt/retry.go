@@ -9,6 +9,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"slicehide/internal/obs"
 )
 
 // Error classification for the fault-tolerant link: transport-level
@@ -103,6 +105,8 @@ type Retry struct {
 	Session uint64
 	// Counters, when set, tallies retries.
 	Counters *Counters
+	// Tracer, when set, receives retry events.
+	Tracer *obs.Tracer
 
 	once  sync.Once
 	pol   RetryPolicy
@@ -144,7 +148,11 @@ func (t *Retry) RoundTrip(req Request) (Response, error) {
 		if t.Counters != nil {
 			t.Counters.Retries.Add(1)
 		}
-		t.pol.Sleep(t.backoff(attempt))
+		d := t.backoff(attempt)
+		t.Tracer.Emit(obs.LevelInfo, "retry",
+			obs.Uint("session", req.Session), obs.Uint("seq", req.Seq),
+			obs.Int("attempt", int64(attempt+1)), obs.Dur("backoff", d), obs.Err(err))
+		t.pol.Sleep(d)
 	}
 	return Response{}, fmt.Errorf("hrt: request %d of session %d failed after %d attempt(s): %w",
 		req.Seq, req.Session, attempts, lastErr)

@@ -10,6 +10,7 @@ package hrt
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -189,22 +190,13 @@ func (s *Server) instanceStore(class string, obj int64) *store {
 // classOf extracts the class a component belongs to: "C.m" -> "C",
 // "$class:C" -> "C", top-level functions -> "".
 func classOf(fn string) string {
-	if rest, ok := cutPrefix(fn, core.ClassComponentPrefix); ok {
+	if rest, ok := strings.CutPrefix(fn, core.ClassComponentPrefix); ok {
 		return rest
 	}
-	for i := 0; i < len(fn); i++ {
-		if fn[i] == '.' {
-			return fn[:i]
-		}
+	if class, _, ok := strings.Cut(fn, "."); ok {
+		return class
 	}
 	return ""
-}
-
-func cutPrefix(s, prefix string) (string, bool) {
-	if len(s) >= len(prefix) && s[:len(prefix)] == prefix {
-		return s[len(prefix):], true
-	}
-	return "", false
 }
 
 // Exit discards the hidden activation.
@@ -286,8 +278,7 @@ func (s *Server) CallSession(session uint64, fn string, inst int64, frag int, ar
 
 // isClassComponent reports whether fn names a per-class hidden component.
 func isClassComponent(fn string) bool {
-	_, ok := cutPrefix(fn, core.ClassComponentPrefix)
-	return ok
+	return strings.HasPrefix(fn, core.ClassComponentPrefix)
 }
 
 // zeroValue returns the typed zero of a hidden variable (hidden variables

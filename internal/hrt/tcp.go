@@ -7,6 +7,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"slicehide/internal/obs"
 )
 
 // TCPServer serves a hidden component Server over TCP; this is the
@@ -35,10 +37,19 @@ type TCPServer struct {
 	// that sends one is closed, forcing the client back to the
 	// synchronous protocol (cmd/hiddend -pipeline=false).
 	DisablePipeline bool
+	// EvictGrace protects recently-seen sessions from replay-cache
+	// eviction (see Dedup.EvictGrace).
+	EvictGrace time.Duration
+	// Tracer, when set, receives dedup replay/resend/evict/bounce events.
+	Tracer *obs.Tracer
+	// Metrics, when set, records per-request server-side execution latency
+	// under the same hrt_latency_* names the client uses.
+	Metrics *RuntimeMetrics
 
-	ln    net.Listener
-	wg    sync.WaitGroup
-	dedup *Dedup
+	ln       net.Listener
+	wg       sync.WaitGroup
+	dedup    *Dedup
+	requests obs.CounterHandle
 
 	mu     sync.Mutex
 	closed bool
@@ -53,11 +64,55 @@ func (ts *TCPServer) ListenAndServe(addr string) (net.Addr, error) {
 		return nil, err
 	}
 	ts.ln = ln
-	ts.dedup = &Dedup{Inner: &Local{Server: ts.Server}, MaxSessions: ts.MaxSessions}
+	ts.dedup = &Dedup{
+		Inner:       &Local{Server: ts.Server},
+		MaxSessions: ts.MaxSessions,
+		EvictGrace:  ts.EvictGrace,
+		Tracer:      ts.Tracer,
+	}
 	ts.conns = make(map[net.Conn]struct{})
 	ts.wg.Add(1)
 	go ts.acceptLoop()
 	return ln.Addr(), nil
+}
+
+// RegisterMetrics exports the server's gauges and counters into reg and
+// attaches the registry's latency histograms, so hiddend's /metrics
+// endpoint reports connection, session, and replay-cache state alongside
+// per-request execution latency. Call it before or after ListenAndServe;
+// gauges sample live state at scrape time.
+func (ts *TCPServer) RegisterMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	ts.Metrics = NewRuntimeMetrics(reg)
+	ts.requests = reg.Counter("hrt_requests_total")
+	reg.Gauge("hrt_active_conns", func() int64 { return int64(ts.ActiveConns()) })
+	reg.Gauge("hrt_active_activations", func() int64 { return int64(ts.Server.ActiveInstances()) })
+	reg.Gauge("hrt_dedup_sessions", func() int64 {
+		if ts.dedup == nil {
+			return 0
+		}
+		return int64(ts.dedup.Sessions())
+	})
+	dedupStat := func(f func(*Dedup) int64) func() int64 {
+		return func() int64 {
+			if ts.dedup == nil {
+				return 0
+			}
+			return f(ts.dedup)
+		}
+	}
+	reg.Gauge("hrt_dedup_replays", dedupStat(func(d *Dedup) int64 { return d.Replays.Load() }))
+	reg.Gauge("hrt_dedup_resends", dedupStat(func(d *Dedup) int64 { return d.Resends.Load() }))
+	reg.Gauge("hrt_dedup_evictions", dedupStat(func(d *Dedup) int64 { return d.Evictions.Load() }))
+	reg.Gauge("hrt_dedup_bounces", dedupStat(func(d *Dedup) int64 { return d.Bounces.Load() }))
+	stats := func(f func(ServerStats) int64) func() int64 {
+		return func() int64 { return f(ts.Server.Stats()) }
+	}
+	reg.Gauge("hrt_executed_enters", stats(func(s ServerStats) int64 { return s.Enters }))
+	reg.Gauge("hrt_executed_exits", stats(func(s ServerStats) int64 { return s.Exits }))
+	reg.Gauge("hrt_executed_calls", stats(func(s ServerStats) int64 { return s.Calls }))
 }
 
 func (ts *TCPServer) acceptLoop() {
@@ -117,6 +172,7 @@ func (ts *TCPServer) serveConn(conn net.Conn) {
 		if err != nil {
 			return // EOF, deadline, or broken connection
 		}
+		ts.requests.Add(1)
 		if req.NoReply() {
 			if ts.DisablePipeline {
 				return // refuse pipelined clients
@@ -124,10 +180,14 @@ func (ts *TCPServer) serveConn(conn net.Conn) {
 			// Reply-free: execute in order via the dedup layer (which
 			// defers errors and skips duplicates/gaps) and read the next
 			// frame without writing anything back.
+			start := time.Now()
 			_, _ = ts.dedup.RoundTrip(req)
+			ts.Metrics.Observe(req.Op, true, time.Since(start))
 			continue
 		}
+		start := time.Now()
 		resp, err := ts.dedup.RoundTrip(req)
+		ts.Metrics.Observe(req.Op, false, time.Since(start))
 		if err != nil {
 			resp = Response{Err: err.Error()}
 		}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"slicehide/internal/interp"
+	"slicehide/internal/obs"
 )
 
 // Op identifies a request type on the open↔hidden channel.
@@ -383,6 +384,76 @@ func (c *Counting) Flush() error {
 	}
 	c.Counters.Flushes.Add(1)
 	return at.Flush()
+}
+
+// ---------------------------------------------------------------------------
+
+// Instrument wraps a Transport with observability: every operation is
+// timed into the per-request-kind latency histograms and emitted as a
+// structured trace event. It sits outermost in the wrapper chain so the
+// measured latency covers the whole link (retries, backoff, simulated
+// RTT included). Request payloads are traced as secrets and redacted by
+// default — see the package obs redaction rule.
+type Instrument struct {
+	Inner   Transport
+	Metrics *RuntimeMetrics
+	Tracer  *obs.Tracer
+}
+
+// RoundTrip times and traces one reply-bearing exchange.
+func (i *Instrument) RoundTrip(req Request) (Response, error) {
+	i.Tracer.Emit(obs.LevelDebug, "send",
+		obs.Str("op", req.Op.String()), obs.Uint("seq", req.Seq), obs.Str("fn", req.Fn),
+		obs.Int("frag", int64(req.Frag)), valuesAttr("args", req.Args))
+	start := time.Now()
+	resp, err := i.Inner.RoundTrip(req)
+	d := time.Since(start)
+	i.Metrics.Observe(req.Op, false, d)
+	attrs := []obs.Attr{
+		obs.Str("op", req.Op.String()), obs.Uint("seq", req.Seq), obs.Dur("took", d), obs.Err(err),
+	}
+	if err == nil {
+		attrs = append(attrs, valuesAttr("val", []interp.Value{resp.Val}), obs.Str("resp_err", resp.Err))
+	}
+	i.Tracer.Emit(obs.LevelDebug, "recv", attrs...)
+	return resp, err
+}
+
+// Send times and traces one one-way send. The measured duration is the
+// local enqueue cost — near zero normally, a full barrier wait when the
+// in-flight window is saturated — so window backpressure shows up in the
+// one-way histograms' tail.
+func (i *Instrument) Send(req Request) error {
+	at, ok := AsAsync(i.Inner)
+	if !ok {
+		return fmt.Errorf("hrt: instrumented inner transport %T is not async-capable", i.Inner)
+	}
+	i.Tracer.Emit(obs.LevelDebug, "send_oneway",
+		obs.Str("op", req.Op.String()), obs.Str("fn", req.Fn),
+		obs.Int("frag", int64(req.Frag)), valuesAttr("args", req.Args))
+	start := time.Now()
+	err := at.Send(req)
+	i.Metrics.Observe(req.Op, true, time.Since(start))
+	if err != nil {
+		i.Tracer.Emit(obs.LevelWarn, "send_oneway_error", obs.Str("op", req.Op.String()), obs.Err(err))
+	}
+	return err
+}
+
+func (i *Instrument) asyncCapable() bool { return transportAsyncCapable(i.Inner) }
+
+// Flush times and traces one barrier wait.
+func (i *Instrument) Flush() error {
+	at, ok := AsAsync(i.Inner)
+	if !ok {
+		return fmt.Errorf("hrt: instrumented inner transport %T is not async-capable", i.Inner)
+	}
+	start := time.Now()
+	err := at.Flush()
+	d := time.Since(start)
+	i.Metrics.Observe(OpFlush, false, d)
+	i.Tracer.Emit(obs.LevelDebug, "flush", obs.Dur("took", d), obs.Err(err))
+	return err
 }
 
 // ---------------------------------------------------------------------------

@@ -66,6 +66,22 @@ type AsyncHiddenSession interface {
 	Barrier() error
 }
 
+// Tracer observes the interpreter's split-runtime events: split-function
+// activations opening and closing, and hidden fragment calls.
+// Implementations must be cheap and must never record hidden values —
+// the hooks deliberately expose only structure (names, ids, fragment
+// numbers), which the open machine can observe anyway. Package hrt
+// bridges this to the obs structured tracer.
+type Tracer interface {
+	// FragEnter fires after a split function's hidden activation opens.
+	FragEnter(fn string, inst int64)
+	// FragExit fires when the activation closes.
+	FragExit(fn string, inst int64)
+	// HiddenCall fires before each hidden fragment invocation; oneWay
+	// reports whether the call is dispatched reply-free.
+	HiddenCall(fn string, inst int64, frag int, oneWay bool)
+}
+
 // Options configures an interpreter.
 type Options struct {
 	// Out receives program output (print statements). Defaults to io.Discard.
@@ -79,6 +95,8 @@ type Options struct {
 	// SplitFuncs is the set of function qualified names that have hidden
 	// components; entering one opens a hidden activation.
 	SplitFuncs map[string]bool
+	// Trace, when set, observes split-runtime events.
+	Trace Tracer
 }
 
 // Interp executes a MiniJ IR program.
@@ -219,11 +237,17 @@ func (in *Interp) callFunc(f *ir.Func, recv *ObjectVal, args []Value) (Value, er
 			return NullV(), err
 		}
 		fr.inst, fr.split = inst, true
+		if in.opts.Trace != nil {
+			in.opts.Trace.FragEnter(f.QName(), inst)
+		}
 		defer func() {
 			if in.async != nil {
 				_ = in.async.ExitAsync(f.QName(), fr.inst)
 			} else {
 				_ = in.opts.Hidden.Exit(f.QName(), fr.inst)
+			}
+			if in.opts.Trace != nil {
+				in.opts.Trace.FragExit(f.QName(), fr.inst)
 			}
 		}()
 	}
@@ -376,7 +400,13 @@ func (in *Interp) hcallOneWay(fr *frame, e *ir.HCallExpr) error {
 			}
 			inst = ov.Obj.ID
 		}
+		if in.opts.Trace != nil {
+			in.opts.Trace.HiddenCall(e.Component, inst, e.FragID, true)
+		}
 		return in.async.CallOneWay(e.Component, inst, e.FragID, args)
+	}
+	if in.opts.Trace != nil {
+		in.opts.Trace.HiddenCall(fr.fn.QName(), fr.inst, e.FragID, true)
 	}
 	return in.async.CallOneWay(fr.fn.QName(), fr.inst, e.FragID, args)
 }
@@ -657,7 +687,13 @@ func (in *Interp) eval(fr *frame, e ir.Expr) (Value, error) {
 				}
 				inst = ov.Obj.ID
 			}
+			if in.opts.Trace != nil {
+				in.opts.Trace.HiddenCall(e.Component, inst, e.FragID, false)
+			}
 			return in.opts.Hidden.Call(e.Component, inst, e.FragID, args)
+		}
+		if in.opts.Trace != nil {
+			in.opts.Trace.HiddenCall(fr.fn.QName(), fr.inst, e.FragID, false)
 		}
 		return in.opts.Hidden.Call(fr.fn.QName(), fr.inst, e.FragID, args)
 	}

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+)
+
+// Health is the /healthz document.
+type Health struct {
+	Status     string            `json:"status"`
+	UptimeNs   int64             `json:"uptime_ns"`
+	Goroutines int               `json:"goroutines"`
+	Info       map[string]string `json:"info,omitempty"`
+}
+
+// AdminConfig configures AdminMux.
+type AdminConfig struct {
+	// Registry backs /metrics (nil serves an empty snapshot).
+	Registry *Registry
+	// Tracer backs /trace: the most recent ring-buffered events. Secrets
+	// were already redacted at Emit time, so serving the ring is safe.
+	Tracer *Tracer
+	// Info is static metadata echoed in /healthz (component names, flags).
+	Info map[string]string
+	// Start anchors the uptime report; zero means "now".
+	Start time.Time
+}
+
+// AdminMux builds the admin HTTP handler: /healthz (liveness JSON),
+// /metrics (expvar-style registry snapshot), /trace (recent trace
+// events), and the net/http/pprof profiling suite under /debug/pprof/.
+func AdminMux(cfg AdminConfig) *http.ServeMux {
+	start := cfg.Start
+	if start.IsZero() {
+		start = time.Now()
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, Health{
+			Status:     "ok",
+			UptimeNs:   int64(time.Since(start)),
+			Goroutines: runtime.NumGoroutine(),
+			Info:       cfg.Info,
+		})
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		cfg.Registry.WriteJSON(w)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, cfg.Tracer.Events())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// AdminServer is a running admin endpoint.
+type AdminServer struct {
+	srv  *http.Server
+	addr net.Addr
+}
+
+// ServeAdmin binds addr and serves h in the background. It returns once
+// the listener is ready so callers can print the bound address (":0"
+// picks a free port).
+func ServeAdmin(addr string, h http.Handler) (*AdminServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: h}
+	go srv.Serve(ln)
+	return &AdminServer{srv: srv, addr: ln.Addr()}, nil
+}
+
+// Addr is the bound listen address.
+func (a *AdminServer) Addr() net.Addr { return a.addr }
+
+// Close shuts the endpoint down.
+func (a *AdminServer) Close() error { return a.srv.Close() }
