@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-quick fuzz
+.PHONY: check vet build test race bench bench-quick bench-load bench-load-quick fuzz
 
-check: vet build race bench-quick
+check: vet build race bench-quick bench-load-quick
 
 vet:
 	$(GO) vet ./...
@@ -34,6 +34,20 @@ bench:
 bench-quick:
 	$(GO) test -short -run='^TestPipelineSmoke$$' -v .
 	$(GO) test -short ./internal/hrt -run='^Fuzz'
+
+# Concurrent-load benchmarks: regenerate the committed throughput report
+# (M sessions x K hidden calls over real sockets at 1/4 GOMAXPROCS and
+# 1/8 session shards), then the b.RunParallel direct-dispatch pair and
+# the wire-codec -benchmem microbenchmarks.
+bench-load:
+	$(GO) test -run='^TestWriteLoadBenchJSON$$' -bench-load-json BENCH_load.json -timeout 20m .
+	$(GO) test -bench='^BenchmarkLoadDirect' -benchmem -run=^$$ .
+	$(GO) test -bench='^BenchmarkWire' -benchmem -run=^$$ ./internal/hrt
+
+# Short-mode smoke for the load harness: a small concurrent run through
+# the real socket path in both transport modes and stripe configurations.
+bench-load-quick:
+	$(GO) test -short -run='^TestLoadSmoke$$' -v .
 
 # Run the wire-codec fuzzers for a short budget each.
 fuzz:

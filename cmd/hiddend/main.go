@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -42,6 +43,7 @@ type serverOpts struct {
 	maxSessions int
 	evictGrace  time.Duration
 	noPipeline  bool
+	shards      int
 	admin       string
 	trace       string
 }
@@ -54,6 +56,7 @@ func main() {
 	maxSessions := flag.Int("max-sessions", 0, "maximum cached replay sessions (0 = default 1024)")
 	evictGrace := flag.Duration("evict-grace", 0, "protect sessions seen within this window from replay-cache eviction (0 disables)")
 	pipeline := flag.Bool("pipeline", true, "accept pipelined (reply-free) frames; -pipeline=false forces clients back to the synchronous protocol")
+	shards := flag.Int("shards", 0, "session-state lock stripes for hidden state and the replay cache (0 = GOMAXPROCS, rounded up to a power of two; 1 = the serial single-lock server)")
 	admin := flag.String("admin", "", "serve the admin endpoint (/healthz, /metrics, /trace, /debug/pprof/) on this address (empty disables)")
 	trace := flag.String("trace", "", "write redacted runtime trace events (JSON lines) to this file")
 	flag.Parse()
@@ -63,6 +66,7 @@ func main() {
 		maxSessions: *maxSessions,
 		evictGrace:  *evictGrace,
 		noPipeline:  !*pipeline,
+		shards:      *shards,
 		admin:       *admin,
 		trace:       *trace,
 	}
@@ -107,14 +111,19 @@ func run(listen, split string, args []string, opts serverOpts) error {
 		tracer = obs.NewTracer(obs.TracerConfig{Level: obs.LevelInfo})
 	}
 
+	shards := opts.shards
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
 	server := &hrt.TCPServer{
-		Server:          hrt.NewServer(hrt.NewRegistry(res)),
+		Server:          hrt.NewServerShards(hrt.NewRegistry(res), shards),
 		ReadTimeout:     opts.timeout,
 		WriteTimeout:    opts.timeout,
 		MaxConns:        opts.maxConns,
 		MaxSessions:     opts.maxSessions,
 		EvictGrace:      opts.evictGrace,
 		DisablePipeline: opts.noPipeline,
+		Shards:          shards,
 		Tracer:          tracer,
 	}
 	reg := obs.NewRegistry()
@@ -147,7 +156,7 @@ func run(listen, split string, args []string, opts serverOpts) error {
 		fmt.Printf("hosting hidden component of %s (seed %s, %d fragments, %d hidden vars)\n",
 			name, sf.Seed, len(sf.Hidden.Frags), len(sf.Hidden.Vars))
 	}
-	fmt.Printf("hiddend listening on %s\n", addr)
+	fmt.Printf("hiddend listening on %s (%d session shards)\n", addr, server.Server.Shards())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

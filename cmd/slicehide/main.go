@@ -12,10 +12,12 @@
 //	slicehide split   -func f [-seed v] [-no-cfh] <file.mj>
 //	slicehide ilp     -func f [-seed v] <file.mj>
 //	slicehide run     [-split f[:v],g[:v],...] [-rtt d] [-server addr] [-timeout d] [-retries n] [-pipeline] [-window n] [-stats text|json] [-trace file] <file.mj>
+//	slicehide loadtest [-server addr] [-sessions m] [-ops k] [-pipeline] [-window n] [-shards n] [-split f:v] [-json] [program.mj]
 //	slicehide attack  -func f [-seed v] [-calls n] [-window k] <file.mj>
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -53,6 +55,8 @@ func main() {
 		err = cmdILP(os.Args[2:])
 	case "run":
 		err = cmdRun(os.Args[2:])
+	case "loadtest":
+		err = cmdLoadtest(os.Args[2:])
 	case "attack":
 		err = cmdAttack(os.Args[2:])
 	case "help", "-h", "--help":
@@ -77,6 +81,7 @@ commands:
   split     split a function into open and hidden components and print both
   ilp       report ILP arithmetic/control-flow complexities for a split
   run       execute a program (optionally split, optionally vs a remote hiddend)
+  loadtest  drive M concurrent sessions × K hidden calls against a hiddend
   attack    observe a split program's traffic and attempt automated recovery
 `)
 }
@@ -361,6 +366,79 @@ func cmdRun(args []string) error {
 		}
 	}
 	return runErr
+}
+
+// cmdLoadtest drives the concurrent load harness: M sessions × K hidden
+// fragment calls against one hidden server, reporting aggregate ops/sec
+// and blocking-op latency quantiles. Without -server it self-hosts an
+// in-process loopback hiddend (real sockets, real codec) so the sharded
+// server can be measured without a separate process.
+func cmdLoadtest(args []string) error {
+	fs := flag.NewFlagSet("loadtest", flag.ExitOnError)
+	server := fs.String("server", "", "address of a remote hiddend (default: in-process loopback server)")
+	sessions := fs.Int("sessions", 8, "concurrent client sessions")
+	ops := fs.Int("ops", 1000, "hidden fragment calls per session")
+	pipeline := fs.Bool("pipeline", false, "drive the pipelined transport (one-way calls + flush barriers)")
+	window := fs.Int("window", 0, "pipelined in-flight window (0 = transport default)")
+	barrier := fs.Int("barrier-every", 16, "pipelined ops between flush barriers")
+	shards := fs.Int("shards", 0, "self-hosted server session shards (0 = GOMAXPROCS, 1 = serial baseline; ignored with -server)")
+	split := fs.String("split", "", `workload split spec "f:seed" (default: built-in workload; with a program file it must name one of its functions)`)
+	asJSON := fs.Bool("json", false, "emit the schema-versioned LoadResult JSON instead of text")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	// The workload program is compiled and split locally to discover the
+	// fragment to drive, so targeting a remote server means passing the
+	// same program (and -split) it was started with.
+	var source string
+	switch fs.NArg() {
+	case 0:
+		if *server != "" && *split != "" {
+			return fmt.Errorf("loadtest: -server with -split needs the server's program file as an argument")
+		}
+	case 1:
+		src, err := os.ReadFile(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		source = string(src)
+	default:
+		return fmt.Errorf("loadtest: unexpected arguments %v", fs.Args()[1:])
+	}
+	res, err := experiments.RunLoad(experiments.LoadConfig{
+		Addr:         *server,
+		Sessions:     *sessions,
+		Ops:          *ops,
+		Pipeline:     *pipeline,
+		Window:       *window,
+		BarrierEvery: *barrier,
+		Shards:       *shards,
+		Source:       source,
+		Split:        *split,
+	})
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+	fmt.Printf("loadtest: %d sessions × %d ops (%s, shards=%s, GOMAXPROCS=%d)\n",
+		res.Sessions, res.OpsPerSession, res.Mode, shardsLabel(res.Shards), res.GOMAXPROCS)
+	fmt.Printf("  throughput: %.0f ops/sec (%d ops in %s)\n",
+		res.OpsPerSec, res.TotalOps, time.Duration(res.ElapsedNs))
+	fmt.Printf("  blocking ops: %d, p50 %s, p99 %s, max %s\n",
+		res.Blocking.Count, time.Duration(res.Blocking.P50Ns),
+		time.Duration(res.Blocking.P99Ns), time.Duration(res.Blocking.MaxNs))
+	return nil
+}
+
+func shardsLabel(n int) string {
+	if n == 0 {
+		return "remote"
+	}
+	return fmt.Sprintf("%d", n)
 }
 
 // parseStatsMode normalizes the -stats flag. The flag used to be a

@@ -1,0 +1,346 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"slicehide/internal/core"
+	"slicehide/internal/hrt"
+	"slicehide/internal/interp"
+	"slicehide/internal/ir"
+	"slicehide/internal/obs"
+	"slicehide/internal/slicer"
+)
+
+// Concurrent load harness: M client sessions hammer one hidden server with
+// K fragment calls each, measuring aggregate throughput and blocking-op
+// latency. This is the multi-core counterpart of the Table 5 experiments —
+// Table 5 measures one client's latency over a slow link, the load harness
+// measures how many independent clients one server sustains. `slicehide
+// loadtest` and the root loadbench benchmarks both drive it.
+
+// loadSource is the default workload: a small split function whose
+// fragments are a few arithmetic statements — cheap enough that server-side
+// locking, not fragment execution, is the bottleneck under load.
+const loadSource = `
+func work(x: int, y: int): int {
+    var k: int = x * 3 + y;
+    var t: int = k + x;
+    return t - y;
+}
+func main() { print(work(2, 1)); }
+`
+
+// LoadConfig configures one concurrent load run.
+type LoadConfig struct {
+	// Addr is the hidden server to target. Empty self-hosts an in-process
+	// loopback TCPServer (still real sockets, real codec) with Shards
+	// session stripes.
+	Addr string
+	// Sessions is the number of concurrent client sessions. Default 8.
+	Sessions int
+	// Ops is the number of hidden fragment calls per session. Default 1000.
+	Ops int
+	// Pipeline drives the pipelined transport (one-way calls with a flush
+	// barrier every BarrierEvery ops) instead of the synchronous one.
+	Pipeline bool
+	// Window is the pipelined in-flight window (0 = transport default).
+	Window int
+	// BarrierEvery is how many pipelined ops ride between flush barriers.
+	// Default 16.
+	BarrierEvery int
+	// Shards is the self-hosted server's session stripe count
+	// (0 = GOMAXPROCS, 1 = the serial single-lock baseline). Ignored when
+	// Addr is set.
+	Shards int
+	// Source and Split override the workload program and split spec
+	// (defaults: loadSource, "work:k"). The program is always compiled
+	// and split locally to discover the fragment to drive; with Addr set
+	// it must therefore be the same program the remote server hosts, and
+	// Split a component it serves.
+	Source string
+	Split  string
+}
+
+// LoadResult is one load run's measurement, the schema-versioned document
+// `slicehide loadtest -json` prints and BENCH_load.json collects.
+type LoadResult struct {
+	Schema        int     `json:"schema"`
+	Mode          string  `json:"mode"` // "sync" or "pipelined"
+	Sessions      int     `json:"sessions"`
+	OpsPerSession int     `json:"ops_per_session"`
+	TotalOps      int64   `json:"total_ops"`
+	Shards        int     `json:"shards"` // 0 = remote server, stripe count unknown
+	GOMAXPROCS    int     `json:"gomaxprocs"`
+	ElapsedNs     int64   `json:"elapsed_ns"`
+	OpsPerSec     float64 `json:"ops_per_sec"`
+	// Blocking is the latency distribution of the operations that waited
+	// for the server: every call in sync mode, flush barriers in
+	// pipelined mode.
+	Blocking obs.HistSnapshot `json:"blocking_latency"`
+}
+
+// LoadSchemaVersion is bumped when LoadResult's shape changes.
+const LoadSchemaVersion = 1
+
+func (c *LoadConfig) withDefaults() LoadConfig {
+	cfg := *c
+	if cfg.Sessions <= 0 {
+		cfg.Sessions = 8
+	}
+	if cfg.Ops <= 0 {
+		cfg.Ops = 1000
+	}
+	if cfg.BarrierEvery <= 0 {
+		cfg.BarrierEvery = 16
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Source == "" {
+		cfg.Source = loadSource
+	}
+	if cfg.Split == "" {
+		cfg.Split = "work:k"
+	}
+	return cfg
+}
+
+// splitLoadProgram compiles and splits the workload, returning the split
+// result and the component/fragment the workers will call.
+func splitLoadProgram(cfg LoadConfig) (*core.Result, string, int, int, error) {
+	prog, err := ir.Compile(cfg.Source)
+	if err != nil {
+		return nil, "", 0, 0, fmt.Errorf("loadgen: compile workload: %w", err)
+	}
+	fn, seed, _ := strings.Cut(cfg.Split, ":")
+	res, err := core.SplitProgram(prog, []core.Spec{{Func: fn, Seed: seed}}, slicer.Policy{})
+	if err != nil {
+		return nil, "", 0, 0, fmt.Errorf("loadgen: split workload: %w", err)
+	}
+	sf, ok := res.Splits[fn]
+	if !ok {
+		return nil, "", 0, 0, fmt.Errorf("loadgen: no split for %s", fn)
+	}
+	// Pick the lowest-numbered fragment so every run drives the same code.
+	fragID := -1
+	for id := range sf.Hidden.Frags {
+		if fragID < 0 || id < fragID {
+			fragID = id
+		}
+	}
+	if fragID < 0 {
+		return nil, "", 0, 0, fmt.Errorf("loadgen: split of %s produced no fragments", fn)
+	}
+	return res, fn, fragID, len(sf.Hidden.Frags[fragID].ArgVars), nil
+}
+
+// RunLoad executes one concurrent load run and reports its measurement.
+func RunLoad(c LoadConfig) (LoadResult, error) {
+	cfg := c.withDefaults()
+	res, comp, fragID, argc, err := splitLoadProgram(cfg)
+	if err != nil {
+		return LoadResult{}, err
+	}
+
+	addr := cfg.Addr
+	shards := cfg.Shards
+	if addr == "" {
+		srv := &hrt.TCPServer{
+			Server: hrt.NewServerShards(hrt.NewRegistry(res), shards),
+			Shards: shards,
+		}
+		a, err := srv.ListenAndServe("127.0.0.1:0")
+		if err != nil {
+			return LoadResult{}, fmt.Errorf("loadgen: start loopback server: %w", err)
+		}
+		defer srv.Close()
+		addr = a.String()
+	} else {
+		shards = 0 // remote server; stripe count unknown
+	}
+
+	hist := &obs.Histogram{}
+	args := make([]interp.Value, argc)
+	for i := range args {
+		args[i] = interp.IntV(int64(i%5 + 1))
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, cfg.Sessions)
+	start := time.Now()
+	for w := 0; w < cfg.Sessions; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if cfg.Pipeline {
+				errs[w] = loadWorkerPipelined(addr, comp, fragID, args, cfg, hist)
+			} else {
+				errs[w] = loadWorkerSync(addr, comp, fragID, args, cfg, hist)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return LoadResult{}, err
+		}
+	}
+
+	mode := "sync"
+	if cfg.Pipeline {
+		mode = "pipelined"
+	}
+	total := int64(cfg.Sessions) * int64(cfg.Ops)
+	return LoadResult{
+		Schema:        LoadSchemaVersion,
+		Mode:          mode,
+		Sessions:      cfg.Sessions,
+		OpsPerSession: cfg.Ops,
+		TotalOps:      total,
+		Shards:        shards,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		ElapsedNs:     elapsed.Nanoseconds(),
+		OpsPerSec:     float64(total) / elapsed.Seconds(),
+		Blocking:      hist.Snapshot(),
+	}, nil
+}
+
+// loadWorkerSync is one session over the synchronous fault-tolerant
+// transport: every call blocks for its reply.
+func loadWorkerSync(addr, comp string, fragID int, args []interp.Value, cfg LoadConfig, hist *obs.Histogram) error {
+	tr, err := hrt.DialReconnect(hrt.ReconnectConfig{Addr: addr})
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+	sess := &hrt.Session{T: tr}
+	inst, err := sess.Enter(comp, 0)
+	if err != nil {
+		return err
+	}
+	for op := 0; op < cfg.Ops; op++ {
+		start := time.Now()
+		if _, err := sess.Call(comp, inst, fragID, args); err != nil {
+			return err
+		}
+		hist.Observe(time.Since(start))
+	}
+	return sess.Exit(comp, inst)
+}
+
+// loadWorkerPipelined is one session over the pipelined transport: calls
+// go one-way and only the periodic flush barrier blocks.
+func loadWorkerPipelined(addr, comp string, fragID int, args []interp.Value, cfg LoadConfig, hist *obs.Histogram) error {
+	tr, err := hrt.DialPipeline(hrt.PipelineConfig{Addr: addr, Window: cfg.Window})
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+	as := hrt.NewAsyncSession(tr)
+	if as == nil {
+		return fmt.Errorf("loadgen: pipelined transport is not async-capable")
+	}
+	inst, err := as.EnterAsync(comp, 0)
+	if err != nil {
+		return err
+	}
+	for op := 0; op < cfg.Ops; op++ {
+		if err := as.CallOneWay(comp, inst, fragID, args); err != nil {
+			return err
+		}
+		if (op+1)%cfg.BarrierEvery == 0 {
+			start := time.Now()
+			if err := as.Barrier(); err != nil {
+				return err
+			}
+			hist.Observe(time.Since(start))
+		}
+	}
+	if err := as.ExitAsync(comp, inst); err != nil {
+		return err
+	}
+	start := time.Now()
+	if err := as.Barrier(); err != nil {
+		return err
+	}
+	hist.Observe(time.Since(start))
+	return nil
+}
+
+// LoadBenchReport is the top-level BENCH_load.json document: the same
+// workload at 1 vs GOMAXPROCS cores and 1 vs N session shards, so the
+// throughput trajectory of the sharded server is tracked release over
+// release like BENCH_hrt.json tracks latency.
+type LoadBenchReport struct {
+	Schema int `json:"schema"`
+	// NumCPU records the host's physical parallelism: GOMAXPROCS rows
+	// above it oversubscribe the hardware, so sharded-vs-serial ratios
+	// are only meaningful up to this count.
+	NumCPU int `json:"num_cpu"`
+	Config struct {
+		Sessions     int  `json:"sessions"`
+		OpsPerSess   int  `json:"ops_per_session"`
+		Pipeline     bool `json:"pipeline"`
+		ShardedCount int  `json:"sharded_count"`
+	} `json:"config"`
+	Rows []LoadResult `json:"rows"`
+}
+
+// WriteLoadBenchJSON runs the serial-vs-sharded throughput matrix and
+// writes the report: {GOMAXPROCS 1, 4} × {1 shard, shardedCount shards}.
+func WriteLoadBenchJSON(w io.Writer, cfg LoadConfig, shardedCount int) error {
+	base := cfg.withDefaults()
+	if shardedCount <= 1 {
+		shardedCount = 8
+	}
+	var rep LoadBenchReport
+	rep.Schema = LoadSchemaVersion
+	rep.NumCPU = runtime.NumCPU()
+	rep.Config.Sessions = base.Sessions
+	rep.Config.OpsPerSess = base.Ops
+	rep.Config.Pipeline = base.Pipeline
+	rep.Config.ShardedCount = shardedCount
+
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, procs := range []int{1, 4} {
+		runtime.GOMAXPROCS(procs)
+		for _, shards := range []int{1, shardedCount} {
+			run := base
+			run.Shards = shards
+			r, err := RunLoad(run)
+			if err != nil {
+				return err
+			}
+			r.GOMAXPROCS = procs
+			rep.Rows = append(rep.Rows, r)
+		}
+	}
+	runtime.GOMAXPROCS(prev)
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// WriteLoadBenchJSONFile is WriteLoadBenchJSON to a file path (used by
+// `make bench-load`).
+func WriteLoadBenchJSONFile(path string, cfg LoadConfig, shardedCount int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("experiments: create %s: %w", path, err)
+	}
+	if err := WriteLoadBenchJSON(f, cfg, shardedCount); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

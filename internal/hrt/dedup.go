@@ -46,6 +46,15 @@ type Dedup struct {
 	// exactly-once depends on. 0 disables the grace fence (the bounce
 	// fence below still holds).
 	EvictGrace time.Duration
+	// Shards stripes the session cache across independently locked
+	// segments so concurrent sessions never contend on one mutex (a
+	// session's requests still serialize on its own entry). Values < 2
+	// mean a single stripe — the pre-sharding behavior, and the default
+	// for bare construction. MaxSessions divides across stripes
+	// (rounded up), so each stripe evicts by its own LRU clock; the
+	// global cap is approximate by at most Shards-1 sessions, the usual
+	// striped-LRU contract.
+	Shards int
 	// Tracer, when set, receives replay/resend/evict/bounce events.
 	Tracer *obs.Tracer
 	// Replays counts requests answered from the cache or skipped as
@@ -60,11 +69,22 @@ type Dedup struct {
 	// because their session's replay state was lost.
 	Bounces atomic.Int64
 
+	// initOnce builds the shard slice lazily so bare struct-literal
+	// construction (the test idiom) keeps working.
+	initOnce sync.Once
+	shards   []*dedupShard
+	mask     uint64
+	// now is stubbed by tests driving the grace window.
+	now func() time.Time
+}
+
+// dedupShard is one independently locked stripe of the session cache.
+type dedupShard struct {
 	mu       sync.Mutex
 	sessions map[uint64]*dedupEntry
 	clock    uint64
-	// now is stubbed by tests driving the grace window.
-	now func() time.Time
+	// max is this stripe's share of MaxSessions.
+	max int
 }
 
 // dedupEntry is one session's slot.
@@ -117,6 +137,41 @@ func (d *Dedup) timeNow() time.Time {
 	return time.Now()
 }
 
+// lazyInit builds the stripe slice on first use. The per-stripe cap is
+// ceil(MaxSessions/stripes) so the configured cap is honored exactly with
+// one stripe (every existing eviction test) and within Shards-1 overall.
+func (d *Dedup) lazyInit() {
+	d.initOnce.Do(func() {
+		n := shardCount(d.Shards)
+		max := d.MaxSessions
+		if max <= 0 {
+			max = defaultMaxSessions
+		}
+		perShard := (max + n - 1) / n
+		if perShard < 1 {
+			perShard = 1
+		}
+		d.shards = make([]*dedupShard, n)
+		d.mask = uint64(n - 1)
+		for i := range d.shards {
+			d.shards[i] = &dedupShard{
+				sessions: make(map[uint64]*dedupEntry),
+				max:      perShard,
+			}
+		}
+	})
+}
+
+// shard maps a session id to its stripe (same mixed-mask scheme as
+// Server.shard, so a session's replay state and hidden state land on
+// matching stripes of their respective structures).
+func (d *Dedup) shard(session uint64) *dedupShard {
+	if d.mask == 0 {
+		return d.shards[0]
+	}
+	return d.shards[mix64(session)&d.mask]
+}
+
 // RoundTrip executes req exactly once per (session, seq), in sequence
 // order, answering replays from the cache. Unstamped requests (session 0)
 // pass through. For reply-free requests the returned Response is
@@ -125,12 +180,11 @@ func (d *Dedup) RoundTrip(req Request) (Response, error) {
 	if req.Session == 0 {
 		return d.Inner.RoundTrip(req)
 	}
-	d.mu.Lock()
-	if d.sessions == nil {
-		d.sessions = make(map[uint64]*dedupEntry)
-	}
-	d.clock++
-	e := d.sessions[req.Session]
+	d.lazyInit()
+	sh := d.shard(req.Session)
+	sh.mu.Lock()
+	sh.clock++
+	e := sh.sessions[req.Session]
 	isNew := e == nil
 	if isNew {
 		e = &dedupEntry{}
@@ -141,23 +195,27 @@ func (d *Dedup) RoundTrip(req Request) (Response, error) {
 			// replay an already-applied mutation. Refuse, loudly.
 			e.lost = true
 		}
-		d.sessions[req.Session] = e
+		sh.sessions[req.Session] = e
 	}
 	// Freshen before any eviction runs, so the newcomer is never its own
 	// LRU victim and is covered by the grace window from the start.
-	e.used = d.clock
-	e.lastSeen = d.timeNow()
+	// lastSeen only matters to the grace fence, so skip the clock read on
+	// the hot path when no grace window is configured.
+	e.used = sh.clock
+	if d.EvictGrace > 0 {
+		e.lastSeen = d.timeNow()
+	}
 	if isNew {
-		d.evictLocked()
+		d.evictLocked(sh)
 	}
 
 	// Serialize the session: wait out any in-flight execution so requests
 	// run strictly in order and duplicates observe the cached result.
 	for e.done != nil {
 		done := e.done
-		d.mu.Unlock()
+		sh.mu.Unlock()
 		<-done
-		d.mu.Lock()
+		sh.mu.Lock()
 	}
 
 	if e.lost {
@@ -168,7 +226,7 @@ func (d *Dedup) RoundTrip(req Request) (Response, error) {
 			e.lastSeq = req.Seq
 		}
 		d.Bounces.Add(1)
-		d.mu.Unlock()
+		sh.mu.Unlock()
 		d.Tracer.Emit(obs.LevelWarn, "dedup_bounce",
 			obs.Uint("session", req.Session), obs.Uint("seq", req.Seq))
 		if req.NoReply() {
@@ -189,16 +247,16 @@ func (d *Dedup) RoundTrip(req Request) (Response, error) {
 		d.Tracer.Emit(obs.LevelDebug, "dedup_replay",
 			obs.Uint("session", req.Session), obs.Uint("seq", req.Seq))
 		if req.NoReply() {
-			d.mu.Unlock()
+			sh.mu.Unlock()
 			return Response{}, nil
 		}
 		if req.Seq == e.respSeq {
 			resp := e.resp
-			d.mu.Unlock()
+			sh.mu.Unlock()
 			return resp, nil
 		}
 		last := e.lastSeq
-		d.mu.Unlock()
+		sh.mu.Unlock()
 		return Response{
 			Seq: req.Seq,
 			Ack: last,
@@ -211,7 +269,7 @@ func (d *Dedup) RoundTrip(req Request) (Response, error) {
 		// dropped (the barrier will flush out the loss); reply-bearing
 		// requests bounce with a resend demand.
 		last := e.lastSeq
-		d.mu.Unlock()
+		sh.mu.Unlock()
 		if req.NoReply() {
 			return Response{}, nil
 		}
@@ -226,7 +284,7 @@ func (d *Dedup) RoundTrip(req Request) (Response, error) {
 	// without touching hidden state and the deferred error reports.
 	e.done = make(chan struct{})
 	poisoned := e.deferred
-	d.mu.Unlock()
+	sh.mu.Unlock()
 
 	var resp Response
 	if poisoned == "" {
@@ -240,7 +298,7 @@ func (d *Dedup) RoundTrip(req Request) (Response, error) {
 		}
 	}
 
-	d.mu.Lock()
+	sh.mu.Lock()
 	e.lastSeq = req.Seq
 	if req.NoReply() {
 		if resp.Err != "" && e.deferred == "" {
@@ -248,7 +306,7 @@ func (d *Dedup) RoundTrip(req Request) (Response, error) {
 		}
 		close(e.done)
 		e.done = nil
-		d.mu.Unlock()
+		sh.mu.Unlock()
 		return Response{}, nil
 	}
 	if e.deferred != "" {
@@ -262,29 +320,26 @@ func (d *Dedup) RoundTrip(req Request) (Response, error) {
 	e.resp = resp
 	close(e.done)
 	e.done = nil
-	d.mu.Unlock()
+	sh.mu.Unlock()
 	return resp, nil
 }
 
-// evictLocked drops the least recently used idle sessions while over the
-// cap, sparing sessions seen within the grace window — their clients are
-// likely still alive, and losing their high-water mark would break
-// exactly-once on the next retry. When everyone is in grace (or
-// executing) the cache runs over cap instead. Caller holds d.mu.
-func (d *Dedup) evictLocked() {
-	max := d.MaxSessions
-	if max <= 0 {
-		max = defaultMaxSessions
-	}
+// evictLocked drops the stripe's least recently used idle sessions while
+// over its share of the cap, sparing sessions seen within the grace
+// window — their clients are likely still alive, and losing their
+// high-water mark would break exactly-once on the next retry. When
+// everyone is in grace (or executing) the stripe runs over cap instead.
+// Caller holds sh.mu.
+func (d *Dedup) evictLocked(sh *dedupShard) {
 	var cutoff time.Time
 	if d.EvictGrace > 0 {
 		cutoff = d.timeNow().Add(-d.EvictGrace)
 	}
-	for len(d.sessions) > max {
+	for len(sh.sessions) > sh.max {
 		var victim uint64
 		var oldest uint64
 		found := false
-		for id, e := range d.sessions {
+		for id, e := range sh.sessions {
 			if e.done != nil {
 				continue // still executing; never evict in-flight work
 			}
@@ -298,16 +353,21 @@ func (d *Dedup) evictLocked() {
 		if !found {
 			return
 		}
-		delete(d.sessions, victim)
+		delete(sh.sessions, victim)
 		d.Evictions.Add(1)
 		d.Tracer.Emit(obs.LevelInfo, "dedup_evict", obs.Uint("session", victim))
 	}
 }
 
-// Sessions reports the number of cached sessions (for tests and the
-// hrt_dedup_sessions gauge).
+// Sessions reports the number of cached sessions across all stripes (for
+// tests and the hrt_dedup_sessions gauge).
 func (d *Dedup) Sessions() int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return len(d.sessions)
+	d.lazyInit()
+	n := 0
+	for _, sh := range d.shards {
+		sh.mu.Lock()
+		n += len(sh.sessions)
+		sh.mu.Unlock()
+	}
+	return n
 }

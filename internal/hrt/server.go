@@ -10,6 +10,8 @@ package hrt
 
 import (
 	"fmt"
+	"math/bits"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -68,6 +70,14 @@ func constValue(c *ir.Const) interp.Value {
 }
 
 // Server executes hidden fragments. It is safe for concurrent use.
+//
+// Session state is striped across shards keyed by client session id, so
+// concurrent sessions never contend on one lock: sessions are independent
+// namespaces by construction (activations are keyed by (session, inst),
+// object instance ids are client-assigned and therefore session-scoped),
+// which makes the split a pure partition. The shared hidden-globals store
+// is the one piece of cross-session state; it keeps a dedicated lock.
+// Execution tallies stay atomic.
 type Server struct {
 	reg *Registry
 
@@ -79,18 +89,41 @@ type Server struct {
 	statExits  atomic.Int64
 	statCalls  atomic.Int64
 
-	mu      sync.Mutex
-	stores  map[string]map[actKey]*store
-	globals *store
+	// shards stripe per-session state; len(shards) is a power of two and
+	// shardMask = len(shards)-1.
+	shards    []*serverShard
+	shardMask uint64
+
+	// globalsMu guards the shared hidden-globals store — the only state
+	// every session can reach — both its map here and every fragment
+	// read/write of a global hidden variable during execution.
+	globalsMu sync.Mutex
+	globals   *store
+	// touchesGlobals marks components whose fragments can reach a global
+	// hidden variable; only their calls take globalsMu.
+	touchesGlobals map[string]bool
+}
+
+// serverShard holds the session state of one stripe: activation stores,
+// per-object hidden-field stores, and the server-assigned instance id
+// counter. Each shard is an independently locked slice of the session
+// space.
+type serverShard struct {
+	mu     sync.Mutex
+	stores map[string]map[actKey]*store
 	// instances holds per-object hidden-field stores (the §2.2
-	// object-oriented extension), keyed by class and object instance id.
+	// object-oriented extension), keyed by session, class, and object
+	// instance id. Object ids are assigned by the client interpreter, so
+	// the session qualifier keeps concurrent clients from aliasing each
+	// other's hidden fields.
 	instances map[instanceKey]*store
 	nextInst  int64
 }
 
 type instanceKey struct {
-	class string
-	obj   int64
+	session uint64
+	class   string
+	obj     int64
 }
 
 // actKey addresses one activation record. Activations are namespaced by
@@ -110,19 +143,87 @@ type store struct {
 	obj int64
 }
 
-// NewServer creates a hidden-component server over reg.
+// NewServer creates a hidden-component server over reg with one session
+// shard per CPU (see NewServerShards).
 func NewServer(reg *Registry) *Server {
-	s := &Server{
-		reg:       reg,
-		stores:    make(map[string]map[actKey]*store),
-		instances: make(map[instanceKey]*store),
+	return NewServerShards(reg, runtime.GOMAXPROCS(0))
+}
+
+// NewServerShards creates a hidden-component server whose session state is
+// striped across shards locks (rounded up to a power of two; values < 1
+// mean one shard, the serial pre-sharding behavior).
+func NewServerShards(reg *Registry, shards int) *Server {
+	s := &Server{reg: reg}
+	n := shardCount(shards)
+	s.shards = make([]*serverShard, n)
+	s.shardMask = uint64(n - 1)
+	for i := range s.shards {
+		s.shards[i] = &serverShard{
+			stores:    make(map[string]map[actKey]*store),
+			instances: make(map[instanceKey]*store),
+		}
 	}
 	s.globals = &store{vals: make(map[*ir.Var]interp.Value)}
 	for v, val := range reg.GlobalInit {
 		s.globals.vals[v] = val
 	}
+	s.touchesGlobals = make(map[string]bool)
+	for name, comp := range reg.Components {
+		if name == core.GlobalsComponent {
+			s.touchesGlobals[name] = true
+			continue
+		}
+		for _, v := range comp.Vars {
+			if v.Kind == ir.VarGlobal {
+				s.touchesGlobals[name] = true
+				break
+			}
+		}
+	}
 	return s
 }
+
+// shardCount normalizes a shard configuration value: at least one, rounded
+// up to the next power of two so shard selection is a mask, capped to keep
+// a misconfigured flag from allocating absurd stripe counts.
+func shardCount(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	if n > 1024 {
+		n = 1024
+	}
+	if n&(n-1) != 0 {
+		n = 1 << bits.Len(uint(n))
+	}
+	return n
+}
+
+// shard maps a session to its stripe. Session ids are random 64-bit
+// values (NewSessionID), but the synchronous in-process path uses small
+// dense ids (0, 1, 2, ...), so the id is mixed (splitmix64 finalizer)
+// before masking to spread both shapes evenly.
+func (s *Server) shard(session uint64) *serverShard {
+	if s.shardMask == 0 {
+		return s.shards[0]
+	}
+	return s.shards[mix64(session)&s.shardMask]
+}
+
+// mix64 is the splitmix64 finalizer: a cheap bijective mixer whose output
+// bits all depend on all input bits.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Shards reports the number of session stripes (for tests and hiddend's
+// startup banner).
+func (s *Server) Shards() int { return len(s.shards) }
 
 // Enter opens a hidden activation for split function fn; obj is the
 // receiver instance id for methods of classes with hidden fields.
@@ -139,14 +240,18 @@ func (s *Server) EnterSession(session uint64, fn string, obj, inst int64) (int64
 	if comp == nil {
 		return 0, fmt.Errorf("hrt: no hidden component for %s", fn)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	sh := s.shard(session)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	if inst == 0 {
-		s.nextInst++
-		inst = s.nextInst
+		// Server-assigned ids are unique per shard, which is enough:
+		// activations are addressed by (session, inst) and a session lives
+		// on exactly one shard.
+		sh.nextInst++
+		inst = sh.nextInst
 	}
-	if s.stores[fn] == nil {
-		s.stores[fn] = make(map[actKey]*store)
+	if sh.stores[fn] == nil {
+		sh.stores[fn] = make(map[actKey]*store)
 	}
 	st := &store{vals: make(map[*ir.Var]interp.Value, len(comp.Vars)), obj: obj}
 	for _, v := range comp.Vars {
@@ -155,7 +260,7 @@ func (s *Server) EnterSession(session uint64, fn string, obj, inst int64) (int64
 		}
 		st.vals[v] = zeroValue(v)
 	}
-	s.stores[fn][actKey{session: session, inst: inst}] = st
+	sh.stores[fn][actKey{session: session, inst: inst}] = st
 	s.statEnters.Add(1)
 	return inst, nil
 }
@@ -176,13 +281,13 @@ func (s *Server) Stats() ServerStats {
 }
 
 // instanceStore returns (creating on first use) the hidden-field store of
-// one object. Caller holds s.mu.
-func (s *Server) instanceStore(class string, obj int64) *store {
-	key := instanceKey{class: class, obj: obj}
-	st, ok := s.instances[key]
+// one object in one session's namespace. Caller holds sh.mu.
+func (sh *serverShard) instanceStore(session uint64, class string, obj int64) *store {
+	key := instanceKey{session: session, class: class, obj: obj}
+	st, ok := sh.instances[key]
 	if !ok {
 		st = &store{vals: make(map[*ir.Var]interp.Value), obj: obj}
-		s.instances[key] = st
+		sh.instances[key] = st
 	}
 	return st
 }
@@ -206,9 +311,10 @@ func (s *Server) Exit(fn string, inst int64) error {
 
 // ExitSession discards an activation in the given session's namespace.
 func (s *Server) ExitSession(session uint64, fn string, inst int64) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if m := s.stores[fn]; m != nil {
+	sh := s.shard(session)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if m := sh.stores[fn]; m != nil {
 		delete(m, actKey{session: session, inst: inst})
 		s.statExits.Add(1)
 		return nil
@@ -218,11 +324,13 @@ func (s *Server) ExitSession(session uint64, fn string, inst int64) error {
 
 // ActiveInstances reports the number of live activations (for tests).
 func (s *Server) ActiveInstances() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	n := 0
-	for _, m := range s.stores {
-		n += len(m)
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for _, m := range sh.stores {
+			n += len(m)
+		}
+		sh.mu.Unlock()
 	}
 	return n
 }
@@ -246,8 +354,9 @@ func (s *Server) CallSession(session uint64, fn string, inst int64, frag int, ar
 		return interp.NullV(), fmt.Errorf("hrt: %s has no fragment %d", fn, frag)
 	}
 	class := classOf(fn)
-	s.mu.Lock()
-	st := s.stores[fn][actKey{session: session, inst: inst}]
+	sh := s.shard(session)
+	sh.mu.Lock()
+	st := sh.stores[fn][actKey{session: session, inst: inst}]
 	if st == nil && fn == core.GlobalsComponent {
 		// The shared globals component has a single implicit activation.
 		st = s.globals
@@ -255,13 +364,13 @@ func (s *Server) CallSession(session uint64, fn string, inst int64, frag int, ar
 	if st == nil && class != "" && isClassComponent(fn) {
 		// Class components address per-object stores directly; inst is the
 		// object instance id.
-		st = s.instanceStore(class, inst)
+		st = sh.instanceStore(session, class, inst)
 	}
 	var instStore *store
 	if st != nil && class != "" {
-		instStore = s.instanceStore(class, st.obj)
+		instStore = sh.instanceStore(session, class, st.obj)
 	}
-	s.mu.Unlock()
+	sh.mu.Unlock()
 	if st == nil {
 		return interp.NullV(), fmt.Errorf("hrt: no activation %s/%d", fn, inst)
 	}
@@ -273,6 +382,15 @@ func (s *Server) CallSession(session uint64, fn string, inst int64, frag int, ar
 		ex.args = append(ex.args, argBinding{v: av, val: args[i]})
 	}
 	s.statCalls.Add(1)
+	if s.touchesGlobals[fn] {
+		// The shared globals store is the only cross-session state; a
+		// fragment that can read or write it runs under the dedicated
+		// globals lock, which both prevents data races between sessions on
+		// different shards and keeps each fragment's global updates atomic
+		// (fragments are short and bounded, so the critical section is too).
+		s.globalsMu.Lock()
+		defer s.globalsMu.Unlock()
+	}
 	return ex.run(fr.Body)
 }
 

@@ -40,6 +40,10 @@ type TCPServer struct {
 	// EvictGrace protects recently-seen sessions from replay-cache
 	// eviction (see Dedup.EvictGrace).
 	EvictGrace time.Duration
+	// Shards stripes the replay cache's session map (see Dedup.Shards);
+	// the hidden-state Server carries its own shard count from
+	// NewServerShards. Values < 2 mean a single stripe.
+	Shards int
 	// Tracer, when set, receives dedup replay/resend/evict/bounce events.
 	Tracer *obs.Tracer
 	// Metrics, when set, records per-request server-side execution latency
@@ -68,6 +72,7 @@ func (ts *TCPServer) ListenAndServe(addr string) (net.Addr, error) {
 		Inner:       &Local{Server: ts.Server},
 		MaxSessions: ts.MaxSessions,
 		EvictGrace:  ts.EvictGrace,
+		Shards:      ts.Shards,
 		Tracer:      ts.Tracer,
 	}
 	ts.conns = make(map[net.Conn]struct{})

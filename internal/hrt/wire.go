@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"slicehide/internal/interp"
 )
@@ -14,6 +15,13 @@ import (
 // Only scalar values cross the open↔hidden boundary (by construction of the
 // splitting transformation), so the value codec covers null, int, float,
 // bool, and string.
+//
+// The codec is allocation-lean: each frame is encoded into a pooled scratch
+// buffer and flushed with a single Write (which also means an unbuffered
+// socket sees one syscall per frame instead of one per field), and decoding
+// reads fixed-width fields through a small stack buffer instead of the
+// reflection-based binary.Read. The byte layout is identical to the
+// original codec; the wire fuzzers round-trip both directions to pin it.
 
 const (
 	wireNull byte = iota
@@ -32,41 +40,133 @@ const (
 	maxWireArgs = 1024
 )
 
-// writeValue encodes v.
-func writeValue(w io.Writer, v interp.Value) error {
-	switch v.Kind {
-	case interp.KindNull:
-		return writeByte(w, wireNull)
-	case interp.KindInt:
-		if err := writeByte(w, wireInt); err != nil {
-			return err
-		}
-		return binary.Write(w, binary.LittleEndian, v.I)
-	case interp.KindFloat:
-		if err := writeByte(w, wireFloat); err != nil {
-			return err
-		}
-		return binary.Write(w, binary.LittleEndian, math.Float64bits(v.F))
-	case interp.KindBool:
-		if err := writeByte(w, wireBool); err != nil {
-			return err
-		}
-		b := byte(0)
-		if v.B {
-			b = 1
-		}
-		return writeByte(w, b)
-	case interp.KindString:
-		if err := writeByte(w, wireString); err != nil {
-			return err
-		}
-		return writeString(w, v.S)
+// wireBufPool recycles encode scratch buffers. Buffers grow to fit the
+// largest frame they have carried and are reused as-is; frames are small
+// (a name, a few scalars), so there is no pathological retention.
+var wireBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+func getWireBuf() *[]byte  { return wireBufPool.Get().(*[]byte) }
+func putWireBuf(b *[]byte) { wireBufPool.Put(b) }
+
+// appendString appends a length-prefixed string.
+func appendString(b []byte, s string) ([]byte, error) {
+	if len(s) > maxWireString {
+		return b, fmt.Errorf("hrt: string too long for wire (%d bytes)", len(s))
 	}
-	return fmt.Errorf("hrt: cannot send %s value over the wire", v.Kind)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(s)))
+	return append(b, s...), nil
 }
 
-func readValue(r io.Reader) (interp.Value, error) {
-	k, err := readByte(r)
+// appendValue appends one encoded value.
+func appendValue(b []byte, v interp.Value) ([]byte, error) {
+	switch v.Kind {
+	case interp.KindNull:
+		return append(b, wireNull), nil
+	case interp.KindInt:
+		b = append(b, wireInt)
+		return binary.LittleEndian.AppendUint64(b, uint64(v.I)), nil
+	case interp.KindFloat:
+		b = append(b, wireFloat)
+		return binary.LittleEndian.AppendUint64(b, math.Float64bits(v.F)), nil
+	case interp.KindBool:
+		x := byte(0)
+		if v.B {
+			x = 1
+		}
+		return append(b, wireBool, x), nil
+	case interp.KindString:
+		return appendString(append(b, wireString), v.S)
+	}
+	return b, fmt.Errorf("hrt: cannot send %s value over the wire", v.Kind)
+}
+
+// writeValue encodes v. (The frame writers inline appendValue into their
+// own scratch buffer; this standalone form is kept for the codec tests.)
+func writeValue(w io.Writer, v interp.Value) error {
+	bp := getWireBuf()
+	b, err := appendValue((*bp)[:0], v)
+	*bp = b
+	if err != nil {
+		putWireBuf(bp)
+		return err
+	}
+	_, err = w.Write(b)
+	putWireBuf(bp)
+	return err
+}
+
+// wireReader decodes fixed-width little-endian fields from a stream
+// through a small stack buffer, avoiding the per-field allocations of
+// reflection-based binary.Read.
+type wireReader struct {
+	r   io.Reader
+	br  *bufio.Reader // single-byte fast path when the stream is buffered
+	buf [8]byte
+}
+
+func newWireReader(r io.Reader) wireReader {
+	br, _ := r.(*bufio.Reader)
+	return wireReader{r: r, br: br}
+}
+
+func (d *wireReader) byte() (byte, error) {
+	if d.br != nil {
+		return d.br.ReadByte()
+	}
+	_, err := io.ReadFull(d.r, d.buf[:1])
+	return d.buf[0], err
+}
+
+func (d *wireReader) u16() (uint16, error) {
+	if _, err := io.ReadFull(d.r, d.buf[:2]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint16(d.buf[:2]), nil
+}
+
+func (d *wireReader) u32() (uint32, error) {
+	if _, err := io.ReadFull(d.r, d.buf[:4]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(d.buf[:4]), nil
+}
+
+func (d *wireReader) u64() (uint64, error) {
+	if _, err := io.ReadFull(d.r, d.buf[:8]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(d.buf[:8]), nil
+}
+
+// str reads a length-prefixed string. Short strings (component names,
+// most error messages) land in a stack scratch buffer so the only
+// allocation is the string itself.
+func (d *wireReader) str() (string, error) {
+	n, err := d.u32()
+	if err != nil {
+		return "", err
+	}
+	if n > maxWireString {
+		return "", fmt.Errorf("hrt: wire string length %d exceeds limit", n)
+	}
+	if n == 0 {
+		return "", nil
+	}
+	var scratch [64]byte
+	var buf []byte
+	if n <= uint32(len(scratch)) {
+		buf = scratch[:n]
+	} else {
+		buf = make([]byte, n)
+	}
+	if _, err := io.ReadFull(d.r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func (d *wireReader) value() (interp.Value, error) {
+	k, err := d.byte()
 	if err != nil {
 		return interp.Value{}, err
 	}
@@ -74,25 +174,25 @@ func readValue(r io.Reader) (interp.Value, error) {
 	case wireNull:
 		return interp.NullV(), nil
 	case wireInt:
-		var i int64
-		if err := binary.Read(r, binary.LittleEndian, &i); err != nil {
+		i, err := d.u64()
+		if err != nil {
 			return interp.Value{}, err
 		}
-		return interp.IntV(i), nil
+		return interp.IntV(int64(i)), nil
 	case wireFloat:
-		var bits uint64
-		if err := binary.Read(r, binary.LittleEndian, &bits); err != nil {
+		bits, err := d.u64()
+		if err != nil {
 			return interp.Value{}, err
 		}
 		return interp.FloatV(math.Float64frombits(bits)), nil
 	case wireBool:
-		b, err := readByte(r)
+		b, err := d.byte()
 		if err != nil {
 			return interp.Value{}, err
 		}
 		return interp.BoolV(b != 0), nil
 	case wireString:
-		s, err := readString(r)
+		s, err := d.str()
 		if err != nil {
 			return interp.Value{}, err
 		}
@@ -101,79 +201,82 @@ func readValue(r io.Reader) (interp.Value, error) {
 	return interp.Value{}, fmt.Errorf("hrt: unknown wire value kind %d", k)
 }
 
-// WriteRequest encodes req onto w.
+// readValue decodes one value. (Kept for the codec tests; the frame
+// readers carry a wireReader across the whole frame.)
+func readValue(r io.Reader) (interp.Value, error) {
+	d := newWireReader(r)
+	return d.value()
+}
+
+// WriteRequest encodes req onto w as a single Write.
 func WriteRequest(w io.Writer, req Request) error {
 	if len(req.Args) > maxWireArgs {
 		return fmt.Errorf("hrt: request has %d args, wire limit is %d", len(req.Args), maxWireArgs)
 	}
-	if err := writeByte(w, byte(req.Op)); err != nil {
+	bp := getWireBuf()
+	b := append((*bp)[:0], byte(req.Op), req.Flags)
+	b = binary.LittleEndian.AppendUint64(b, req.Session)
+	b = binary.LittleEndian.AppendUint64(b, req.Seq)
+	var err error
+	if b, err = appendString(b, req.Fn); err != nil {
+		*bp = b
+		putWireBuf(bp)
 		return err
 	}
-	if err := writeByte(w, req.Flags); err != nil {
-		return err
-	}
-	if err := binary.Write(w, binary.LittleEndian, req.Session); err != nil {
-		return err
-	}
-	if err := binary.Write(w, binary.LittleEndian, req.Seq); err != nil {
-		return err
-	}
-	if err := writeString(w, req.Fn); err != nil {
-		return err
-	}
-	if err := binary.Write(w, binary.LittleEndian, req.Inst); err != nil {
-		return err
-	}
-	if err := binary.Write(w, binary.LittleEndian, req.Obj); err != nil {
-		return err
-	}
-	if err := binary.Write(w, binary.LittleEndian, int32(req.Frag)); err != nil {
-		return err
-	}
-	if err := binary.Write(w, binary.LittleEndian, uint16(len(req.Args))); err != nil {
-		return err
-	}
+	b = binary.LittleEndian.AppendUint64(b, uint64(req.Inst))
+	b = binary.LittleEndian.AppendUint64(b, uint64(req.Obj))
+	b = binary.LittleEndian.AppendUint32(b, uint32(int32(req.Frag)))
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(req.Args)))
 	for _, a := range req.Args {
-		if err := writeValue(w, a); err != nil {
+		if b, err = appendValue(b, a); err != nil {
+			*bp = b
+			putWireBuf(bp)
 			return err
 		}
 	}
-	return nil
+	_, err = w.Write(b)
+	*bp = b
+	putWireBuf(bp)
+	return err
 }
 
 // ReadRequest decodes one request from r.
 func ReadRequest(r io.Reader) (Request, error) {
 	var req Request
-	op, err := readByte(r)
+	d := newWireReader(r)
+	op, err := d.byte()
 	if err != nil {
 		return req, err
 	}
 	req.Op = Op(op)
-	if req.Flags, err = readByte(r); err != nil {
+	if req.Flags, err = d.byte(); err != nil {
 		return req, err
 	}
-	if err := binary.Read(r, binary.LittleEndian, &req.Session); err != nil {
+	if req.Session, err = d.u64(); err != nil {
 		return req, err
 	}
-	if err := binary.Read(r, binary.LittleEndian, &req.Seq); err != nil {
+	if req.Seq, err = d.u64(); err != nil {
 		return req, err
 	}
-	if req.Fn, err = readString(r); err != nil {
+	if req.Fn, err = d.str(); err != nil {
 		return req, err
 	}
-	if err := binary.Read(r, binary.LittleEndian, &req.Inst); err != nil {
+	var u uint64
+	if u, err = d.u64(); err != nil {
 		return req, err
 	}
-	if err := binary.Read(r, binary.LittleEndian, &req.Obj); err != nil {
+	req.Inst = int64(u)
+	if u, err = d.u64(); err != nil {
 		return req, err
 	}
-	var frag int32
-	if err := binary.Read(r, binary.LittleEndian, &frag); err != nil {
+	req.Obj = int64(u)
+	var frag uint32
+	if frag, err = d.u32(); err != nil {
 		return req, err
 	}
-	req.Frag = int(frag)
+	req.Frag = int(int32(frag))
 	var n uint16
-	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+	if n, err = d.u16(); err != nil {
 		return req, err
 	}
 	if int(n) > maxWireArgs {
@@ -181,53 +284,60 @@ func ReadRequest(r io.Reader) (Request, error) {
 	}
 	req.Args = make([]interp.Value, n)
 	for i := range req.Args {
-		if req.Args[i], err = readValue(r); err != nil {
+		if req.Args[i], err = d.value(); err != nil {
 			return req, err
 		}
 	}
 	return req, nil
 }
 
-// WriteResponse encodes resp onto w.
+// WriteResponse encodes resp onto w as a single Write.
 func WriteResponse(w io.Writer, resp Response) error {
-	if err := writeByte(w, resp.Flags); err != nil {
+	bp := getWireBuf()
+	b := append((*bp)[:0], resp.Flags)
+	b = binary.LittleEndian.AppendUint64(b, resp.Seq)
+	b = binary.LittleEndian.AppendUint64(b, resp.Ack)
+	var err error
+	if b, err = appendValue(b, resp.Val); err != nil {
+		*bp = b
+		putWireBuf(bp)
 		return err
 	}
-	if err := binary.Write(w, binary.LittleEndian, resp.Seq); err != nil {
+	b = binary.LittleEndian.AppendUint64(b, uint64(resp.Inst))
+	if b, err = appendString(b, resp.Err); err != nil {
+		*bp = b
+		putWireBuf(bp)
 		return err
 	}
-	if err := binary.Write(w, binary.LittleEndian, resp.Ack); err != nil {
-		return err
-	}
-	if err := writeValue(w, resp.Val); err != nil {
-		return err
-	}
-	if err := binary.Write(w, binary.LittleEndian, resp.Inst); err != nil {
-		return err
-	}
-	return writeString(w, resp.Err)
+	_, err = w.Write(b)
+	*bp = b
+	putWireBuf(bp)
+	return err
 }
 
 // ReadResponse decodes one response from r.
 func ReadResponse(r io.Reader) (Response, error) {
 	var resp Response
+	d := newWireReader(r)
 	var err error
-	if resp.Flags, err = readByte(r); err != nil {
+	if resp.Flags, err = d.byte(); err != nil {
 		return resp, err
 	}
-	if err := binary.Read(r, binary.LittleEndian, &resp.Seq); err != nil {
+	if resp.Seq, err = d.u64(); err != nil {
 		return resp, err
 	}
-	if err := binary.Read(r, binary.LittleEndian, &resp.Ack); err != nil {
+	if resp.Ack, err = d.u64(); err != nil {
 		return resp, err
 	}
-	if resp.Val, err = readValue(r); err != nil {
+	if resp.Val, err = d.value(); err != nil {
 		return resp, err
 	}
-	if err := binary.Read(r, binary.LittleEndian, &resp.Inst); err != nil {
+	var u uint64
+	if u, err = d.u64(); err != nil {
 		return resp, err
 	}
-	resp.Err, err = readString(r)
+	resp.Inst = int64(u)
+	resp.Err, err = d.str()
 	return resp, err
 }
 
@@ -257,44 +367,4 @@ func valueWireSize(v interp.Value) int64 {
 		return int64(5 + len(v.S))
 	}
 	return 1
-}
-
-func writeByte(w io.Writer, b byte) error {
-	_, err := w.Write([]byte{b})
-	return err
-}
-
-func readByte(r io.Reader) (byte, error) {
-	if br, ok := r.(*bufio.Reader); ok {
-		return br.ReadByte()
-	}
-	var buf [1]byte
-	_, err := io.ReadFull(r, buf[:])
-	return buf[0], err
-}
-
-func writeString(w io.Writer, s string) error {
-	if len(s) > maxWireString {
-		return fmt.Errorf("hrt: string too long for wire (%d bytes)", len(s))
-	}
-	if err := binary.Write(w, binary.LittleEndian, uint32(len(s))); err != nil {
-		return err
-	}
-	_, err := io.WriteString(w, s)
-	return err
-}
-
-func readString(r io.Reader) (string, error) {
-	var n uint32
-	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
-		return "", err
-	}
-	if n > maxWireString {
-		return "", fmt.Errorf("hrt: wire string length %d exceeds limit", n)
-	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return "", err
-	}
-	return string(buf), nil
 }
