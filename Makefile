@@ -33,7 +33,7 @@ bench:
 # seed corpus (F.../seed entries replay under plain `go test`).
 bench-quick:
 	$(GO) test -short -run='^TestPipelineSmoke$$' -v .
-	$(GO) test -short ./internal/hrt -run='^Fuzz'
+	$(GO) test -short ./internal/hrt ./internal/wal -run='^Fuzz'
 
 # Concurrent-load benchmarks: regenerate the committed throughput report
 # (M sessions x K hidden calls over real sockets at 1/4 GOMAXPROCS and
@@ -49,7 +49,11 @@ bench-load:
 bench-load-quick:
 	$(GO) test -short -run='^TestLoadSmoke$$' -v .
 
-# Run the wire-codec fuzzers for a short budget each.
+# Run the wire-codec and durability-layer fuzzers for a short budget
+# each (the journal frame scanner and the journal record decoder face
+# crash-mangled files the same way the wire codec faces a hostile peer).
 fuzz:
 	$(GO) test ./internal/hrt -run=^$$ -fuzz=FuzzReadRequest -fuzztime=10s
 	$(GO) test ./internal/hrt -run=^$$ -fuzz=FuzzReadResponse -fuzztime=10s
+	$(GO) test ./internal/hrt -run=^$$ -fuzz=FuzzJournalRecord -fuzztime=10s
+	$(GO) test ./internal/wal -run=^$$ -fuzz=FuzzScanJournal -fuzztime=10s

@@ -6,11 +6,18 @@
 //
 // Usage:
 //
-//	hiddend -listen :7070 -split f[:seed][,g[:seed]...] [-admin :8081] program.mj
+//	hiddend -listen :7070 -split f[:seed][,g[:seed]...] [-admin :8081] [-data-dir dir] program.mj
 //
 // The open side connects with:
 //
 //	slicehide run -split f[:seed] -server host:7070 program.mj
+//
+// With -data-dir, hidden session state is journaled (and periodically
+// snapshotted) to that directory and recovered from it on startup, so a
+// crashed or killed hiddend resumes live sessions with exactly-once
+// semantics intact; -fsync extends durability to power loss. On
+// SIGTERM/SIGINT the server drains in-flight connections (bounded by
+// -drain-timeout) before shutting down.
 //
 // When -admin is set, an HTTP observability endpoint serves /healthz
 // (liveness), /metrics (counters, gauges, and latency histograms as
@@ -18,149 +25,18 @@
 // Bind it to a trusted interface only: it reports operational state of
 // the secure side. Trace events never contain hidden values — argument
 // and result payloads are redacted before they are recorded.
+//
+// The daemon lifecycle lives in internal/daemon so tests (including the
+// process-kill chaos harness) can drive the exact code path this binary
+// runs.
 package main
 
 import (
-	"flag"
-	"fmt"
 	"os"
-	"os/signal"
-	"runtime"
-	"strings"
-	"syscall"
-	"time"
 
-	"slicehide/internal/core"
-	"slicehide/internal/hrt"
-	"slicehide/internal/ir"
-	"slicehide/internal/obs"
-	"slicehide/internal/slicer"
+	"slicehide/internal/daemon"
 )
 
-type serverOpts struct {
-	timeout     time.Duration
-	maxConns    int
-	maxSessions int
-	evictGrace  time.Duration
-	noPipeline  bool
-	shards      int
-	admin       string
-	trace       string
-}
-
 func main() {
-	listen := flag.String("listen", "127.0.0.1:7070", "address to serve hidden components on")
-	split := flag.String("split", "", "comma-separated f[:seed] functions whose hidden components to host (required)")
-	timeout := flag.Duration("timeout", 0, "per-connection read/write deadline (0 disables; retry-capable clients reconnect after an idle disconnect)")
-	maxConns := flag.Int("max-conns", 0, "maximum concurrently served connections (0 = unlimited)")
-	maxSessions := flag.Int("max-sessions", 0, "maximum cached replay sessions (0 = default 1024)")
-	evictGrace := flag.Duration("evict-grace", 0, "protect sessions seen within this window from replay-cache eviction (0 disables)")
-	pipeline := flag.Bool("pipeline", true, "accept pipelined (reply-free) frames; -pipeline=false forces clients back to the synchronous protocol")
-	shards := flag.Int("shards", 0, "session-state lock stripes for hidden state and the replay cache (0 = GOMAXPROCS, rounded up to a power of two; 1 = the serial single-lock server)")
-	admin := flag.String("admin", "", "serve the admin endpoint (/healthz, /metrics, /trace, /debug/pprof/) on this address (empty disables)")
-	trace := flag.String("trace", "", "write redacted runtime trace events (JSON lines) to this file")
-	flag.Parse()
-	opts := serverOpts{
-		timeout:     *timeout,
-		maxConns:    *maxConns,
-		maxSessions: *maxSessions,
-		evictGrace:  *evictGrace,
-		noPipeline:  !*pipeline,
-		shards:      *shards,
-		admin:       *admin,
-		trace:       *trace,
-	}
-	if err := run(*listen, *split, flag.Args(), opts); err != nil {
-		fmt.Fprintln(os.Stderr, "hiddend:", err)
-		os.Exit(1)
-	}
-}
-
-func run(listen, split string, args []string, opts serverOpts) error {
-	if split == "" || len(args) != 1 {
-		return fmt.Errorf("usage: hiddend -listen addr -split f[:seed],... program.mj")
-	}
-	src, err := os.ReadFile(args[0])
-	if err != nil {
-		return err
-	}
-	prog, err := ir.Compile(string(src))
-	if err != nil {
-		return err
-	}
-	var specs []core.Spec
-	for _, part := range strings.Split(split, ",") {
-		fn, seed, _ := strings.Cut(part, ":")
-		specs = append(specs, core.Spec{Func: strings.TrimSpace(fn), Seed: strings.TrimSpace(seed)})
-	}
-	res, err := core.SplitProgram(prog, specs, slicer.Policy{})
-	if err != nil {
-		return err
-	}
-
-	var tracer *obs.Tracer
-	if opts.trace != "" {
-		f, err := os.Create(opts.trace)
-		if err != nil {
-			return fmt.Errorf("create trace file: %w", err)
-		}
-		defer f.Close()
-		tracer = obs.NewTracer(obs.TracerConfig{Level: obs.LevelDebug, Output: f})
-	} else if opts.admin != "" {
-		// No sink, but keep the ring so /trace has recent events to show.
-		tracer = obs.NewTracer(obs.TracerConfig{Level: obs.LevelInfo})
-	}
-
-	shards := opts.shards
-	if shards <= 0 {
-		shards = runtime.GOMAXPROCS(0)
-	}
-	server := &hrt.TCPServer{
-		Server:          hrt.NewServerShards(hrt.NewRegistry(res), shards),
-		ReadTimeout:     opts.timeout,
-		WriteTimeout:    opts.timeout,
-		MaxConns:        opts.maxConns,
-		MaxSessions:     opts.maxSessions,
-		EvictGrace:      opts.evictGrace,
-		DisablePipeline: opts.noPipeline,
-		Shards:          shards,
-		Tracer:          tracer,
-	}
-	reg := obs.NewRegistry()
-	server.RegisterMetrics(reg)
-
-	addr, err := server.ListenAndServe(listen)
-	if err != nil {
-		return err
-	}
-	if opts.admin != "" {
-		mux := obs.AdminMux(obs.AdminConfig{
-			Registry: reg,
-			Tracer:   tracer,
-			Info: map[string]string{
-				"component": "hiddend",
-				"listen":    addr.String(),
-				"split":     split,
-			},
-		})
-		adminSrv, err := obs.ServeAdmin(opts.admin, mux)
-		if err != nil {
-			server.Close()
-			return fmt.Errorf("admin endpoint: %w", err)
-		}
-		defer adminSrv.Close()
-		fmt.Printf("admin endpoint on http://%s (healthz, metrics, trace, debug/pprof)\n", adminSrv.Addr())
-	}
-	for _, name := range res.SplitNames() {
-		sf := res.Splits[name]
-		fmt.Printf("hosting hidden component of %s (seed %s, %d fragments, %d hidden vars)\n",
-			name, sf.Seed, len(sf.Hidden.Frags), len(sf.Hidden.Vars))
-	}
-	fmt.Printf("hiddend listening on %s (%d session shards)\n", addr, server.Server.Shards())
-
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
-	fmt.Println("shutting down")
-	return server.Close()
+	os.Exit(daemon.Main(os.Args[1:], os.Stdout, os.Stderr))
 }

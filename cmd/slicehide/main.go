@@ -12,12 +12,13 @@
 //	slicehide split   -func f [-seed v] [-no-cfh] <file.mj>
 //	slicehide ilp     -func f [-seed v] <file.mj>
 //	slicehide run     [-split f[:v],g[:v],...] [-rtt d] [-server addr] [-timeout d] [-retries n] [-pipeline] [-window n] [-stats text|json] [-trace file] <file.mj>
-//	slicehide loadtest [-server addr] [-sessions m] [-ops k] [-pipeline] [-window n] [-shards n] [-split f:v] [-json] [program.mj]
+//	slicehide loadtest [-server addr] [-sessions m] [-ops k] [-pipeline] [-window n] [-shards n] [-split f:v] [-data-dir dir [-fsync]] [-json] [program.mj]
 //	slicehide attack  -func f [-seed v] [-calls n] [-window k] <file.mj>
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -335,11 +336,16 @@ func cmdRun(args []string) error {
 	// Outermost wrapper: the measured latency covers the whole chain —
 	// simulated RTT, retries, backoff — which is what the user waits for.
 	t = &hrt.Instrument{Inner: t, Metrics: metrics, Tracer: tracer}
-	var hidden interp.HiddenSession = &hrt.Session{T: t}
+	// Addr and Counters make server-side refusals actionable: a session
+	// bounce surfaces as a typed error naming the server and session, and
+	// is tallied into the -stats document.
+	var hidden interp.HiddenSession = &hrt.Session{T: t, Addr: *server, Counters: counters}
 	if *pipeline {
 		// Falls back to the synchronous session when the chain cannot do
 		// one-way sends (a sync-only server or wrapper).
 		if as := hrt.NewAsyncSession(t); as != nil {
+			as.Addr = *server
+			as.Counters = counters
 			hidden = as
 		}
 	}
@@ -365,7 +371,21 @@ func cmdRun(args []string) error {
 			fmt.Fprintln(os.Stderr, doc.Text())
 		}
 	}
-	return runErr
+	return describeRunError(runErr)
+}
+
+// describeRunError augments a failed run's error with remediation where
+// the runtime knows one — today, the session-evicted bounce (which server
+// refused, which session, and what to do about it).
+func describeRunError(err error) error {
+	if err == nil {
+		return nil
+	}
+	var evicted *hrt.SessionEvictedError
+	if errors.As(err, &evicted) {
+		return fmt.Errorf("%w\nhint: %s", err, evicted.Hint())
+	}
+	return err
 }
 
 // cmdLoadtest drives the concurrent load harness: M sessions × K hidden
@@ -383,6 +403,8 @@ func cmdLoadtest(args []string) error {
 	barrier := fs.Int("barrier-every", 16, "pipelined ops between flush barriers")
 	shards := fs.Int("shards", 0, "self-hosted server session shards (0 = GOMAXPROCS, 1 = serial baseline; ignored with -server)")
 	split := fs.String("split", "", `workload split spec "f:seed" (default: built-in workload; with a program file it must name one of its functions)`)
+	dataDir := fs.String("data-dir", "", "make the self-hosted server durable: journal session state in this directory (measures WAL overhead; ignored with -server)")
+	fsync := fs.Bool("fsync", false, "fsync every journal append on the self-hosted durable server (requires -data-dir)")
 	asJSON := fs.Bool("json", false, "emit the schema-versioned LoadResult JSON instead of text")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -415,6 +437,8 @@ func cmdLoadtest(args []string) error {
 		Shards:       *shards,
 		Source:       source,
 		Split:        *split,
+		DataDir:      *dataDir,
+		Fsync:        *fsync,
 	})
 	if err != nil {
 		return err
@@ -424,8 +448,12 @@ func cmdLoadtest(args []string) error {
 		enc.SetIndent("", "  ")
 		return enc.Encode(res)
 	}
-	fmt.Printf("loadtest: %d sessions × %d ops (%s, shards=%s, GOMAXPROCS=%d)\n",
-		res.Sessions, res.OpsPerSession, res.Mode, shardsLabel(res.Shards), res.GOMAXPROCS)
+	durable := ""
+	if res.Durability != "" {
+		durable = ", durability=" + res.Durability
+	}
+	fmt.Printf("loadtest: %d sessions × %d ops (%s, shards=%s, GOMAXPROCS=%d%s)\n",
+		res.Sessions, res.OpsPerSession, res.Mode, shardsLabel(res.Shards), res.GOMAXPROCS, durable)
 	fmt.Printf("  throughput: %.0f ops/sec (%d ops in %s)\n",
 		res.OpsPerSec, res.TotalOps, time.Duration(res.ElapsedNs))
 	fmt.Printf("  blocking ops: %d, p50 %s, p99 %s, max %s\n",

@@ -1,0 +1,276 @@
+// Package daemon is the hidden-server process behind cmd/hiddend,
+// extracted so its full lifecycle — flag parsing, program splitting,
+// serving, graceful drain on SIGTERM/SIGINT, durable shutdown — can be
+// driven and asserted from tests (including the process-kill chaos
+// harness, which re-executes the test binary as a real hiddend).
+package daemon
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
+
+	"slicehide/internal/core"
+	"slicehide/internal/hrt"
+	"slicehide/internal/ir"
+	"slicehide/internal/obs"
+	"slicehide/internal/slicer"
+)
+
+// Config is hiddend's full configuration (one field per flag).
+type Config struct {
+	// Listen is the address to serve hidden components on.
+	Listen string
+	// Split is the comma-separated f[:seed] list of functions whose
+	// hidden components to host.
+	Split string
+	// Program is the MiniJ source file path.
+	Program string
+
+	Timeout     time.Duration
+	MaxConns    int
+	MaxSessions int
+	EvictGrace  time.Duration
+	Pipeline    bool
+	Shards      int
+	Admin       string
+	TraceFile   string
+
+	// DataDir, when set, makes the server crash-recoverable: hidden
+	// session state is journaled to and snapshotted in this directory,
+	// and recovered from it on startup.
+	DataDir string
+	// Fsync fsyncs every journal append (durability against power loss;
+	// without it appends still survive process death).
+	Fsync bool
+	// SnapshotEvery rotates the journal into a fresh snapshot generation
+	// after this many records (0 = default, negative disables periodic
+	// snapshots).
+	SnapshotEvery int
+	// DrainTimeout bounds the graceful drain on SIGTERM/SIGINT: how long
+	// to wait for in-flight connections to finish before severing them.
+	DrainTimeout time.Duration
+
+	// Stdout receives the human-readable startup/shutdown lines (defaults
+	// to os.Stdout).
+	Stdout io.Writer
+}
+
+// ParseFlags parses a hiddend command line (without the program name)
+// into a Config. The returned error carries the usage text.
+func ParseFlags(args []string) (Config, error) {
+	fs := flag.NewFlagSet("hiddend", flag.ContinueOnError)
+	cfg := Config{}
+	fs.StringVar(&cfg.Listen, "listen", "127.0.0.1:7070", "address to serve hidden components on")
+	fs.StringVar(&cfg.Split, "split", "", "comma-separated f[:seed] functions whose hidden components to host (required)")
+	fs.DurationVar(&cfg.Timeout, "timeout", 0, "per-connection read/write deadline (0 disables; retry-capable clients reconnect after an idle disconnect)")
+	fs.IntVar(&cfg.MaxConns, "max-conns", 0, "maximum concurrently served connections (0 = unlimited)")
+	fs.IntVar(&cfg.MaxSessions, "max-sessions", 0, "maximum cached replay sessions (0 = default 1024)")
+	fs.DurationVar(&cfg.EvictGrace, "evict-grace", 0, "protect sessions seen within this window from replay-cache eviction (0 disables)")
+	fs.BoolVar(&cfg.Pipeline, "pipeline", true, "accept pipelined (reply-free) frames; -pipeline=false forces clients back to the synchronous protocol")
+	fs.IntVar(&cfg.Shards, "shards", 0, "session-state lock stripes for hidden state and the replay cache (0 = GOMAXPROCS, rounded up to a power of two; 1 = the serial single-lock server)")
+	fs.StringVar(&cfg.Admin, "admin", "", "serve the admin endpoint (/healthz, /metrics, /trace, /debug/pprof/) on this address (empty disables)")
+	fs.StringVar(&cfg.TraceFile, "trace", "", "write redacted runtime trace events (JSON lines) to this file")
+	fs.StringVar(&cfg.DataDir, "data-dir", "", "journal and snapshot hidden session state in this directory, and recover from it on startup (empty = in-memory only)")
+	fs.BoolVar(&cfg.Fsync, "fsync", false, "fsync every journal append: durable against power loss, not just process death (requires -data-dir)")
+	fs.IntVar(&cfg.SnapshotEvery, "snapshot-every", 0, "rotate to a fresh snapshot after this many journal records (0 = default 4096, negative = only at shutdown; requires -data-dir)")
+	fs.DurationVar(&cfg.DrainTimeout, "drain-timeout", 5*time.Second, "on SIGTERM/SIGINT, wait this long for in-flight connections to finish before severing them")
+	if err := fs.Parse(args); err != nil {
+		return Config{}, err
+	}
+	if cfg.Split == "" || fs.NArg() != 1 {
+		return Config{}, fmt.Errorf("usage: hiddend -listen addr -split f[:seed],... [-data-dir dir] program.mj")
+	}
+	cfg.Program = fs.Arg(0)
+	return cfg, nil
+}
+
+// Daemon is a started hiddend instance.
+type Daemon struct {
+	cfg     Config
+	server  *hrt.TCPServer
+	persist *hrt.Durability
+	tracer  *obs.Tracer
+	admin   *obs.AdminServer
+	trace   io.Closer
+	addr    net.Addr
+	out     io.Writer
+}
+
+// Addr is the address the server is listening on.
+func (d *Daemon) Addr() net.Addr { return d.addr }
+
+// Server exposes the underlying TCP server (tests).
+func (d *Daemon) Server() *hrt.TCPServer { return d.server }
+
+// Start compiles and splits the program, recovers durable state when
+// DataDir is set, and begins serving. It returns once the listener is
+// ready.
+func Start(cfg Config) (*Daemon, error) {
+	out := cfg.Stdout
+	if out == nil {
+		out = os.Stdout
+	}
+	src, err := os.ReadFile(cfg.Program)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := ir.Compile(string(src))
+	if err != nil {
+		return nil, err
+	}
+	var specs []core.Spec
+	for _, part := range strings.Split(cfg.Split, ",") {
+		fn, seed, _ := strings.Cut(part, ":")
+		specs = append(specs, core.Spec{Func: strings.TrimSpace(fn), Seed: strings.TrimSpace(seed)})
+	}
+	res, err := core.SplitProgram(prog, specs, slicer.Policy{})
+	if err != nil {
+		return nil, err
+	}
+
+	d := &Daemon{cfg: cfg, out: out}
+	if cfg.TraceFile != "" {
+		f, err := os.Create(cfg.TraceFile)
+		if err != nil {
+			return nil, fmt.Errorf("create trace file: %w", err)
+		}
+		d.trace = f
+		d.tracer = obs.NewTracer(obs.TracerConfig{Level: obs.LevelDebug, Output: f})
+	} else if cfg.Admin != "" {
+		// No sink, but keep the ring so /trace has recent events to show.
+		d.tracer = obs.NewTracer(obs.TracerConfig{Level: obs.LevelInfo})
+	}
+
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if cfg.DataDir != "" {
+		d.persist = hrt.NewDurability(hrt.DurabilityOptions{
+			Dir:           cfg.DataDir,
+			Fsync:         cfg.Fsync,
+			SnapshotEvery: cfg.SnapshotEvery,
+			Tracer:        d.tracer,
+		})
+	}
+	d.server = &hrt.TCPServer{
+		Server:          hrt.NewServerShards(hrt.NewRegistry(res), shards),
+		ReadTimeout:     cfg.Timeout,
+		WriteTimeout:    cfg.Timeout,
+		MaxConns:        cfg.MaxConns,
+		MaxSessions:     cfg.MaxSessions,
+		EvictGrace:      cfg.EvictGrace,
+		DisablePipeline: !cfg.Pipeline,
+		Shards:          shards,
+		Tracer:          d.tracer,
+		Persist:         d.persist,
+	}
+	reg := obs.NewRegistry()
+	d.server.RegisterMetrics(reg)
+	if d.persist != nil {
+		d.persist.RegisterMetrics(reg)
+	}
+
+	d.addr, err = d.server.ListenAndServe(cfg.Listen)
+	if err != nil {
+		d.closeTrace()
+		return nil, err
+	}
+	if cfg.Admin != "" {
+		mux := obs.AdminMux(obs.AdminConfig{
+			Registry: reg,
+			Tracer:   d.tracer,
+			Info: map[string]string{
+				"component": "hiddend",
+				"listen":    d.addr.String(),
+				"split":     cfg.Split,
+			},
+		})
+		d.admin, err = obs.ServeAdmin(cfg.Admin, mux)
+		if err != nil {
+			d.server.Close()
+			d.closeTrace()
+			return nil, fmt.Errorf("admin endpoint: %w", err)
+		}
+		fmt.Fprintf(out, "admin endpoint on http://%s (healthz, metrics, trace, debug/pprof)\n", d.admin.Addr())
+	}
+	for _, name := range res.SplitNames() {
+		sf := res.Splits[name]
+		fmt.Fprintf(out, "hosting hidden component of %s (seed %s, %d fragments, %d hidden vars)\n",
+			name, sf.Seed, len(sf.Hidden.Frags), len(sf.Hidden.Vars))
+	}
+	if d.persist != nil {
+		rec := d.persist.Recovered()
+		fmt.Fprintf(out, "durable state in %s: recovered generation %d (%d journal records, %d sessions, snapshot=%v) in %s\n",
+			cfg.DataDir, rec.Generation, rec.Records, rec.Sessions, rec.SnapshotUsed, rec.Took)
+	}
+	fmt.Fprintf(out, "hiddend listening on %s (%d session shards)\n", d.addr, d.server.Server.Shards())
+	return d, nil
+}
+
+func (d *Daemon) closeTrace() {
+	if d.trace != nil {
+		d.trace.Close()
+	}
+}
+
+// Shutdown drains in-flight connections (bounded by DrainTimeout), then
+// closes the server — which, with -data-dir, flushes the journal and
+// writes the final snapshot — and reports the drain outcome.
+func (d *Daemon) Shutdown() error {
+	stats := d.server.Drain(d.cfg.DrainTimeout)
+	d.tracer.Emit(obs.LevelInfo, "drain",
+		obs.Int("drained", int64(stats.Drained)), obs.Int("aborted", int64(stats.Aborted)))
+	fmt.Fprintf(d.out, "drained %d connection(s), severed %d still in flight\n", stats.Drained, stats.Aborted)
+	err := d.Close()
+	if err == nil {
+		fmt.Fprintln(d.out, "shutdown complete")
+	}
+	return err
+}
+
+// Close stops the daemon immediately (no drain).
+func (d *Daemon) Close() error {
+	err := d.server.Close()
+	if d.admin != nil {
+		d.admin.Close()
+	}
+	d.closeTrace()
+	return err
+}
+
+// Main is the hiddend entry point: parse args, start, serve until
+// SIGTERM/SIGINT, drain gracefully, shut down. It returns the process
+// exit code.
+func Main(args []string, stdout, stderr io.Writer) int {
+	cfg, err := ParseFlags(args)
+	if err != nil {
+		fmt.Fprintln(stderr, "hiddend:", err)
+		return 1
+	}
+	cfg.Stdout = stdout
+	// Trap signals before the listener comes up, so a SIGTERM racing
+	// startup still shuts down gracefully instead of killing the process.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	d, err := Start(cfg)
+	if err != nil {
+		fmt.Fprintln(stderr, "hiddend:", err)
+		return 1
+	}
+	s := <-sig
+	fmt.Fprintf(stdout, "received %s, shutting down\n", s)
+	if err := d.Shutdown(); err != nil {
+		fmt.Fprintln(stderr, "hiddend:", err)
+		return 1
+	}
+	return 0
+}

@@ -66,6 +66,14 @@ type LoadConfig struct {
 	// Split a component it serves.
 	Source string
 	Split  string
+	// DataDir, when set, makes the self-hosted loopback server durable:
+	// every mutating request is journaled there before its reply is
+	// released, so the run measures the write-ahead-log overhead against
+	// the in-memory baseline. Ignored when Addr is set.
+	DataDir string
+	// Fsync fsyncs each journal append (power-loss durability; requires
+	// DataDir). This is the expensive tier of the durability table.
+	Fsync bool
 }
 
 // LoadResult is one load run's measurement, the schema-versioned document
@@ -84,6 +92,10 @@ type LoadResult struct {
 	// for the server: every call in sync mode, flush barriers in
 	// pipelined mode.
 	Blocking obs.HistSnapshot `json:"blocking_latency"`
+	// Durability records the self-hosted server's persistence tier:
+	// "" (in-memory), "wal" (journaled), or "wal+fsync" (journaled with
+	// per-append fsync).
+	Durability string `json:"durability,omitempty"`
 }
 
 // LoadSchemaVersion is bumped when LoadResult's shape changes.
@@ -151,10 +163,20 @@ func RunLoad(c LoadConfig) (LoadResult, error) {
 
 	addr := cfg.Addr
 	shards := cfg.Shards
+	durability := ""
 	if addr == "" {
+		var persist *hrt.Durability
+		if cfg.DataDir != "" {
+			persist = hrt.NewDurability(hrt.DurabilityOptions{Dir: cfg.DataDir, Fsync: cfg.Fsync})
+			durability = "wal"
+			if cfg.Fsync {
+				durability = "wal+fsync"
+			}
+		}
 		srv := &hrt.TCPServer{
-			Server: hrt.NewServerShards(hrt.NewRegistry(res), shards),
-			Shards: shards,
+			Server:  hrt.NewServerShards(hrt.NewRegistry(res), shards),
+			Shards:  shards,
+			Persist: persist,
 		}
 		a, err := srv.ListenAndServe("127.0.0.1:0")
 		if err != nil {
@@ -210,6 +232,7 @@ func RunLoad(c LoadConfig) (LoadResult, error) {
 		ElapsedNs:     elapsed.Nanoseconds(),
 		OpsPerSec:     float64(total) / elapsed.Seconds(),
 		Blocking:      hist.Snapshot(),
+		Durability:    durability,
 	}, nil
 }
 

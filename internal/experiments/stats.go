@@ -46,9 +46,12 @@ type RunStats struct {
 	WireBytesSent int64 `json:"wire_bytes_sent"`
 	WireBytesRecv int64 `json:"wire_bytes_recv"`
 
-	// Fault-tolerance counters.
-	Retries    int64 `json:"retries"`
-	Reconnects int64 `json:"reconnects"`
+	// Fault-tolerance counters. SessionBounces counts requests the server
+	// refused because the session's exactly-once replay state was lost
+	// (evicted, or a non-durable server restarted mid-session).
+	Retries        int64 `json:"retries"`
+	Reconnects     int64 `json:"reconnects"`
+	SessionBounces int64 `json:"session_bounces"`
 
 	// Gauges and Latency fold in the run's metrics registry: point-in-time
 	// gauges (in-flight window depth) and per-request-kind latency
@@ -82,6 +85,7 @@ func NewRunStats(c *hrt.Counters, elapsed time.Duration, runErr error) RunStats 
 		s.WireBytesRecv = c.WireBytesRecv.Load()
 		s.Retries = c.Retries.Load()
 		s.Reconnects = c.Reconnects.Load()
+		s.SessionBounces = c.SessionBounces.Load()
 	}
 	return s
 }
@@ -117,10 +121,10 @@ func (s RunStats) WriteJSON(w io.Writer) error {
 
 // Text renders the legacy single-line human form (-stats text).
 func (s RunStats) Text() string {
-	line := fmt.Sprintf("interactions=%d one-way=%d blocking=%d flushes=%d window-stalls=%d values-sent=%d activations=%d bytes-sent=%d bytes-recv=%d wire-sent=%d wire-recv=%d retries=%d reconnects=%d elapsed=%s",
+	line := fmt.Sprintf("interactions=%d one-way=%d blocking=%d flushes=%d window-stalls=%d values-sent=%d activations=%d bytes-sent=%d bytes-recv=%d wire-sent=%d wire-recv=%d retries=%d reconnects=%d bounces=%d elapsed=%s",
 		s.Interactions, s.OneWay, s.Blocking, s.Flushes, s.WindowStalls,
 		s.ValuesSent, s.Activations, s.BytesSent, s.BytesRecv,
-		s.WireBytesSent, s.WireBytesRecv, s.Retries, s.Reconnects,
+		s.WireBytesSent, s.WireBytesRecv, s.Retries, s.Reconnects, s.SessionBounces,
 		time.Duration(s.ElapsedNs).Round(time.Millisecond))
 	if s.Failed {
 		line = "FAILED " + line

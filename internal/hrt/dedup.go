@@ -1,7 +1,9 @@
 package hrt
 
 import (
+	"errors"
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -57,6 +59,13 @@ type Dedup struct {
 	Shards int
 	// Tracer, when set, receives replay/resend/evict/bounce events.
 	Tracer *obs.Tracer
+	// Persist, when set, makes execution durable: requests are executed
+	// through it (capturing hidden-store deltas) and journaled — under the
+	// session's shard lock, before the response is released — so the
+	// journal preserves per-session order and a crash never acknowledges
+	// state it cannot recover. Replays, gaps, and bounces touch no state
+	// and are not journaled.
+	Persist *Durability
 	// Replays counts requests answered from the cache or skipped as
 	// already-executed duplicates.
 	Replays atomic.Int64
@@ -127,7 +136,69 @@ const sessionEvictedMsg = "session replay state evicted"
 // fresh session); retrying cannot succeed and re-executing would risk
 // double-applying hidden-state mutations.
 func IsSessionEvicted(err error) bool {
-	return err != nil && strings.Contains(err.Error(), sessionEvictedMsg)
+	if err == nil {
+		return false
+	}
+	var se *SessionEvictedError
+	if errors.As(err, &se) {
+		return true
+	}
+	return strings.Contains(err.Error(), sessionEvictedMsg)
+}
+
+// SessionEvictedError is the typed, client-side form of the bounce: it
+// names the server and session so the failure is actionable instead of a
+// bare wire string. IsSessionEvicted recognizes it (and the untyped wire
+// message it wraps).
+type SessionEvictedError struct {
+	// Addr is the hidden server that refused the session ("" when the
+	// transport is in-process or the address was not recorded).
+	Addr string
+	// Session is the bounced session id, parsed from the server's message
+	// (0 when the message did not carry one).
+	Session uint64
+	// Detail is the server-reported message.
+	Detail string
+}
+
+func (e *SessionEvictedError) Error() string {
+	msg := e.Detail
+	if msg == "" {
+		msg = "hrt: " + sessionEvictedMsg
+	}
+	if e.Addr != "" {
+		return fmt.Sprintf("hidden server %s: %s", e.Addr, msg)
+	}
+	return msg
+}
+
+// Hint returns the remediation guidance for the bounce: what happened and
+// what the operator can do about it.
+func (e *SessionEvictedError) Hint() string {
+	return "the hidden server lost this session's exactly-once replay state " +
+		"(server restart without -data-dir, or replay-cache eviction); " +
+		"re-run the program to open a fresh session, and run hiddend with " +
+		"-data-dir (and a larger -max-sessions) to survive restarts"
+}
+
+// parseEvictedSession extracts the session id from the server's bounce
+// message ("hrt: session <id> ...").
+func parseEvictedSession(msg string) uint64 {
+	const marker = "session "
+	i := strings.Index(msg, marker)
+	if i < 0 {
+		return 0
+	}
+	rest := msg[i+len(marker):]
+	j := 0
+	for j < len(rest) && rest[j] >= '0' && rest[j] <= '9' {
+		j++
+	}
+	n, err := strconv.ParseUint(rest[:j], 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
 }
 
 func (d *Dedup) timeNow() time.Time {
@@ -287,14 +358,19 @@ func (d *Dedup) RoundTrip(req Request) (Response, error) {
 	sh.mu.Unlock()
 
 	var resp Response
+	var eff *recEffects
 	if poisoned == "" {
-		var err error
-		resp, err = d.Inner.RoundTrip(req)
-		if err != nil {
-			// Inner is in-process here; its errors are protocol
-			// violations, which are answers too — record them so a replay
-			// gets the same verdict without re-executing.
-			resp = Response{Err: err.Error()}
+		if d.Persist != nil {
+			resp, eff = d.Persist.execute(req)
+		} else {
+			var err error
+			resp, err = d.Inner.RoundTrip(req)
+			if err != nil {
+				// Inner is in-process here; its errors are protocol
+				// violations, which are answers too — record them so a replay
+				// gets the same verdict without re-executing.
+				resp = Response{Err: err.Error()}
+			}
 		}
 	}
 
@@ -303,6 +379,14 @@ func (d *Dedup) RoundTrip(req Request) (Response, error) {
 	if req.NoReply() {
 		if resp.Err != "" && e.deferred == "" {
 			e.deferred = resp.Err
+		}
+		if d.Persist != nil {
+			// Journal before close(e.done): the session's next request may
+			// not run until this one's record is on disk, which is what
+			// keeps the journal in per-session seq order.
+			if perr := d.Persist.journal(req, resp, eff); perr != nil && e.deferred == "" {
+				e.deferred = perr.Error()
+			}
 		}
 		close(e.done)
 		e.done = nil
@@ -316,6 +400,13 @@ func (d *Dedup) RoundTrip(req Request) (Response, error) {
 	}
 	resp.Seq = req.Seq
 	resp.Ack = e.lastSeq
+	if d.Persist != nil {
+		if perr := d.Persist.journal(req, resp, eff); perr != nil {
+			// The record is not durable, so the answer must not be either:
+			// acknowledge nothing a restart would take back.
+			resp = Response{Seq: req.Seq, Ack: e.lastSeq, Err: perr.Error()}
+		}
+	}
 	e.respSeq = req.Seq
 	e.resp = resp
 	close(e.done)

@@ -1,0 +1,854 @@
+package hrt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"slicehide/internal/interp"
+	"slicehide/internal/obs"
+	"slicehide/internal/wal"
+)
+
+// Durability makes a TCPServer crash-recoverable. Every request the dedup
+// layer executes is journaled — op, (session, seq), the hidden-store
+// deltas it produced, and the response the client was given — before the
+// response leaves the server, and the full state (sharded activation and
+// instance stores, hidden globals, execution tallies, and the dedup replay
+// cache) is snapshotted every SnapshotEvery records. On startup the newest
+// valid snapshot is loaded and the journal tail replayed, so a hiddend
+// killed mid-run resumes every live session with exactly-once semantics
+// intact: a retried seq after the restart deduplicates against the
+// recovered replay cache instead of bouncing or re-executing.
+//
+// Crash consistency argument. A record is appended after its request
+// executed in memory but before the response is released (and, for
+// one-way requests, before the session's next request may run). A crash
+// between execute and append loses the in-memory mutation with the
+// process, so the un-acknowledged request replays cleanly after recovery;
+// a crash after append is replayed from the journal. Either way the
+// client's retry observes exactly-once effects. With Fsync off the append
+// is still a single write(2), which survives process death (SIGKILL) —
+// fsync buys durability against machine death only.
+//
+// Recovery replays recorded deltas, not fragment bodies: each record
+// carries the post-write values of the variables the fragment mutated,
+// keyed by stable names and resolved against the recompiled Registry, so
+// replay is cheap, deterministic, and independent of fragment control
+// flow. Global-store writes additionally carry a version stamped under the
+// globals lock and are re-applied in version order, because journal append
+// order across sessions can invert lock order.
+type Durability struct {
+	opts   DurabilityOptions
+	server *Server
+	dedup  *Dedup
+
+	// quiesce freezes request traffic for snapshots: every request holds
+	// it for read across its whole dedup round trip, a snapshot takes it
+	// for write, so a snapshot never observes a half-applied request.
+	quiesce sync.RWMutex
+
+	// mu guards the journal handle and rotation bookkeeping.
+	mu        sync.Mutex
+	wlog      *wal.Journal
+	gen       uint64
+	sinceSnap int
+	failed    error
+
+	recovered RecoveryStats
+
+	appends      obs.CounterHandle
+	appendErrors obs.CounterHandle
+	snapshots    obs.CounterHandle
+	snapErrors   obs.CounterHandle
+	appendBytes  obs.CounterHandle
+	appendNS     *obs.Histogram
+	snapshotNS   *obs.Histogram
+}
+
+// DurabilityOptions configures a Durability layer.
+type DurabilityOptions struct {
+	// Dir is the data directory holding journal and snapshot generations
+	// (created if absent). It lives on the secure device: journal records
+	// and snapshots contain hidden values.
+	Dir string
+	// Fsync fsyncs every journal append, making acknowledged state durable
+	// against machine death (power loss). Off, appends are still one
+	// write(2) each, durable against process death.
+	Fsync bool
+	// SnapshotEvery rotates to a fresh snapshot + journal generation after
+	// this many journaled records. 0 means the default (4096); negative
+	// disables periodic snapshots (one is still taken at Close).
+	SnapshotEvery int
+	// Tracer, when set, receives recovery, snapshot, and append-failure
+	// events.
+	Tracer *obs.Tracer
+}
+
+const defaultSnapshotEvery = 4096
+
+// RecoveryStats describes what startup recovery found.
+type RecoveryStats struct {
+	// Generation is the snapshot/journal generation recovery resumed.
+	Generation uint64
+	// SnapshotUsed reports whether a snapshot seeded the state (false on
+	// first boot or when only generation-0 journal existed).
+	SnapshotUsed bool
+	// Records is the number of journal records replayed.
+	Records int64
+	// Sessions is the number of dedup replay-cache sessions restored.
+	Sessions int
+	// Took is the wall-clock recovery time.
+	Took time.Duration
+}
+
+// NewDurability creates a durability layer over the data directory in
+// opts. It does nothing until TCPServer.ListenAndServe runs recovery and
+// starts journaling through it.
+func NewDurability(opts DurabilityOptions) *Durability {
+	if opts.SnapshotEvery == 0 {
+		opts.SnapshotEvery = defaultSnapshotEvery
+	}
+	return &Durability{opts: opts}
+}
+
+// Recovered reports what startup recovery found (valid after the owning
+// TCPServer's ListenAndServe returned).
+func (p *Durability) Recovered() RecoveryStats { return p.recovered }
+
+// RegisterMetrics exports journal/snapshot/recovery counters, gauges, and
+// latency histograms into reg.
+func (p *Durability) RegisterMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	p.appends = reg.Counter("wal_appends_total")
+	p.appendErrors = reg.Counter("wal_append_errors_total")
+	p.appendBytes = reg.Counter("wal_append_bytes_total")
+	p.snapshots = reg.Counter("wal_snapshots_total")
+	p.snapErrors = reg.Counter("wal_snapshot_errors_total")
+	p.appendNS = reg.Histogram("wal_append_ns")
+	p.snapshotNS = reg.Histogram("wal_snapshot_ns")
+	reg.Gauge("wal_generation", func() int64 {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		return int64(p.gen)
+	})
+	reg.Gauge("wal_journal_bytes", func() int64 {
+		p.mu.Lock()
+		j := p.wlog
+		p.mu.Unlock()
+		if j == nil {
+			return 0
+		}
+		return j.Size()
+	})
+	reg.Gauge("wal_records_since_snapshot", func() int64 {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		return int64(p.sinceSnap)
+	})
+	reg.Gauge("wal_recovered_records", func() int64 { return p.recovered.Records })
+	reg.Gauge("wal_recovered_sessions", func() int64 { return int64(p.recovered.Sessions) })
+	reg.Gauge("wal_recovery_ns", func() int64 { return int64(p.recovered.Took) })
+}
+
+func (p *Durability) snapPath(gen uint64) string {
+	return filepath.Join(p.opts.Dir, fmt.Sprintf("snap-%08d.snap", gen))
+}
+
+func (p *Durability) journalPath(gen uint64) string {
+	return filepath.Join(p.opts.Dir, fmt.Sprintf("journal-%08d.wal", gen))
+}
+
+// start runs recovery against server and dedup, then opens the journal for
+// appending. Called by TCPServer.ListenAndServe before the accept loop, so
+// no request traffic races it.
+func (p *Durability) start(server *Server, dedup *Dedup) error {
+	p.server = server
+	p.dedup = dedup
+	begin := time.Now()
+	if err := os.MkdirAll(p.opts.Dir, 0o755); err != nil {
+		return fmt.Errorf("hrt: create data dir: %w", err)
+	}
+	gen, snapUsed, sessions, err := p.loadBase()
+	if err != nil {
+		return err
+	}
+	res := newVarResolver(server.reg)
+	validLen, records, err := p.replayJournal(p.journalPath(gen), res, sessions)
+	if err != nil {
+		return err
+	}
+	list := make([]dedupSessionState, 0, len(sessions))
+	for _, ss := range sessions {
+		list = append(list, *ss)
+	}
+	dedup.restoreSessions(list)
+	j, err := wal.Open(p.journalPath(gen), validLen, p.opts.Fsync)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	p.wlog = j
+	p.gen = gen
+	p.sinceSnap = int(records)
+	p.mu.Unlock()
+	p.pruneAbove(gen)
+	p.recovered = RecoveryStats{
+		Generation:   gen,
+		SnapshotUsed: snapUsed,
+		Records:      records,
+		Sessions:     len(sessions),
+		Took:         time.Since(begin),
+	}
+	p.opts.Tracer.Emit(obs.LevelInfo, "wal_recover",
+		obs.Uint("generation", gen),
+		obs.Int("records", records),
+		obs.Int("sessions", int64(len(sessions))),
+		obs.Dur("took", p.recovered.Took))
+	return nil
+}
+
+// loadBase picks the newest generation with a readable snapshot (falling
+// back generation by generation past corrupt ones), imports it into the
+// server, and returns the chosen generation plus the snapshot's dedup
+// sessions for journal replay to update. A directory with no usable
+// snapshot starts empty at the lowest journal generation present (or 0).
+func (p *Durability) loadBase() (uint64, bool, map[uint64]*dedupSessionState, error) {
+	snaps, journals, err := p.listGenerations()
+	if err != nil {
+		return 0, false, nil, err
+	}
+	gens := make(map[uint64]bool, len(snaps)+len(journals))
+	for _, g := range snaps {
+		gens[g] = true
+	}
+	for _, g := range journals {
+		gens[g] = true
+	}
+	ordered := make([]uint64, 0, len(gens))
+	for g := range gens {
+		ordered = append(ordered, g)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i] > ordered[j] })
+	for _, g := range ordered {
+		payload, err := wal.ReadSnapshot(p.snapPath(g))
+		if err != nil {
+			// Corrupt snapshot: fall back to the previous generation, whose
+			// snapshot+journal reproduce the state this one was taken from.
+			p.opts.Tracer.Emit(obs.LevelWarn, "wal_snapshot_unreadable",
+				obs.Uint("generation", g), obs.Err(err))
+			continue
+		}
+		if payload == nil {
+			// No snapshot at this generation: only generation 0 legitimately
+			// starts from empty state.
+			if g == 0 {
+				return 0, false, map[uint64]*dedupSessionState{}, nil
+			}
+			continue
+		}
+		sessions, err := importSnapshot(p.server, payload)
+		if err != nil {
+			return 0, false, nil, fmt.Errorf("hrt: snapshot %s: %w", filepath.Base(p.snapPath(g)), err)
+		}
+		return g, true, sessions, nil
+	}
+	return 0, false, map[uint64]*dedupSessionState{}, nil
+}
+
+// listGenerations scans the data directory for snapshot and journal files.
+func (p *Durability) listGenerations() (snaps, journals []uint64, err error) {
+	entries, err := os.ReadDir(p.opts.Dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("hrt: read data dir: %w", err)
+	}
+	parse := func(name, prefix, suffix string) (uint64, bool) {
+		rest, ok := strings.CutPrefix(name, prefix)
+		if !ok {
+			return 0, false
+		}
+		rest, ok = strings.CutSuffix(rest, suffix)
+		if !ok {
+			return 0, false
+		}
+		g, err := strconv.ParseUint(rest, 10, 64)
+		return g, err == nil
+	}
+	for _, e := range entries {
+		if g, ok := parse(e.Name(), "snap-", ".snap"); ok {
+			snaps = append(snaps, g)
+		}
+		if g, ok := parse(e.Name(), "journal-", ".wal"); ok {
+			journals = append(journals, g)
+		}
+	}
+	return snaps, journals, nil
+}
+
+// pruneAbove removes files from generations newer than gen — leftovers of
+// a rotation whose snapshot turned out corrupt, whose journals describe
+// state on top of a base that no longer exists. Best-effort.
+func (p *Durability) pruneAbove(gen uint64) {
+	snaps, journals, err := p.listGenerations()
+	if err != nil {
+		return
+	}
+	for _, g := range snaps {
+		if g > gen {
+			os.Remove(p.snapPath(g))
+		}
+	}
+	for _, g := range journals {
+		if g > gen {
+			os.Remove(p.journalPath(g))
+		}
+	}
+}
+
+// pruneBelow removes generations older than keep (the previous generation
+// is retained as the corruption fallback). Best-effort.
+func (p *Durability) pruneBelow(keep uint64) {
+	snaps, journals, err := p.listGenerations()
+	if err != nil {
+		return
+	}
+	for _, g := range snaps {
+		if g < keep {
+			os.Remove(p.snapPath(g))
+		}
+	}
+	for _, g := range journals {
+		if g < keep {
+			os.Remove(p.journalPath(g))
+		}
+	}
+}
+
+// replayJournal applies the journal's valid prefix to the server and the
+// in-progress dedup session map, returning the prefix length for Open to
+// truncate to. A record that fails to decode ends replay at that point
+// (the same stop-at-first-corruption contract the CRC layer has); a record
+// that references program structure the Registry no longer has aborts
+// startup, because resuming sessions against a different program would
+// corrupt hidden state.
+func (p *Durability) replayJournal(path string, res *varResolver, sessions map[uint64]*dedupSessionState) (int64, int64, error) {
+	var globals []globalDelta
+	var decodeStop int64 = -1
+	var records int64
+	validLen, _, err := wal.ScanFile(path, func(payload []byte) error {
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			// Treat an undecodable (but CRC-clean) record as corruption:
+			// remember where the intact history ends and ignore the rest.
+			if decodeStop < 0 {
+				decodeStop = records
+			}
+			return nil
+		}
+		if decodeStop >= 0 {
+			return nil
+		}
+		if err := p.applyRecord(rec, res, sessions, &globals); err != nil {
+			return err
+		}
+		records++
+		return nil
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	if decodeStop >= 0 {
+		// Recompute the byte length of the records that decoded, so the
+		// undecodable suffix is truncated away like a torn tail.
+		validLen, err = truncatedPrefix(path, records)
+		if err != nil {
+			return 0, 0, err
+		}
+		p.opts.Tracer.Emit(obs.LevelWarn, "wal_record_undecodable",
+			obs.Str("journal", filepath.Base(path)), obs.Int("kept_records", records))
+	}
+	if err := p.server.applyGlobalDeltas(res, globals); err != nil {
+		return 0, 0, err
+	}
+	return validLen, records, nil
+}
+
+// truncatedPrefix returns the byte length of the first n records of the
+// journal at path (plus header).
+func truncatedPrefix(path string, n int64) (int64, error) {
+	var kept int64
+	validLen, _, err := wal.ScanFile(path, func(payload []byte) error {
+		if kept >= n {
+			return errStopScan
+		}
+		kept++
+		return nil
+	})
+	if err != nil && err != errStopScan {
+		return 0, err
+	}
+	return validLen, nil
+}
+
+var errStopScan = fmt.Errorf("hrt: stop scan")
+
+// applyRecord replays one journal record: the server-side state mutation
+// (deltas, stats) and the dedup session bookkeeping (high-water mark,
+// cached reply, deferred error). Global-store deltas are collected for the
+// caller's version-ordered pass instead of applied in file order.
+func (p *Durability) applyRecord(rec *journalRecord, res *varResolver, sessions map[uint64]*dedupSessionState, globals *[]globalDelta) error {
+	if rec.counted {
+		switch rec.op {
+		case OpEnter:
+			if err := p.server.replayEnter(rec.session, rec.fn, rec.obj, rec.inst); err != nil {
+				return err
+			}
+		case OpExit:
+			p.server.replayExit(rec.session, rec.fn, rec.inst)
+		case OpCall:
+			local := rec.deltas[:0:0]
+			for _, d := range rec.deltas {
+				if d.scope == scopeGlobal {
+					*globals = append(*globals, globalDelta{version: rec.globalsVersion, name: d.name, val: d.val})
+				} else {
+					local = append(local, d)
+				}
+			}
+			if err := p.server.replayCall(res, rec.session, rec.fn, rec.inst, local); err != nil {
+				return err
+			}
+		}
+	}
+	ss := sessions[rec.session]
+	if ss == nil {
+		ss = &dedupSessionState{Session: rec.session}
+		sessions[rec.session] = ss
+	}
+	ss.LastSeq = rec.seq
+	if rec.noReply {
+		if rec.resp.Err != "" && ss.Deferred == "" {
+			ss.Deferred = rec.resp.Err
+		}
+		return nil
+	}
+	// A poisoned session stays poisoned after the reply surfaces the
+	// deferred error (matching live dedup behavior), so Deferred persists.
+	ss.RespSeq = rec.seq
+	ss.Resp = rec.resp
+	ss.Resp.Seq = rec.seq
+	ss.Resp.Ack = rec.seq
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Request execution + journaling (called from the dedup execute branch)
+
+// recEffects captures the durable side effects of one executed request:
+// whether it counted in the execution tallies, and the post-write values
+// of every hidden variable it mutated.
+type recEffects struct {
+	counted        bool
+	globalsVersion uint64
+	deltas         []stateDelta
+}
+
+type deltaScope byte
+
+const (
+	// scopeAct: a variable of the activation store (or of the globals
+	// component's implicit activation), resolved by (component, name).
+	scopeAct deltaScope = iota + 1
+	// scopeGlobal: a shared hidden global, resolved by name, re-applied in
+	// globalsVersion order.
+	scopeGlobal
+	// scopeField: a hidden object field, resolved by (class, name) and
+	// addressed to (session, class, obj).
+	scopeField
+)
+
+// stateDelta is one post-write variable value, keyed by names that stay
+// stable across a process restart (pointers do not).
+type stateDelta struct {
+	scope deltaScope
+	name  string
+	class string
+	obj   int64
+	val   interp.Value
+}
+
+type globalDelta struct {
+	version uint64
+	name    string
+	val     interp.Value
+}
+
+// execute runs req against the server, capturing effects for the journal.
+// It mirrors Local.dispatch; protocol errors become response errors, which
+// are journaled answers like any other.
+func (p *Durability) execute(req Request) (Response, *recEffects) {
+	switch req.Op {
+	case OpEnter:
+		inst, err := p.server.EnterSession(req.Session, req.Fn, req.Obj, req.Inst)
+		return Response{Inst: inst, Err: errString(err)}, &recEffects{counted: err == nil}
+	case OpExit:
+		err := p.server.ExitSession(req.Session, req.Fn, req.Inst)
+		return Response{Err: errString(err)}, &recEffects{counted: err == nil}
+	case OpCall:
+		v, eff, err := p.server.callSessionEffects(req.Session, req.Fn, req.Inst, req.Frag, req.Args)
+		return Response{Val: v, Err: errString(err)}, eff
+	case OpFlush:
+		return Response{}, &recEffects{}
+	}
+	return Response{Err: fmt.Sprintf("hrt: unknown op %d", req.Op)}, &recEffects{}
+}
+
+// journalErr frames a journal failure as a response error. Once an append
+// fails the in-memory state is ahead of the durable state, so the server
+// refuses to acknowledge: better a loud client error than an
+// acknowledgement a restart would take back.
+func (p *Durability) journal(req Request, resp Response, eff *recEffects) error {
+	p.mu.Lock()
+	if p.failed != nil {
+		err := p.failed
+		p.mu.Unlock()
+		return err
+	}
+	j := p.wlog
+	p.mu.Unlock()
+	if j == nil {
+		return fmt.Errorf("hrt: journal not open")
+	}
+	rec := journalRecord{
+		op: req.Op, noReply: req.NoReply(),
+		session: req.Session, seq: req.Seq,
+		fn: req.Fn, inst: req.Inst, obj: req.Obj, frag: req.Frag,
+		resp: resp,
+	}
+	if req.Op == OpEnter && resp.Inst != 0 {
+		// Replay must recreate the activation under the id the client was
+		// told (server-assigned on the synchronous path).
+		rec.inst = resp.Inst
+	}
+	if eff != nil {
+		rec.counted = eff.counted
+		rec.globalsVersion = eff.globalsVersion
+		rec.deltas = eff.deltas
+	}
+	payload, err := appendRecord(nil, &rec)
+	if err == nil {
+		start := time.Now()
+		err = j.Append(payload)
+		p.appendNS.Observe(time.Since(start))
+	}
+	if err != nil {
+		err = fmt.Errorf("hrt: journal append failed: %w", err)
+		p.appendErrors.Add(1)
+		p.opts.Tracer.Emit(obs.LevelError, "wal_append_error", obs.Err(err))
+		p.mu.Lock()
+		p.failed = err
+		p.mu.Unlock()
+		return err
+	}
+	p.appends.Add(1)
+	p.appendBytes.Add(int64(len(payload)))
+	p.mu.Lock()
+	p.sinceSnap++
+	p.mu.Unlock()
+	return nil
+}
+
+// roundTrip is the durable request path: the whole dedup round trip runs
+// under the quiesce read lock so snapshots never see half-applied
+// requests, and a due snapshot is taken after the response is computed.
+func (p *Durability) roundTrip(d *Dedup, req Request) (Response, error) {
+	p.quiesce.RLock()
+	resp, err := d.RoundTrip(req)
+	p.quiesce.RUnlock()
+	if p.snapshotDue() {
+		if serr := p.Snapshot(); serr != nil {
+			p.snapErrors.Add(1)
+			p.opts.Tracer.Emit(obs.LevelError, "wal_snapshot_error", obs.Err(serr))
+		}
+	}
+	return resp, err
+}
+
+func (p *Durability) snapshotDue() bool {
+	if p.opts.SnapshotEvery <= 0 {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.failed == nil && p.sinceSnap >= p.opts.SnapshotEvery
+}
+
+// Snapshot quiesces request traffic, writes a fresh snapshot of the full
+// server + replay-cache state as generation gen+1, rotates the journal to
+// that generation, and prunes generations older than gen (the immediately
+// previous generation is kept as the corruption fallback).
+func (p *Durability) Snapshot() error {
+	p.quiesce.Lock()
+	defer p.quiesce.Unlock()
+	return p.snapshotLocked()
+}
+
+func (p *Durability) snapshotLocked() error {
+	if p.server == nil {
+		return fmt.Errorf("hrt: durability not started")
+	}
+	start := time.Now()
+	payload, err := encodeSnapshot(p.server, p.dedup)
+	if err != nil {
+		return err
+	}
+	next := p.gen + 1
+	if err := wal.WriteSnapshot(p.snapPath(next), payload); err != nil {
+		return err
+	}
+	j, err := wal.Open(p.journalPath(next), 0, p.opts.Fsync)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	old := p.wlog
+	p.wlog = j
+	p.gen = next
+	p.sinceSnap = 0
+	p.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+	if next >= 1 {
+		p.pruneBelow(next - 1)
+	}
+	took := time.Since(start)
+	p.snapshots.Add(1)
+	p.snapshotNS.Observe(took)
+	p.opts.Tracer.Emit(obs.LevelInfo, "wal_snapshot",
+		obs.Uint("generation", next), obs.Int("bytes", int64(len(payload))), obs.Dur("took", took))
+	return nil
+}
+
+// Close takes a final snapshot (so the next boot recovers without journal
+// replay) and closes the journal. Called by TCPServer.Close after the
+// serving goroutines drained.
+func (p *Durability) Close() error {
+	p.quiesce.Lock()
+	defer p.quiesce.Unlock()
+	var err error
+	if p.wlog != nil {
+		err = p.snapshotLocked()
+	}
+	p.mu.Lock()
+	j := p.wlog
+	p.wlog = nil
+	p.mu.Unlock()
+	if j != nil {
+		if cerr := j.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// ---------------------------------------------------------------------------
+// Journal record codec
+//
+// Records reuse the wire codec's primitives (little-endian, length-
+// prefixed strings, tagged scalar values). Layout:
+//
+//	byte   op
+//	byte   flags (recNoReply | recCounted)
+//	u64    session
+//	u64    seq
+//	str    fn
+//	u64    inst (two's complement)
+//	u64    obj
+//	u32    frag
+//	u64    globalsVersion
+//	u16    ndeltas
+//	       ndeltas × [byte scope, str name, value; scopeField adds str class, u64 obj]
+//	byte   resp flags
+//	value  resp val
+//	u64    resp inst
+//	str    resp err
+//
+// The decoder is fuzzed (FuzzJournalRecord): it must never panic or
+// over-allocate on arbitrary bytes — a CRC-clean but undecodable record
+// ends recovery at that point, like a torn tail.
+
+const (
+	recNoReply byte = 1 << 0
+	recCounted byte = 1 << 1
+)
+
+// maxRecordDeltas bounds the delta count a decoded record may claim.
+// Fragments write a handful of variables by construction; the cap only
+// guards recovery against corrupt counts.
+const maxRecordDeltas = 4096
+
+type journalRecord struct {
+	op             Op
+	noReply        bool
+	counted        bool
+	session        uint64
+	seq            uint64
+	fn             string
+	inst           int64
+	obj            int64
+	frag           int
+	globalsVersion uint64
+	deltas         []stateDelta
+	resp           Response // Val/Inst/Err/Flags; Seq and Ack are rebuilt from seq
+}
+
+func appendRecord(b []byte, rec *journalRecord) ([]byte, error) {
+	if len(rec.deltas) > maxRecordDeltas {
+		return nil, fmt.Errorf("hrt: record has %d deltas, limit %d", len(rec.deltas), maxRecordDeltas)
+	}
+	var flags byte
+	if rec.noReply {
+		flags |= recNoReply
+	}
+	if rec.counted {
+		flags |= recCounted
+	}
+	b = append(b, byte(rec.op), flags)
+	b = binary.LittleEndian.AppendUint64(b, rec.session)
+	b = binary.LittleEndian.AppendUint64(b, rec.seq)
+	var err error
+	if b, err = appendString(b, rec.fn); err != nil {
+		return nil, err
+	}
+	b = binary.LittleEndian.AppendUint64(b, uint64(rec.inst))
+	b = binary.LittleEndian.AppendUint64(b, uint64(rec.obj))
+	b = binary.LittleEndian.AppendUint32(b, uint32(int32(rec.frag)))
+	b = binary.LittleEndian.AppendUint64(b, rec.globalsVersion)
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(rec.deltas)))
+	for _, d := range rec.deltas {
+		b = append(b, byte(d.scope))
+		if b, err = appendString(b, d.name); err != nil {
+			return nil, err
+		}
+		if b, err = appendValue(b, d.val); err != nil {
+			return nil, err
+		}
+		if d.scope == scopeField {
+			if b, err = appendString(b, d.class); err != nil {
+				return nil, err
+			}
+			b = binary.LittleEndian.AppendUint64(b, uint64(d.obj))
+		}
+	}
+	b = append(b, rec.resp.Flags)
+	if b, err = appendValue(b, rec.resp.Val); err != nil {
+		return nil, err
+	}
+	b = binary.LittleEndian.AppendUint64(b, uint64(rec.resp.Inst))
+	if b, err = appendString(b, rec.resp.Err); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+func decodeRecord(payload []byte) (*journalRecord, error) {
+	d := newWireReader(bytes.NewReader(payload))
+	rec := &journalRecord{}
+	op, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	rec.op = Op(op)
+	if rec.op < OpEnter || rec.op > OpFlush {
+		return nil, fmt.Errorf("hrt: record has unknown op %d", op)
+	}
+	flags, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	rec.noReply = flags&recNoReply != 0
+	rec.counted = flags&recCounted != 0
+	if rec.session, err = d.u64(); err != nil {
+		return nil, err
+	}
+	if rec.seq, err = d.u64(); err != nil {
+		return nil, err
+	}
+	if rec.fn, err = d.str(); err != nil {
+		return nil, err
+	}
+	var u uint64
+	if u, err = d.u64(); err != nil {
+		return nil, err
+	}
+	rec.inst = int64(u)
+	if u, err = d.u64(); err != nil {
+		return nil, err
+	}
+	rec.obj = int64(u)
+	var frag uint32
+	if frag, err = d.u32(); err != nil {
+		return nil, err
+	}
+	rec.frag = int(int32(frag))
+	if rec.globalsVersion, err = d.u64(); err != nil {
+		return nil, err
+	}
+	var n uint16
+	if n, err = d.u16(); err != nil {
+		return nil, err
+	}
+	if int(n) > maxRecordDeltas {
+		return nil, fmt.Errorf("hrt: record delta count %d exceeds limit %d", n, maxRecordDeltas)
+	}
+	for i := 0; i < int(n); i++ {
+		var del stateDelta
+		sc, err := d.byte()
+		if err != nil {
+			return nil, err
+		}
+		del.scope = deltaScope(sc)
+		if del.scope < scopeAct || del.scope > scopeField {
+			return nil, fmt.Errorf("hrt: record delta has unknown scope %d", sc)
+		}
+		if del.name, err = d.str(); err != nil {
+			return nil, err
+		}
+		if del.val, err = d.value(); err != nil {
+			return nil, err
+		}
+		if del.scope == scopeField {
+			if del.class, err = d.str(); err != nil {
+				return nil, err
+			}
+			if u, err = d.u64(); err != nil {
+				return nil, err
+			}
+			del.obj = int64(u)
+		}
+		rec.deltas = append(rec.deltas, del)
+	}
+	if rec.resp.Flags, err = d.byte(); err != nil {
+		return nil, err
+	}
+	if rec.resp.Val, err = d.value(); err != nil {
+		return nil, err
+	}
+	if u, err = d.u64(); err != nil {
+		return nil, err
+	}
+	rec.resp.Inst = int64(u)
+	if rec.resp.Err, err = d.str(); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}

@@ -99,6 +99,12 @@ type Server struct {
 	// read/write of a global hidden variable during execution.
 	globalsMu sync.Mutex
 	globals   *store
+	// globalsVersion totally orders globals-touching executions (guarded
+	// by globalsMu). The durability journal stamps it into records so
+	// recovery can re-apply global writes in execution order — journal
+	// append order across sessions can invert the order the globals lock
+	// was taken in.
+	globalsVersion uint64
 	// touchesGlobals marks components whose fragments can reach a global
 	// hidden variable; only their calls take globalsMu.
 	touchesGlobals map[string]bool
@@ -345,13 +351,29 @@ func (s *Server) Call(fn string, inst int64, frag int, args []interp.Value) (int
 // CallSession executes a fragment against an activation in the given
 // session's namespace.
 func (s *Server) CallSession(session uint64, fn string, inst int64, frag int, args []interp.Value) (interp.Value, error) {
+	v, _, err := s.callSession(session, fn, inst, frag, args, false)
+	return v, err
+}
+
+// callSessionEffects is CallSession with durable-effect capture: the
+// returned recEffects lists the post-execution value of every hidden
+// variable the fragment wrote, for the journaling apply path.
+func (s *Server) callSessionEffects(session uint64, fn string, inst int64, frag int, args []interp.Value) (interp.Value, *recEffects, error) {
+	return s.callSession(session, fn, inst, frag, args, true)
+}
+
+func (s *Server) callSession(session uint64, fn string, inst int64, frag int, args []interp.Value, wantEffects bool) (interp.Value, *recEffects, error) {
+	var eff *recEffects
+	if wantEffects {
+		eff = &recEffects{}
+	}
 	comp := s.reg.Components[fn]
 	if comp == nil {
-		return interp.NullV(), fmt.Errorf("hrt: no hidden component for %s", fn)
+		return interp.NullV(), eff, fmt.Errorf("hrt: no hidden component for %s", fn)
 	}
 	fr := comp.Frags[frag]
 	if fr == nil {
-		return interp.NullV(), fmt.Errorf("hrt: %s has no fragment %d", fn, frag)
+		return interp.NullV(), eff, fmt.Errorf("hrt: %s has no fragment %d", fn, frag)
 	}
 	class := classOf(fn)
 	sh := s.shard(session)
@@ -372,16 +394,24 @@ func (s *Server) CallSession(session uint64, fn string, inst int64, frag int, ar
 	}
 	sh.mu.Unlock()
 	if st == nil {
-		return interp.NullV(), fmt.Errorf("hrt: no activation %s/%d", fn, inst)
+		return interp.NullV(), eff, fmt.Errorf("hrt: no activation %s/%d", fn, inst)
 	}
 	if len(args) != len(fr.ArgVars) {
-		return interp.NullV(), fmt.Errorf("hrt: fragment %s/%d wants %d args, got %d", fn, frag, len(fr.ArgVars), len(args))
+		return interp.NullV(), eff, fmt.Errorf("hrt: fragment %s/%d wants %d args, got %d", fn, frag, len(fr.ArgVars), len(args))
 	}
 	ex := &fragExec{store: st, globals: s.globals, instance: instStore}
+	if eff != nil {
+		ex.track = &writeTracker{}
+	}
 	for i, av := range fr.ArgVars {
 		ex.args = append(ex.args, argBinding{v: av, val: args[i]})
 	}
 	s.statCalls.Add(1)
+	if eff != nil {
+		// From here on the call counts as executed — the stats tally bumped —
+		// even when the fragment body errors, and recovery must re-bump it.
+		eff.counted = true
+	}
 	if s.touchesGlobals[fn] {
 		// The shared globals store is the only cross-session state; a
 		// fragment that can read or write it runs under the dedicated
@@ -391,7 +421,34 @@ func (s *Server) CallSession(session uint64, fn string, inst int64, frag int, ar
 		s.globalsMu.Lock()
 		defer s.globalsMu.Unlock()
 	}
-	return ex.run(fr.Body)
+	v, err := ex.run(fr.Body)
+	if eff != nil {
+		s.captureEffects(eff, fn, ex.track, st, instStore)
+	}
+	return v, eff, err
+}
+
+// captureEffects snapshots the post-execution value of every hidden
+// variable the fragment wrote, under the same locks the execution held:
+// the caller still holds globalsMu iff the component touches globals, and
+// st/instStore are only reachable through this session, whose requests the
+// dedup layer serializes.
+func (s *Server) captureEffects(eff *recEffects, fn string, track *writeTracker, st, instStore *store) {
+	if s.touchesGlobals[fn] {
+		s.globalsVersion++
+		eff.globalsVersion = s.globalsVersion
+	}
+	for _, v := range track.act {
+		eff.deltas = append(eff.deltas, stateDelta{scope: scopeAct, name: v.Name, val: st.vals[v]})
+	}
+	for _, v := range track.globals {
+		eff.deltas = append(eff.deltas, stateDelta{scope: scopeGlobal, name: v.Name, val: s.globals.vals[v]})
+	}
+	for _, v := range track.fields {
+		eff.deltas = append(eff.deltas, stateDelta{
+			scope: scopeField, name: v.Name, class: v.Class, obj: instStore.obj, val: instStore.vals[v],
+		})
+	}
 }
 
 // isClassComponent reports whether fn names a per-class hidden component.
@@ -431,6 +488,26 @@ type fragExec struct {
 	instance *store
 	args     []argBinding
 	steps    int64
+	// track, when non-nil, records which variables the fragment wrote,
+	// bucketed by the store each write was routed to (the durable apply
+	// path reads the final values back out afterwards). The default path
+	// passes nil and pays nothing.
+	track *writeTracker
+}
+
+// writeTracker accumulates the written-variable sets of one execution.
+// Fragments write a handful of variables, so membership is a linear scan.
+type writeTracker struct {
+	act, globals, fields []*ir.Var
+}
+
+func addWritten(list []*ir.Var, v *ir.Var) []*ir.Var {
+	for _, w := range list {
+		if w == v {
+			return list
+		}
+	}
+	return append(list, v)
 }
 
 const maxFragSteps = 100_000_000
@@ -475,10 +552,19 @@ func (ex *fragExec) exec(stmts []ir.Stmt) (fragSignal, interp.Value, error) {
 			switch {
 			case vt.Var.Kind == ir.VarGlobal && ex.globals != nil:
 				ex.globals.vals[vt.Var] = v
+				if ex.track != nil {
+					ex.track.globals = addWritten(ex.track.globals, vt.Var)
+				}
 			case vt.Var.Kind == ir.VarField && ex.instance != nil:
 				ex.instance.vals[vt.Var] = v
+				if ex.track != nil {
+					ex.track.fields = addWritten(ex.track.fields, vt.Var)
+				}
 			default:
 				ex.store.vals[vt.Var] = v
+				if ex.track != nil {
+					ex.track.act = addWritten(ex.track.act, vt.Var)
+				}
 			}
 		case *ir.IfStmt:
 			c, err := ex.eval(st.Cond)

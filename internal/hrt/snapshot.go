@@ -1,0 +1,631 @@
+package hrt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"slicehide/internal/core"
+	"slicehide/internal/interp"
+	"slicehide/internal/ir"
+)
+
+// Snapshot codec and replay application: the full hidden-server state
+// (execution tallies, globals, activation and instance stores) plus the
+// dedup replay cache, serialized with the wire codec's primitives.
+//
+// Stores key values by *ir.Var, and pointers do not survive a process
+// restart — so everything is serialized by stable names ((component, var)
+// for activation state, plain name for globals, (class, name) for fields)
+// and resolved against the recompiled Registry at import. A name the new
+// Registry cannot resolve aborts recovery: it means the program or the
+// split changed between runs, and resuming sessions against different
+// hidden components would corrupt state rather than preserve it.
+
+// snapshotFormat versions the snapshot payload layout.
+const snapshotFormat = 1
+
+// maxSnapshotItems bounds every decoded collection count so a corrupt (but
+// CRC-clean) snapshot can never drive allocation; decode loops append as
+// they read, so the bound is a sanity limit, not a preallocation.
+const maxSnapshotItems = 1 << 24
+
+// dedupSessionState is the serializable replay state of one session.
+type dedupSessionState struct {
+	Session  uint64
+	LastSeq  uint64
+	RespSeq  uint64
+	Resp     Response
+	Deferred string
+	Lost     bool
+}
+
+// varResolver maps the stable names used on disk back to the recompiled
+// Registry's *ir.Var identities.
+type varResolver struct {
+	// acts: component → name, for variables routed to activation stores
+	// (everything except globals and fields).
+	acts    map[string]map[string]*ir.Var
+	globals map[string]*ir.Var
+	// fields: class → field name.
+	fields map[string]map[string]*ir.Var
+}
+
+func newVarResolver(reg *Registry) *varResolver {
+	r := &varResolver{
+		acts:    make(map[string]map[string]*ir.Var),
+		globals: make(map[string]*ir.Var),
+		fields:  make(map[string]map[string]*ir.Var),
+	}
+	for name, comp := range reg.Components {
+		for _, v := range comp.Vars {
+			switch v.Kind {
+			case ir.VarGlobal:
+				r.globals[v.Name] = v
+			case ir.VarField:
+				class := v.Class
+				if class == "" {
+					class = classOf(name)
+				}
+				m := r.fields[class]
+				if m == nil {
+					m = make(map[string]*ir.Var)
+					r.fields[class] = m
+				}
+				m[v.Name] = v
+			default:
+				m := r.acts[name]
+				if m == nil {
+					m = make(map[string]*ir.Var)
+					r.acts[name] = m
+				}
+				m[v.Name] = v
+			}
+		}
+	}
+	for v := range reg.GlobalInit {
+		r.globals[v.Name] = v
+	}
+	return r
+}
+
+func (r *varResolver) actVar(fn, name string) *ir.Var {
+	if m := r.acts[fn]; m != nil {
+		return m[name]
+	}
+	return nil
+}
+
+func (r *varResolver) fieldVar(class, name string) *ir.Var {
+	if m := r.fields[class]; m != nil {
+		return m[name]
+	}
+	return nil
+}
+
+// globalsStoreVar resolves a name found in the shared globals store: true
+// hidden globals first, then temporaries of the globals component (which
+// execute against the same store).
+func (r *varResolver) globalsStoreVar(name string) *ir.Var {
+	if v := r.globals[name]; v != nil {
+		return v
+	}
+	return r.actVar(core.GlobalsComponent, name)
+}
+
+// ---------------------------------------------------------------------------
+// Replay application (journal recovery)
+
+// replayEnter recreates an activation under the instance id the original
+// execution assigned, bumping the shard's id counter past it so fresh
+// server-assigned ids never collide with recovered ones.
+func (s *Server) replayEnter(session uint64, fn string, obj, inst int64) error {
+	comp := s.reg.Components[fn]
+	if comp == nil {
+		return fmt.Errorf("hrt: journal enters unknown component %s (program changed since the journal was written?)", fn)
+	}
+	sh := s.shard(session)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if inst > sh.nextInst {
+		sh.nextInst = inst
+	}
+	if sh.stores[fn] == nil {
+		sh.stores[fn] = make(map[actKey]*store)
+	}
+	st := &store{vals: make(map[*ir.Var]interp.Value, len(comp.Vars)), obj: obj}
+	for _, v := range comp.Vars {
+		if v.Kind == ir.VarField || v.Kind == ir.VarGlobal {
+			continue
+		}
+		st.vals[v] = zeroValue(v)
+	}
+	sh.stores[fn][actKey{session: session, inst: inst}] = st
+	s.statEnters.Add(1)
+	return nil
+}
+
+// replayExit re-applies a counted exit. Deletion is tolerant like the live
+// path (ExitSession only requires the component map to exist, which a
+// snapshot boundary may have emptied).
+func (s *Server) replayExit(session uint64, fn string, inst int64) {
+	sh := s.shard(session)
+	sh.mu.Lock()
+	if m := sh.stores[fn]; m != nil {
+		delete(m, actKey{session: session, inst: inst})
+	}
+	sh.mu.Unlock()
+	s.statExits.Add(1)
+}
+
+// replayCall re-applies a counted call's activation and field deltas
+// (global deltas go through applyGlobalDeltas in version order). The store
+// routing mirrors CallSession.
+func (s *Server) replayCall(res *varResolver, session uint64, fn string, inst int64, deltas []stateDelta) error {
+	s.statCalls.Add(1)
+	class := classOf(fn)
+	sh := s.shard(session)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, d := range deltas {
+		switch d.scope {
+		case scopeAct:
+			v := res.actVar(fn, d.name)
+			if v == nil {
+				return fmt.Errorf("hrt: journal writes unknown variable %s of %s (program changed?)", d.name, fn)
+			}
+			var st *store
+			switch {
+			case fn == core.GlobalsComponent:
+				s.globalsMu.Lock()
+				s.globals.vals[v] = d.val
+				s.globalsMu.Unlock()
+				continue
+			case class != "" && isClassComponent(fn):
+				st = sh.instanceStore(session, class, inst)
+			default:
+				st = sh.stores[fn][actKey{session: session, inst: inst}]
+			}
+			if st == nil {
+				return fmt.Errorf("hrt: journal call against missing activation %s/%d", fn, inst)
+			}
+			st.vals[v] = d.val
+		case scopeField:
+			v := res.fieldVar(d.class, d.name)
+			if v == nil {
+				return fmt.Errorf("hrt: journal writes unknown field %s.%s (program changed?)", d.class, d.name)
+			}
+			sh.instanceStore(session, d.class, d.obj).vals[v] = d.val
+		default:
+			return fmt.Errorf("hrt: journal delta has unexpected scope %d", d.scope)
+		}
+	}
+	return nil
+}
+
+// applyGlobalDeltas re-applies recovered global-store writes in the order
+// the globals lock serialized them (journal append order across sessions
+// can differ), leaving only each variable's newest value.
+func (s *Server) applyGlobalDeltas(res *varResolver, deltas []globalDelta) error {
+	if len(deltas) == 0 {
+		return nil
+	}
+	sort.SliceStable(deltas, func(i, j int) bool { return deltas[i].version < deltas[j].version })
+	s.globalsMu.Lock()
+	defer s.globalsMu.Unlock()
+	for _, d := range deltas {
+		v := res.globals[d.name]
+		if v == nil {
+			return fmt.Errorf("hrt: journal writes unknown global %s (program changed?)", d.name)
+		}
+		s.globals.vals[v] = d.val
+		if d.version > s.globalsVersion {
+			s.globalsVersion = d.version
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot encode
+
+// encodeSnapshot serializes the full server + replay-cache state. Called
+// under the durability quiesce lock, so no request is half-applied; the
+// per-structure locks are still taken for memory visibility.
+func encodeSnapshot(s *Server, d *Dedup) ([]byte, error) {
+	b, err := s.exportState(make([]byte, 0, 4096))
+	if err != nil {
+		return nil, err
+	}
+	sessions := d.exportSessions()
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(sessions)))
+	for _, ss := range sessions {
+		b = binary.LittleEndian.AppendUint64(b, ss.Session)
+		b = binary.LittleEndian.AppendUint64(b, ss.LastSeq)
+		b = binary.LittleEndian.AppendUint64(b, ss.RespSeq)
+		var flags byte
+		if ss.Lost {
+			flags |= 1
+		}
+		b = append(b, flags)
+		if b, err = appendString(b, ss.Deferred); err != nil {
+			return nil, err
+		}
+		b = append(b, ss.Resp.Flags)
+		if b, err = appendValue(b, ss.Resp.Val); err != nil {
+			return nil, err
+		}
+		b = binary.LittleEndian.AppendUint64(b, uint64(ss.Resp.Inst))
+		if b, err = appendString(b, ss.Resp.Err); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+func (s *Server) exportState(b []byte) ([]byte, error) {
+	b = binary.LittleEndian.AppendUint32(b, snapshotFormat)
+	st := s.Stats()
+	b = binary.LittleEndian.AppendUint64(b, uint64(st.Enters))
+	b = binary.LittleEndian.AppendUint64(b, uint64(st.Exits))
+	b = binary.LittleEndian.AppendUint64(b, uint64(st.Calls))
+
+	var err error
+	s.globalsMu.Lock()
+	b = binary.LittleEndian.AppendUint64(b, s.globalsVersion)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(s.globals.vals)))
+	for v, val := range s.globals.vals {
+		if b, err = appendString(b, v.Name); err != nil {
+			s.globalsMu.Unlock()
+			return nil, err
+		}
+		if b, err = appendValue(b, val); err != nil {
+			s.globalsMu.Unlock()
+			return nil, err
+		}
+	}
+	s.globalsMu.Unlock()
+
+	// Activation stores. The count prefix is patched in after the walk.
+	actCountOff := len(b)
+	b = append(b, 0, 0, 0, 0)
+	var acts uint32
+	var maxInst int64
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		if sh.nextInst > maxInst {
+			maxInst = sh.nextInst
+		}
+		for fn, m := range sh.stores {
+			for k, act := range m {
+				if b, err = appendString(b, fn); err != nil {
+					sh.mu.Unlock()
+					return nil, err
+				}
+				b = binary.LittleEndian.AppendUint64(b, k.session)
+				b = binary.LittleEndian.AppendUint64(b, uint64(k.inst))
+				b = binary.LittleEndian.AppendUint64(b, uint64(act.obj))
+				if b, err = appendVals(b, act.vals); err != nil {
+					sh.mu.Unlock()
+					return nil, err
+				}
+				acts++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	binary.LittleEndian.PutUint32(b[actCountOff:], acts)
+
+	// Per-object hidden-field stores.
+	instCountOff := len(b)
+	b = append(b, 0, 0, 0, 0)
+	var insts uint32
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for k, inst := range sh.instances {
+			b = binary.LittleEndian.AppendUint64(b, k.session)
+			if b, err = appendString(b, k.class); err != nil {
+				sh.mu.Unlock()
+				return nil, err
+			}
+			b = binary.LittleEndian.AppendUint64(b, uint64(k.obj))
+			if b, err = appendVals(b, inst.vals); err != nil {
+				sh.mu.Unlock()
+				return nil, err
+			}
+			insts++
+		}
+		sh.mu.Unlock()
+	}
+	binary.LittleEndian.PutUint32(b[instCountOff:], insts)
+
+	b = binary.LittleEndian.AppendUint64(b, uint64(maxInst))
+	return b, nil
+}
+
+// appendVals encodes one store's name→value map.
+func appendVals(b []byte, vals map[*ir.Var]interp.Value) ([]byte, error) {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(vals)))
+	var err error
+	for v, val := range vals {
+		if b, err = appendString(b, v.Name); err != nil {
+			return nil, err
+		}
+		if b, err = appendValue(b, val); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot decode
+
+// importSnapshot loads a snapshot payload into s (which must be freshly
+// constructed) and returns the dedup session states it carried, for
+// journal replay to update before installation.
+func importSnapshot(s *Server, payload []byte) (map[uint64]*dedupSessionState, error) {
+	d := newWireReader(bytes.NewReader(payload))
+	res := newVarResolver(s.reg)
+	if err := s.importState(&d, res); err != nil {
+		return nil, err
+	}
+	n, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxSnapshotItems {
+		return nil, fmt.Errorf("hrt: snapshot session count %d exceeds limit", n)
+	}
+	sessions := make(map[uint64]*dedupSessionState, n)
+	for i := uint32(0); i < n; i++ {
+		ss := &dedupSessionState{}
+		if ss.Session, err = d.u64(); err != nil {
+			return nil, err
+		}
+		if ss.LastSeq, err = d.u64(); err != nil {
+			return nil, err
+		}
+		if ss.RespSeq, err = d.u64(); err != nil {
+			return nil, err
+		}
+		flags, err := d.byte()
+		if err != nil {
+			return nil, err
+		}
+		ss.Lost = flags&1 != 0
+		if ss.Deferred, err = d.str(); err != nil {
+			return nil, err
+		}
+		if ss.Resp.Flags, err = d.byte(); err != nil {
+			return nil, err
+		}
+		if ss.Resp.Val, err = d.value(); err != nil {
+			return nil, err
+		}
+		var u uint64
+		if u, err = d.u64(); err != nil {
+			return nil, err
+		}
+		ss.Resp.Inst = int64(u)
+		if ss.Resp.Err, err = d.str(); err != nil {
+			return nil, err
+		}
+		ss.Resp.Seq = ss.RespSeq
+		ss.Resp.Ack = ss.RespSeq
+		sessions[ss.Session] = ss
+	}
+	return sessions, nil
+}
+
+func (s *Server) importState(d *wireReader, res *varResolver) error {
+	format, err := d.u32()
+	if err != nil {
+		return err
+	}
+	if format != snapshotFormat {
+		return fmt.Errorf("hrt: snapshot format %d, this build reads %d", format, snapshotFormat)
+	}
+	var enters, exits, calls uint64
+	if enters, err = d.u64(); err != nil {
+		return err
+	}
+	if exits, err = d.u64(); err != nil {
+		return err
+	}
+	if calls, err = d.u64(); err != nil {
+		return err
+	}
+	s.statEnters.Store(int64(enters))
+	s.statExits.Store(int64(exits))
+	s.statCalls.Store(int64(calls))
+
+	var gver uint64
+	if gver, err = d.u64(); err != nil {
+		return err
+	}
+	var n uint32
+	if n, err = d.u32(); err != nil {
+		return err
+	}
+	if n > maxSnapshotItems {
+		return fmt.Errorf("hrt: snapshot globals count %d exceeds limit", n)
+	}
+	s.globalsMu.Lock()
+	s.globalsVersion = gver
+	for i := uint32(0); i < n; i++ {
+		name, err := d.str()
+		if err != nil {
+			s.globalsMu.Unlock()
+			return err
+		}
+		val, err := d.value()
+		if err != nil {
+			s.globalsMu.Unlock()
+			return err
+		}
+		v := res.globalsStoreVar(name)
+		if v == nil {
+			s.globalsMu.Unlock()
+			return fmt.Errorf("hrt: snapshot has unknown global %s (program changed?)", name)
+		}
+		s.globals.vals[v] = val
+	}
+	s.globalsMu.Unlock()
+
+	// Activation stores.
+	if n, err = d.u32(); err != nil {
+		return err
+	}
+	if n > maxSnapshotItems {
+		return fmt.Errorf("hrt: snapshot activation count %d exceeds limit", n)
+	}
+	for i := uint32(0); i < n; i++ {
+		fn, err := d.str()
+		if err != nil {
+			return err
+		}
+		session, err := d.u64()
+		if err != nil {
+			return err
+		}
+		instU, err := d.u64()
+		if err != nil {
+			return err
+		}
+		objU, err := d.u64()
+		if err != nil {
+			return err
+		}
+		vars := res.acts[fn]
+		if vars == nil && s.reg.Components[fn] == nil {
+			return fmt.Errorf("hrt: snapshot has activation of unknown component %s (program changed?)", fn)
+		}
+		st := &store{vals: make(map[*ir.Var]interp.Value), obj: int64(objU)}
+		if err := readVals(d, vars, fn, st); err != nil {
+			return err
+		}
+		sh := s.shard(session)
+		sh.mu.Lock()
+		if sh.stores[fn] == nil {
+			sh.stores[fn] = make(map[actKey]*store)
+		}
+		sh.stores[fn][actKey{session: session, inst: int64(instU)}] = st
+		sh.mu.Unlock()
+	}
+
+	// Instance stores.
+	if n, err = d.u32(); err != nil {
+		return err
+	}
+	if n > maxSnapshotItems {
+		return fmt.Errorf("hrt: snapshot instance count %d exceeds limit", n)
+	}
+	for i := uint32(0); i < n; i++ {
+		session, err := d.u64()
+		if err != nil {
+			return err
+		}
+		class, err := d.str()
+		if err != nil {
+			return err
+		}
+		objU, err := d.u64()
+		if err != nil {
+			return err
+		}
+		fields := res.fields[class]
+		st := &store{vals: make(map[*ir.Var]interp.Value), obj: int64(objU)}
+		if err := readVals(d, fields, "fields of "+class, st); err != nil {
+			return err
+		}
+		sh := s.shard(session)
+		sh.mu.Lock()
+		sh.instances[instanceKey{session: session, class: class, obj: int64(objU)}] = st
+		sh.mu.Unlock()
+	}
+
+	var maxInst uint64
+	if maxInst, err = d.u64(); err != nil {
+		return err
+	}
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sh.nextInst = int64(maxInst)
+		sh.mu.Unlock()
+	}
+	return nil
+}
+
+// readVals decodes one store's values, resolving names through vars.
+func readVals(d *wireReader, vars map[string]*ir.Var, what string, st *store) error {
+	n, err := d.u32()
+	if err != nil {
+		return err
+	}
+	if n > maxSnapshotItems {
+		return fmt.Errorf("hrt: snapshot value count %d exceeds limit", n)
+	}
+	for i := uint32(0); i < n; i++ {
+		name, err := d.str()
+		if err != nil {
+			return err
+		}
+		val, err := d.value()
+		if err != nil {
+			return err
+		}
+		v := vars[name]
+		if v == nil {
+			return fmt.Errorf("hrt: snapshot has unknown variable %s in %s (program changed?)", name, what)
+		}
+		st.vals[v] = val
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Dedup replay-cache export/restore
+
+// exportSessions snapshots every cached session's replay state. Called
+// under the durability quiesce lock, so no session is mid-execution.
+func (d *Dedup) exportSessions() []dedupSessionState {
+	d.lazyInit()
+	var out []dedupSessionState
+	for _, sh := range d.shards {
+		sh.mu.Lock()
+		for id, e := range sh.sessions {
+			out = append(out, dedupSessionState{
+				Session: id, LastSeq: e.lastSeq, RespSeq: e.respSeq,
+				Resp: e.resp, Deferred: e.deferred, Lost: e.lost,
+			})
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// restoreSessions installs recovered replay state. Restored sessions are
+// stamped as just-seen so the eviction grace window protects them while
+// their clients reconnect; the cache may transiently exceed its cap (the
+// next insertion evicts normally).
+func (d *Dedup) restoreSessions(list []dedupSessionState) {
+	d.lazyInit()
+	now := d.timeNow()
+	for _, ss := range list {
+		sh := d.shard(ss.Session)
+		sh.mu.Lock()
+		sh.clock++
+		sh.sessions[ss.Session] = &dedupEntry{
+			lastSeq:  ss.LastSeq,
+			respSeq:  ss.RespSeq,
+			resp:     ss.Resp,
+			deferred: ss.Deferred,
+			lost:     ss.Lost,
+			used:     sh.clock,
+			lastSeen: now,
+		}
+		sh.mu.Unlock()
+	}
+}

@@ -49,15 +49,22 @@ type TCPServer struct {
 	// Metrics, when set, records per-request server-side execution latency
 	// under the same hrt_latency_* names the client uses.
 	Metrics *RuntimeMetrics
+	// Persist, when set, makes the server crash-recoverable: state is
+	// restored from Persist's data directory before the first accept, every
+	// applied mutation is journaled before its response is released, and
+	// Close writes a final snapshot (cmd/hiddend -data-dir).
+	Persist *Durability
 
 	ln       net.Listener
+	lnOnce   sync.Once
 	wg       sync.WaitGroup
 	dedup    *Dedup
 	requests obs.CounterHandle
 
-	mu     sync.Mutex
-	closed bool
-	conns  map[net.Conn]struct{}
+	mu       sync.Mutex
+	closed   bool
+	draining bool
+	conns    map[net.Conn]struct{}
 }
 
 // ListenAndServe starts accepting connections on addr. It returns once the
@@ -76,6 +83,15 @@ func (ts *TCPServer) ListenAndServe(addr string) (net.Addr, error) {
 		Tracer:      ts.Tracer,
 	}
 	ts.conns = make(map[net.Conn]struct{})
+	if ts.Persist != nil {
+		// Recover durable state before the first accept so no request can
+		// race the replay; a recovery failure leaves nothing half-started.
+		if err := ts.Persist.start(ts.Server, ts.dedup); err != nil {
+			ln.Close()
+			return nil, fmt.Errorf("hrt: durability recovery: %w", err)
+		}
+		ts.dedup.Persist = ts.Persist
+	}
 	ts.wg.Add(1)
 	go ts.acceptLoop()
 	return ln.Addr(), nil
@@ -145,7 +161,7 @@ func (ts *TCPServer) acceptLoop() {
 func (ts *TCPServer) track(conn net.Conn) bool {
 	ts.mu.Lock()
 	defer ts.mu.Unlock()
-	if ts.closed {
+	if ts.closed || ts.draining {
 		return false
 	}
 	if ts.MaxConns > 0 && len(ts.conns) >= ts.MaxConns {
@@ -186,12 +202,12 @@ func (ts *TCPServer) serveConn(conn net.Conn) {
 			// defers errors and skips duplicates/gaps) and read the next
 			// frame without writing anything back.
 			start := time.Now()
-			_, _ = ts.dedup.RoundTrip(req)
+			_, _ = ts.roundTrip(req)
 			ts.Metrics.Observe(req.Op, true, time.Since(start))
 			continue
 		}
 		start := time.Now()
-		resp, err := ts.dedup.RoundTrip(req)
+		resp, err := ts.roundTrip(req)
 		ts.Metrics.Observe(req.Op, false, time.Since(start))
 		if err != nil {
 			resp = Response{Err: err.Error()}
@@ -208,6 +224,16 @@ func (ts *TCPServer) serveConn(conn net.Conn) {
 	}
 }
 
+// roundTrip dispatches one request through the dedup layer, threading it
+// through the durability layer (journal hooks plus snapshot scheduling)
+// when one is attached.
+func (ts *TCPServer) roundTrip(req Request) (Response, error) {
+	if ts.Persist != nil {
+		return ts.Persist.roundTrip(ts.dedup, req)
+	}
+	return ts.dedup.RoundTrip(req)
+}
+
 // ActiveConns reports the number of live connections (for tests).
 func (ts *TCPServer) ActiveConns() int {
 	ts.mu.Lock()
@@ -215,9 +241,56 @@ func (ts *TCPServer) ActiveConns() int {
 	return len(ts.conns)
 }
 
+// closeListener shuts the accept loop down exactly once; Drain and Close
+// both funnel through it so a drained server's Close stays idempotent.
+func (ts *TCPServer) closeListener() error {
+	var err error
+	ts.lnOnce.Do(func() {
+		if ts.ln != nil {
+			err = ts.ln.Close()
+		}
+	})
+	return err
+}
+
+// DrainStats reports the outcome of a graceful drain.
+type DrainStats struct {
+	// Drained counts connections that finished on their own before the
+	// deadline.
+	Drained int
+	// Aborted counts connections still live at the deadline; they are
+	// severed by the Close that follows a drain.
+	Aborted int
+}
+
+// Drain gracefully quiesces the server: it stops accepting new
+// connections (the listener is closed and late accepts are refused) and
+// waits up to timeout for in-flight connections to finish on their own —
+// a client that closes its end, or an idle one reaped by ReadTimeout,
+// counts as drained. Connections still live at the deadline are reported
+// as aborted and left for Close to sever. Drain does not mark the server
+// closed; call Close afterwards to release the remaining resources (and,
+// with Persist set, write the final snapshot).
+func (ts *TCPServer) Drain(timeout time.Duration) DrainStats {
+	ts.mu.Lock()
+	ts.draining = true
+	start := len(ts.conns)
+	ts.mu.Unlock()
+	ts.closeListener()
+	deadline := time.Now().Add(timeout)
+	for {
+		n := ts.ActiveConns()
+		if n == 0 || time.Now().After(deadline) {
+			return DrainStats{Drained: start - n, Aborted: n}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
 // Close stops the listener, severs every live connection — including
 // idle-but-open clients that would otherwise keep Close hanging in
-// wg.Wait — and waits for the serving goroutines to drain.
+// wg.Wait — waits for the serving goroutines to drain, and, when a
+// durability layer is attached, writes its final snapshot.
 func (ts *TCPServer) Close() error {
 	ts.mu.Lock()
 	if ts.closed {
@@ -229,11 +302,13 @@ func (ts *TCPServer) Close() error {
 		conn.Close()
 	}
 	ts.mu.Unlock()
-	var err error
-	if ts.ln != nil {
-		err = ts.ln.Close()
-	}
+	err := ts.closeListener()
 	ts.wg.Wait()
+	if ts.Persist != nil {
+		if perr := ts.Persist.Close(); err == nil {
+			err = perr
+		}
+	}
 	return err
 }
 

@@ -1,7 +1,9 @@
 package hrt
 
 import (
+	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -323,6 +325,10 @@ type Counters struct {
 	// flushes forced early because the in-flight window filled up.
 	Flushes      atomic.Int64
 	WindowStalls atomic.Int64
+	// SessionBounces counts server refusals of this session because its
+	// exactly-once replay state was lost (eviction or a non-durable
+	// restart); see SessionEvictedError.
+	SessionBounces atomic.Int64
 }
 
 // Interactions returns the number of fragment calls observed.
@@ -461,6 +467,11 @@ func (i *Instrument) Flush() error {
 // Session adapts a Transport to the interpreter's HiddenSession interface.
 type Session struct {
 	T Transport
+	// Addr names the hidden server behind T, so server-side refusals
+	// surface as actionable errors instead of bare wire strings. Optional.
+	Addr string
+	// Counters, when set, tallies client-observed session bounces.
+	Counters *Counters
 }
 
 var _ interface {
@@ -469,14 +480,48 @@ var _ interface {
 	Call(string, int64, int, []interp.Value) (interp.Value, error)
 } = (*Session)(nil)
 
+// respError converts a server-reported error string into the client-side
+// error, upgrading session-evicted bounces to the typed form.
+func (s *Session) respError(resp Response) error {
+	if resp.Err == "" {
+		return nil
+	}
+	if strings.Contains(resp.Err, sessionEvictedMsg) {
+		if s.Counters != nil {
+			s.Counters.SessionBounces.Add(1)
+		}
+		return &SessionEvictedError{Addr: s.Addr, Session: parseEvictedSession(resp.Err), Detail: "hrt: " + resp.Err}
+	}
+	return fmt.Errorf("hrt: %s", resp.Err)
+}
+
+// wrapEvicted upgrades an error carrying the session-evicted marker (a
+// pipelined transport's deferred barrier error) to the typed form.
+func (s *Session) wrapEvicted(err error) error {
+	if err == nil {
+		return nil
+	}
+	var se *SessionEvictedError
+	if errors.As(err, &se) {
+		return err
+	}
+	if strings.Contains(err.Error(), sessionEvictedMsg) {
+		if s.Counters != nil {
+			s.Counters.SessionBounces.Add(1)
+		}
+		return &SessionEvictedError{Addr: s.Addr, Session: parseEvictedSession(err.Error()), Detail: err.Error()}
+	}
+	return err
+}
+
 // Enter opens a hidden activation.
 func (s *Session) Enter(fn string, obj int64) (int64, error) {
 	resp, err := s.T.RoundTrip(Request{Op: OpEnter, Fn: fn, Obj: obj})
 	if err != nil {
-		return 0, err
+		return 0, s.wrapEvicted(err)
 	}
-	if resp.Err != "" {
-		return 0, fmt.Errorf("hrt: %s", resp.Err)
+	if err := s.respError(resp); err != nil {
+		return 0, err
 	}
 	return resp.Inst, nil
 }
@@ -485,22 +530,19 @@ func (s *Session) Enter(fn string, obj int64) (int64, error) {
 func (s *Session) Exit(fn string, inst int64) error {
 	resp, err := s.T.RoundTrip(Request{Op: OpExit, Fn: fn, Inst: inst})
 	if err != nil {
-		return err
+		return s.wrapEvicted(err)
 	}
-	if resp.Err != "" {
-		return fmt.Errorf("hrt: %s", resp.Err)
-	}
-	return nil
+	return s.respError(resp)
 }
 
 // Call executes a hidden fragment.
 func (s *Session) Call(fn string, inst int64, frag int, args []interp.Value) (interp.Value, error) {
 	resp, err := s.T.RoundTrip(Request{Op: OpCall, Fn: fn, Inst: inst, Frag: frag, Args: args})
 	if err != nil {
-		return interp.NullV(), err
+		return interp.NullV(), s.wrapEvicted(err)
 	}
-	if resp.Err != "" {
-		return interp.NullV(), fmt.Errorf("hrt: %s", resp.Err)
+	if err := s.respError(resp); err != nil {
+		return interp.NullV(), err
 	}
 	return resp.Val, nil
 }
@@ -552,7 +594,7 @@ func (s *AsyncSession) CallOneWay(fn string, inst int64, frag int, args []interp
 }
 
 // Barrier blocks until every one-way request has executed, surfacing
-// deferred errors.
+// deferred errors (session-evicted bounces in typed form).
 func (s *AsyncSession) Barrier() error {
-	return s.at.Flush()
+	return s.wrapEvicted(s.at.Flush())
 }

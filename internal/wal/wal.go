@@ -1,0 +1,339 @@
+// Package wal implements the durability primitives of the hidden runtime:
+// an append-only, CRC-framed write-ahead journal and atomically written
+// snapshot files. The hidden server (package hrt) journals every applied
+// mutating request and periodically snapshots its state, so a hiddend
+// process killed mid-run can be restarted and resume every live session
+// with exactly-once semantics intact.
+//
+// The package is deliberately generic: records and snapshots are opaque
+// byte payloads (package hrt owns their encoding), and this layer owns
+// only framing, corruption detection, fsync policy, and crash-safe file
+// replacement. Everything is stdlib-only.
+//
+// Failure model. Two distinct failure classes matter:
+//
+//   - Process death (SIGKILL, panic): bytes already handed to write(2) are
+//     safe in the OS page cache, so the journal performs one write per
+//     record with no user-space buffering. Records never straddle a
+//     partial user-space flush.
+//   - Machine death (power loss, kernel crash): only fsynced bytes are
+//     safe. Opening the journal with sync=true fsyncs after every append,
+//     trading throughput for zero-loss durability; sync=false accepts
+//     that the tail since the last Sync may vanish.
+//
+// In both cases recovery scans the journal from the start and stops
+// cleanly at the first record that is truncated or fails its CRC — the
+// valid prefix is the recovered history, and the file is truncated there
+// before new appends.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// journalMagic opens every journal file; snapMagic opens every snapshot.
+// The trailing bytes version the format.
+var (
+	journalMagic = []byte("SLWAL\x01\x00\x00")
+	snapMagic    = []byte("SLSNAP\x01\x00")
+)
+
+const (
+	// headerSize is the journal file header length (the magic).
+	headerSize = 8
+	// frameSize is the per-record frame overhead: u32 length + u32 CRC.
+	frameSize = 8
+	// MaxRecord bounds one record's payload so a corrupt length field can
+	// never make recovery over-allocate.
+	MaxRecord = 1 << 26
+)
+
+// Journal is an append-only record log. Appends are serialized; each
+// record is framed as [len u32][crc32 u32][payload] and handed to the
+// kernel in a single write, so a killed process never leaves a
+// half-buffered record behind (a torn write at the very tail is caught by
+// the CRC on recovery).
+type Journal struct {
+	mu      sync.Mutex
+	f       *os.File
+	sync    bool
+	size    int64
+	records int64
+	scratch []byte
+}
+
+// Open opens (creating if absent) the journal at path for appending.
+// validLen is the length of the valid prefix reported by ScanFile; any
+// bytes beyond it — a torn tail from the previous crash — are truncated
+// away so new records extend known-good history. sync selects the fsync
+// policy: true fsyncs every append (power-loss durable), false leaves
+// flushing to the OS (process-death durable only).
+func Open(path string, validLen int64, sync bool) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open journal: %w", err)
+	}
+	j := &Journal{f: f, sync: sync}
+	if validLen < headerSize {
+		// Empty or corrupt-from-the-start file: rewrite the header.
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: truncate journal: %w", err)
+		}
+		if _, err := f.WriteAt(journalMagic, 0); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: write journal header: %w", err)
+		}
+		validLen = headerSize
+	} else {
+		if err := f.Truncate(validLen); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: truncate journal tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(validLen, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: seek journal end: %w", err)
+	}
+	if sync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: sync journal: %w", err)
+		}
+		if err := syncDir(path); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	j.size = validLen
+	return j, nil
+}
+
+// Append frames payload and writes it as one record. With the sync policy
+// enabled the record is fsynced before Append returns, so a caller that
+// replies to a client after Append never acknowledges state a crash can
+// lose.
+func (j *Journal) Append(payload []byte) error {
+	if len(payload) > MaxRecord {
+		return fmt.Errorf("wal: record of %d bytes exceeds limit %d", len(payload), MaxRecord)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("wal: journal closed")
+	}
+	need := frameSize + len(payload)
+	if cap(j.scratch) < need {
+		j.scratch = make([]byte, 0, need+need/2)
+	}
+	b := j.scratch[:0]
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(payload)))
+	b = binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(payload))
+	b = append(b, payload...)
+	j.scratch = b
+	if _, err := j.f.Write(b); err != nil {
+		return fmt.Errorf("wal: append record: %w", err)
+	}
+	if j.sync {
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("wal: fsync record: %w", err)
+		}
+	}
+	j.size += int64(need)
+	j.records++
+	return nil
+}
+
+// Sync flushes the journal to stable storage regardless of the per-append
+// policy (used at graceful shutdown).
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	return j.f.Sync()
+}
+
+// Close syncs and closes the journal.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Sync()
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.f = nil
+	return err
+}
+
+// Size reports the journal's current byte length (header included).
+func (j *Journal) Size() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.size
+}
+
+// Records reports how many records this handle has appended.
+func (j *Journal) Records() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.records
+}
+
+// Scan reads a journal byte stream, invoking fn for each intact record in
+// order. It stops cleanly — without error — at the first sign of
+// corruption: a bad header, a truncated frame, an oversized length, or a
+// CRC mismatch. The returned validLen is the byte length of the valid
+// prefix (what Open should truncate to) and n is the number of intact
+// records. The only errors returned are fn's own and non-EOF read
+// failures; corrupt input is never an error, because a torn tail is the
+// expected shape of a crashed journal.
+func Scan(r io.Reader, fn func(payload []byte) error) (validLen int64, n int64, err error) {
+	var head [headerSize]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		return 0, 0, nil // empty or shorter than a header: no valid records
+	}
+	if string(head[:]) != string(journalMagic) {
+		return 0, 0, nil
+	}
+	validLen = headerSize
+	var frame [frameSize]byte
+	var buf []byte
+	for {
+		if _, err := io.ReadFull(r, frame[:]); err != nil {
+			return validLen, n, nil // clean end or torn frame header
+		}
+		length := binary.LittleEndian.Uint32(frame[0:4])
+		sum := binary.LittleEndian.Uint32(frame[4:8])
+		if length > MaxRecord {
+			return validLen, n, nil // corrupt length field
+		}
+		if cap(buf) < int(length) {
+			buf = make([]byte, length)
+		}
+		buf = buf[:length]
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return validLen, n, nil // torn payload
+		}
+		if crc32.ChecksumIEEE(buf) != sum {
+			return validLen, n, nil // bit rot or torn write
+		}
+		if fn != nil {
+			if err := fn(buf); err != nil {
+				return validLen, n, err
+			}
+		}
+		validLen += frameSize + int64(length)
+		n++
+	}
+}
+
+// ScanFile is Scan over the file at path. A missing file is an empty
+// journal, not an error.
+func ScanFile(path string, fn func(payload []byte) error) (validLen int64, n int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, 0, nil
+		}
+		return 0, 0, fmt.Errorf("wal: open journal for scan: %w", err)
+	}
+	defer f.Close()
+	return Scan(bufio.NewReaderSize(f, 1<<16), fn)
+}
+
+// WriteSnapshot atomically replaces the snapshot at path with payload:
+// the framed bytes are written to a temporary file, fsynced, and renamed
+// into place, then the directory is fsynced so the rename itself is
+// durable. A crash at any point leaves either the old snapshot or the new
+// one — never a torn file (and a torn temp file never matches the magic).
+func WriteSnapshot(path string, payload []byte) error {
+	if len(payload) > MaxRecord {
+		return fmt.Errorf("wal: snapshot of %d bytes exceeds limit %d", len(payload), MaxRecord)
+	}
+	b := make([]byte, 0, len(snapMagic)+8+len(payload))
+	b = append(b, snapMagic...)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(payload)))
+	b = binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(payload))
+	b = append(b, payload...)
+
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create snapshot temp: %w", err)
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: write snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: sync snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: close snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: install snapshot: %w", err)
+	}
+	return syncDir(path)
+}
+
+// ReadSnapshot loads and verifies the snapshot at path. A missing file
+// returns (nil, nil): no snapshot is a normal first-boot state. A present
+// but corrupt snapshot returns an error so the caller can fall back to an
+// older generation.
+func ReadSnapshot(path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("wal: read snapshot: %w", err)
+	}
+	if len(data) < len(snapMagic)+8 || string(data[:len(snapMagic)]) != string(snapMagic) {
+		return nil, fmt.Errorf("wal: snapshot %s: bad header", filepath.Base(path))
+	}
+	rest := data[len(snapMagic):]
+	length := binary.LittleEndian.Uint32(rest[0:4])
+	sum := binary.LittleEndian.Uint32(rest[4:8])
+	payload := rest[8:]
+	if int64(length) != int64(len(payload)) {
+		return nil, fmt.Errorf("wal: snapshot %s: truncated (%d of %d bytes)", filepath.Base(path), len(payload), length)
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, fmt.Errorf("wal: snapshot %s: checksum mismatch", filepath.Base(path))
+	}
+	return payload, nil
+}
+
+// syncDir fsyncs the directory containing path, making a just-created or
+// just-renamed file durable against machine crash.
+func syncDir(path string) error {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return fmt.Errorf("wal: open dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		// Some filesystems refuse directory fsync; durability degrades to
+		// the OS's own metadata flushing, which is the best available.
+		return nil
+	}
+	return nil
+}

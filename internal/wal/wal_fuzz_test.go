@@ -1,0 +1,73 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"testing"
+)
+
+// The journal is read back at every hiddend boot, over whatever bytes a
+// crash left on disk — so the scanner faces arbitrary input and must
+// never panic, never over-allocate, and always stop cleanly at the first
+// corrupt record. The fuzzer feeds it raw bytes (seeded with valid
+// journals, torn tails, bit flips, and duplicate records) and checks the
+// invariants Scan promises.
+
+func fuzzJournal(records ...[]byte) []byte {
+	var b bytes.Buffer
+	b.Write(journalMagic)
+	for _, r := range records {
+		var frame [frameSize]byte
+		binary.LittleEndian.PutUint32(frame[0:4], uint32(len(r)))
+		binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(r))
+		b.Write(frame[:])
+		b.Write(r)
+	}
+	return b.Bytes()
+}
+
+func FuzzScanJournal(f *testing.F) {
+	valid := fuzzJournal([]byte("alpha"), []byte(""), []byte("beta\x00\xff"))
+	f.Add(valid)
+	f.Add(valid[:len(valid)-2])               // torn payload
+	f.Add(valid[:headerSize+3])               // torn frame header
+	f.Add(fuzzJournal())                      // header only
+	f.Add([]byte{})                           // empty file
+	f.Add([]byte("SLWAL\x01\x00\x00\xff\xff\xff\xff\x00\x00\x00\x00")) // huge length
+	dup := fuzzJournal([]byte("same"), []byte("same"))
+	f.Add(dup)
+	flip := append([]byte(nil), valid...)
+	flip[headerSize+frameSize+1] ^= 0x10
+	f.Add(flip)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var total int64
+		validLen, n, err := Scan(bytes.NewReader(data), func(p []byte) error {
+			total += int64(len(p))
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("scan returned error on arbitrary bytes: %v", err)
+		}
+		if validLen < 0 || validLen > int64(len(data)) {
+			t.Fatalf("validLen %d outside input of %d bytes", validLen, len(data))
+		}
+		if n > 0 && validLen < headerSize {
+			t.Fatalf("records without a header: n=%d validLen=%d", n, validLen)
+		}
+		// The valid prefix accounts exactly for header + frames + payloads.
+		if n >= 0 && validLen > 0 {
+			if want := validLen - headerSize - n*frameSize; total != want {
+				t.Fatalf("payload bytes %d do not match valid prefix (%d records, validLen %d)", total, n, validLen)
+			}
+		}
+		// Determinism: scanning the valid prefix alone yields the same records.
+		if validLen > 0 {
+			again, m, err := Scan(bytes.NewReader(data[:validLen]), nil)
+			if err != nil || again != validLen || m != n {
+				t.Fatalf("rescan of valid prefix diverged: %d/%d vs %d/%d (%v)", again, m, validLen, n, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,236 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func appendAll(t *testing.T, path string, sync bool, recs ...[]byte) {
+	t.Helper()
+	validLen, _, err := ScanFile(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := Open(path, validLen, sync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	for _, r := range recs {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func scanAll(t *testing.T, path string) [][]byte {
+	t.Helper()
+	var got [][]byte
+	if _, _, err := ScanFile(path, func(p []byte) error {
+		got = append(got, append([]byte(nil), p...))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	want := [][]byte{[]byte("one"), {}, []byte("three\x00with\xffbytes"), bytes.Repeat([]byte("x"), 10_000)}
+	appendAll(t, path, true, want...)
+
+	got := scanAll(t, path)
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Errorf("record %d: got %q want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestJournalReopenAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	appendAll(t, path, false, []byte("a"), []byte("b"))
+	appendAll(t, path, false, []byte("c"))
+	got := scanAll(t, path)
+	if len(got) != 3 || string(got[2]) != "c" {
+		t.Fatalf("reopen lost records: %q", got)
+	}
+}
+
+// TestJournalTruncatedTail pins the crash shape: a torn final record is
+// dropped cleanly and appends after recovery extend the valid prefix.
+func TestJournalTruncatedTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	appendAll(t, path, false, []byte("keep1"), []byte("keep2"), []byte("torn-away"))
+
+	// Tear the last record at every possible byte boundary.
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastLen := frameSize + len("torn-away")
+	for cut := 1; cut <= lastLen; cut++ {
+		if err := os.WriteFile(path, full[:len(full)-cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		validLen, n, err := ScanFile(path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 2 {
+			t.Fatalf("cut %d: recovered %d records, want 2", cut, n)
+		}
+		if validLen != int64(len(full)-lastLen) {
+			t.Fatalf("cut %d: validLen %d, want %d", cut, validLen, len(full)-lastLen)
+		}
+	}
+
+	// Recovery then append: the torn tail must be gone for good.
+	appendAll(t, path, false, []byte("after"))
+	got := scanAll(t, path)
+	if len(got) != 3 || string(got[0]) != "keep1" || string(got[2]) != "after" {
+		t.Fatalf("post-recovery journal: %q", got)
+	}
+}
+
+// TestJournalBitFlip pins corruption detection: flipping any single byte
+// of a record makes recovery stop at (not crash on) that record.
+func TestJournalBitFlip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	appendAll(t, path, false, []byte("first"), []byte("second"), []byte("third"))
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside the second record's payload.
+	secondPayload := headerSize + frameSize + len("first") + frameSize
+	mut := append([]byte(nil), full...)
+	mut[secondPayload] ^= 0x40
+	if err := os.WriteFile(path, mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var got [][]byte
+	validLen, n, err := ScanFile(path, func(p []byte) error {
+		got = append(got, append([]byte(nil), p...))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || len(got) != 1 || string(got[0]) != "first" {
+		t.Fatalf("scan past a corrupt record: n=%d got=%q", n, got)
+	}
+	if validLen != int64(headerSize+frameSize+len("first")) {
+		t.Errorf("validLen %d", validLen)
+	}
+}
+
+// TestJournalBadHeader: a file that is not a journal recovers as empty.
+func TestJournalBadHeader(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	if err := os.WriteFile(path, []byte("definitely not a journal header"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	validLen, n, err := ScanFile(path, nil)
+	if err != nil || validLen != 0 || n != 0 {
+		t.Fatalf("bad header: validLen=%d n=%d err=%v", validLen, n, err)
+	}
+	// Open must rewrite it into a fresh journal.
+	appendAll(t, path, false, []byte("fresh"))
+	got := scanAll(t, path)
+	if len(got) != 1 || string(got[0]) != "fresh" {
+		t.Fatalf("reinitialized journal: %q", got)
+	}
+}
+
+func TestJournalOversizeRecordRefused(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	j, err := Open(path, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.Append(make([]byte, MaxRecord+1)); err == nil {
+		t.Error("oversize record accepted")
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.snap")
+	if got, err := ReadSnapshot(path); err != nil || got != nil {
+		t.Fatalf("missing snapshot: %q %v", got, err)
+	}
+	payload := []byte("state\x00blob")
+	if err := WriteSnapshot(path, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(path)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("snapshot round trip: %q %v", got, err)
+	}
+	// Replacement is atomic: a second write swaps content wholesale.
+	if err := WriteSnapshot(path, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := ReadSnapshot(path); string(got) != "v2" {
+		t.Fatalf("snapshot not replaced: %q", got)
+	}
+}
+
+func TestSnapshotCorruptionDetected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.snap")
+	if err := WriteSnapshot(path, []byte("important state")); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, mut := range map[string][]byte{
+		"truncated": full[:len(full)-3],
+		"bitflip":   flipLastByte(full),
+		"badmagic":  append([]byte("XX"), full[2:]...),
+	} {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadSnapshot(p); err == nil {
+			t.Errorf("%s snapshot accepted", name)
+		}
+	}
+}
+
+func flipLastByte(b []byte) []byte {
+	m := append([]byte(nil), b...)
+	m[len(m)-1] ^= 0x01
+	return m
+}
+
+// TestJournalManyRecords is a volume check: a few thousand variably sized
+// records survive a scan byte-for-byte.
+func TestJournalManyRecords(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	var want [][]byte
+	for i := 0; i < 3000; i++ {
+		want = append(want, []byte(fmt.Sprintf("record-%d-%s", i, bytes.Repeat([]byte("p"), i%97))))
+	}
+	appendAll(t, path, false, want...)
+	got := scanAll(t, path)
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d of %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d diverged", i)
+		}
+	}
+}
