@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-quick bench-load bench-load-quick fuzz
+.PHONY: check vet build test race bench bench-quick bench-load bench-load-quick bench-cluster bench-cluster-quick fuzz
 
-check: vet build race bench-quick bench-load-quick
+check: vet build race bench-quick bench-load-quick bench-cluster-quick
 
 vet:
 	$(GO) vet ./...
@@ -49,6 +49,18 @@ bench-load:
 bench-load-quick:
 	$(GO) test -short -run='^TestLoadSmoke$$' -v .
 
+# Fleet benchmarks: regenerate the committed cluster scaling report
+# (1 -> 2 -> 4 replicating backends, plus the kill-primary failover rows
+# with promoted-follower latency) over real sockets and real WAL streams.
+bench-cluster:
+	$(GO) test -run='^TestWriteClusterBenchJSON$$' -bench-cluster-json BENCH_cluster.json -timeout 20m .
+
+# Short-mode smoke for the fleet: a single backend, a 3-replica fleet, and
+# a 3-replica fleet with the busiest primary killed mid-run — all sessions
+# must finish with every blocking op accounted for.
+bench-cluster-quick:
+	$(GO) test -run='^TestClusterSmoke$$' -bench-cluster-quick -v .
+
 # Run the wire-codec and durability-layer fuzzers for a short budget
 # each (the journal frame scanner and the journal record decoder face
 # crash-mangled files the same way the wire codec faces a hostile peer).
@@ -56,4 +68,5 @@ fuzz:
 	$(GO) test ./internal/hrt -run=^$$ -fuzz=FuzzReadRequest -fuzztime=10s
 	$(GO) test ./internal/hrt -run=^$$ -fuzz=FuzzReadResponse -fuzztime=10s
 	$(GO) test ./internal/hrt -run=^$$ -fuzz=FuzzJournalRecord -fuzztime=10s
+	$(GO) test ./internal/hrt -run=^$$ -fuzz=FuzzReplFrame -fuzztime=10s
 	$(GO) test ./internal/wal -run=^$$ -fuzz=FuzzScanJournal -fuzztime=10s

@@ -1,0 +1,87 @@
+package slicehide
+
+// Fleet benchmarks: TestWriteClusterBenchJSON drives the full replicating
+// cluster harness (internal/experiments.RunClusterLoad) to regenerate the
+// committed BENCH_cluster.json — the same workload against 1, 2, and 4
+// backends, with a mid-run primary kill on the multi-backend rows so each
+// report carries a measured failover. Run with:
+//
+//	make bench-cluster
+
+import (
+	"flag"
+	"testing"
+
+	"slicehide/internal/experiments"
+)
+
+// Regenerate the committed report with:
+//
+//	go test -run TestWriteClusterBenchJSON -bench-cluster-json BENCH_cluster.json .
+var benchClusterJSONPath = flag.String("bench-cluster-json", "", "write BENCH_cluster.json-style report to this path")
+
+// benchClusterQuick shrinks the matrix for the make-check smoke tier.
+var benchClusterQuick = flag.Bool("bench-cluster-quick", false, "use a small op count for the cluster report")
+
+// TestWriteClusterBenchJSON regenerates BENCH_cluster.json; it only runs
+// when invoked with -bench-cluster-json (skipped otherwise, so plain
+// `go test` stays fast).
+func TestWriteClusterBenchJSON(t *testing.T) {
+	if *benchClusterJSONPath == "" {
+		t.Skip("pass -bench-cluster-json <path> to write the cluster report")
+	}
+	cfg := experiments.ClusterLoadConfig{Sessions: 8, Ops: 400}
+	if *benchClusterQuick {
+		cfg.Ops = 60
+	}
+	if err := experiments.WriteClusterBenchJSONFile(*benchClusterJSONPath, cfg); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", *benchClusterJSONPath)
+}
+
+// TestClusterSmoke exercises the fleet harness end to end at small scale:
+// a replicating 3-backend fleet, sessions spread by rendezvous placement,
+// and — in the kill case — a primary dropped mid-run with every session
+// still completing all its ops against the promoted survivors.
+func TestClusterSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster smoke is socket-heavy")
+	}
+	for _, tc := range []struct {
+		name     string
+		backends int
+		kill     bool
+	}{
+		{"single", 1, false},
+		{"fleet3", 3, false},
+		{"fleet3-kill", 3, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := experiments.RunClusterLoad(experiments.ClusterLoadConfig{
+				Backends:    tc.backends,
+				Sessions:    6,
+				Ops:         40,
+				KillPrimary: tc.kill,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := int64(6 * 40); res.TotalOps != want {
+				t.Fatalf("TotalOps = %d, want %d", res.TotalOps, want)
+			}
+			if res.OpsPerSec <= 0 {
+				t.Fatalf("OpsPerSec = %v, want > 0", res.OpsPerSec)
+			}
+			if res.Blocking.Count != res.TotalOps {
+				t.Fatalf("Blocking.Count = %d, want %d", res.Blocking.Count, res.TotalOps)
+			}
+			if res.Killed != tc.kill {
+				t.Fatalf("Killed = %v, want %v", res.Killed, tc.kill)
+			}
+			if tc.kill && res.FailoverNs <= 0 {
+				t.Fatalf("FailoverNs = %d, want > 0 after a kill", res.FailoverNs)
+			}
+		})
+	}
+}

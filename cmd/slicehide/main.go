@@ -11,8 +11,8 @@
 //	slicehide analyze <file.mj>
 //	slicehide split   -func f [-seed v] [-no-cfh] <file.mj>
 //	slicehide ilp     -func f [-seed v] <file.mj>
-//	slicehide run     [-split f[:v],g[:v],...] [-rtt d] [-server addr] [-timeout d] [-retries n] [-pipeline] [-window n] [-stats text|json] [-trace file] <file.mj>
-//	slicehide loadtest [-server addr] [-sessions m] [-ops k] [-pipeline] [-window n] [-shards n] [-split f:v] [-data-dir dir [-fsync]] [-json] [program.mj]
+//	slicehide run     [-split f[:v],g[:v],...] [-rtt d] [-server addr | -cluster a1,a2,...] [-timeout d] [-retries n] [-pipeline] [-window n] [-stats text|json] [-trace file] <file.mj>
+//	slicehide loadtest [-server addr | -cluster a1,a2,... | -backends n [-kill-primary]] [-sessions m] [-ops k] [-pipeline] [-window n] [-shards n] [-split f:v] [-data-dir dir [-fsync]] [-json] [program.mj]
 //	slicehide attack  -func f [-seed v] [-calls n] [-window k] <file.mj>
 package main
 
@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"slicehide/internal/attack"
+	"slicehide/internal/cluster"
 	"slicehide/internal/complexity"
 	"slicehide/internal/core"
 	"slicehide/internal/experiments"
@@ -249,6 +250,7 @@ func cmdRun(args []string) error {
 	split := fs.String("split", "", "comma-separated f[:seed] functions to split")
 	rtt := fs.Duration("rtt", 0, "simulated round-trip latency")
 	server := fs.String("server", "", "address of a remote hiddend (default: in-process)")
+	clusterPeers := fs.String("cluster", "", "comma-separated fleet membership (every replica's address); the transport resolves the session's owner by rendezvous placement and follows failovers (forces the non-pipelined transport)")
 	stats := fs.String("stats", "", `emit interaction statistics to stderr: "text" (one line) or "json" (schema-stable document)`)
 	trace := fs.String("trace", "", "write redacted runtime trace events (JSON lines) to this file")
 	timeout := fs.Duration("timeout", 5*time.Second, "per-attempt I/O deadline on the hiddend link")
@@ -296,7 +298,35 @@ func cmdRun(args []string) error {
 
 	counters := &hrt.Counters{}
 	var t hrt.Transport
-	if *server != "" {
+	serverLabel := *server
+	if *clusterPeers != "" {
+		// Fleet mode: the session id is fixed up front so the resolver can
+		// rank the membership for it, and the reconnecting transport
+		// re-resolves the owner on every dial — a redirect or a dead
+		// primary both converge on the replica that actually serves the
+		// session. Pipelining is not fleet-aware, so the synchronous
+		// transport is used regardless of -pipeline.
+		peers := splitPeerList(*clusterPeers)
+		if len(peers) == 0 {
+			return fmt.Errorf("run: -cluster needs at least one replica address")
+		}
+		session := rand.Uint64() | 1
+		tr, err := hrt.DialReconnect(hrt.ReconnectConfig{
+			Resolver: cluster.SessionResolver(peers, session, 0),
+			Session:  session,
+			Timeout:  *timeout,
+			Policy:   hrt.RetryPolicy{Retries: *retries},
+			Counters: counters,
+			Tracer:   tracer,
+		})
+		if err != nil {
+			return err
+		}
+		defer tr.Close()
+		t = tr
+		serverLabel = cluster.Owner(session, peers)
+		*pipeline = false
+	} else if *server != "" {
 		if *pipeline {
 			tr, err := hrt.DialPipeline(hrt.PipelineConfig{
 				Addr:     *server,
@@ -339,12 +369,12 @@ func cmdRun(args []string) error {
 	// Addr and Counters make server-side refusals actionable: a session
 	// bounce surfaces as a typed error naming the server and session, and
 	// is tallied into the -stats document.
-	var hidden interp.HiddenSession = &hrt.Session{T: t, Addr: *server, Counters: counters}
+	var hidden interp.HiddenSession = &hrt.Session{T: t, Addr: serverLabel, Counters: counters}
 	if *pipeline {
 		// Falls back to the synchronous session when the chain cannot do
 		// one-way sends (a sync-only server or wrapper).
 		if as := hrt.NewAsyncSession(t); as != nil {
-			as.Addr = *server
+			as.Addr = serverLabel
 			as.Counters = counters
 			hidden = as
 		}
@@ -375,8 +405,8 @@ func cmdRun(args []string) error {
 }
 
 // describeRunError augments a failed run's error with remediation where
-// the runtime knows one — today, the session-evicted bounce (which server
-// refused, which session, and what to do about it).
+// the runtime knows one — the session-evicted bounce and the fleet's
+// owner redirect (which replica owns the session, and how to follow it).
 func describeRunError(err error) error {
 	if err == nil {
 		return nil
@@ -385,7 +415,22 @@ func describeRunError(err error) error {
 	if errors.As(err, &evicted) {
 		return fmt.Errorf("%w\nhint: %s", err, evicted.Hint())
 	}
+	var redirect *hrt.OwnerRedirectError
+	if errors.As(err, &redirect) {
+		return fmt.Errorf("%w\nhint: %s", err, redirect.Hint())
+	}
 	return err
+}
+
+// splitPeerList parses a comma-separated fleet membership list.
+func splitPeerList(s string) []string {
+	var peers []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
+	return peers
 }
 
 // cmdLoadtest drives the concurrent load harness: M sessions × K hidden
@@ -396,6 +441,9 @@ func describeRunError(err error) error {
 func cmdLoadtest(args []string) error {
 	fs := flag.NewFlagSet("loadtest", flag.ExitOnError)
 	server := fs.String("server", "", "address of a remote hiddend (default: in-process loopback server)")
+	clusterList := fs.String("cluster", "", "comma-separated membership of a running replicating fleet to target (every member's address)")
+	backends := fs.Int("backends", 0, "self-host a replicating fleet of N loopback backends and drive it (0 = plain single-server loadtest)")
+	killPrimary := fs.Bool("kill-primary", false, "fleet mode: kill the busiest self-hosted backend at half-run and measure failover (requires -backends)")
 	sessions := fs.Int("sessions", 8, "concurrent client sessions")
 	ops := fs.Int("ops", 1000, "hidden fragment calls per session")
 	pipeline := fs.Bool("pipeline", false, "drive the pipelined transport (one-way calls + flush barriers)")
@@ -426,6 +474,21 @@ func cmdLoadtest(args []string) error {
 		source = string(src)
 	default:
 		return fmt.Errorf("loadtest: unexpected arguments %v", fs.Args()[1:])
+	}
+	if *clusterList != "" || *backends > 0 || *killPrimary {
+		return clusterLoadtest(clusterLoadtestArgs{
+			addrs:       splitPeerList(*clusterList),
+			backends:    *backends,
+			killPrimary: *killPrimary,
+			sessions:    *sessions,
+			ops:         *ops,
+			source:      source,
+			split:       *split,
+			dataDir:     *dataDir,
+			pipeline:    *pipeline,
+			server:      *server,
+			asJSON:      *asJSON,
+		})
 	}
 	res, err := experiments.RunLoad(experiments.LoadConfig{
 		Addr:         *server,
@@ -459,6 +522,65 @@ func cmdLoadtest(args []string) error {
 	fmt.Printf("  blocking ops: %d, p50 %s, p99 %s, max %s\n",
 		res.Blocking.Count, time.Duration(res.Blocking.P50Ns),
 		time.Duration(res.Blocking.P99Ns), time.Duration(res.Blocking.MaxNs))
+	return nil
+}
+
+type clusterLoadtestArgs struct {
+	addrs       []string
+	backends    int
+	killPrimary bool
+	sessions    int
+	ops         int
+	source      string
+	split       string
+	dataDir     string
+	pipeline    bool
+	server      string
+	asJSON      bool
+}
+
+// clusterLoadtest is loadtest's fleet mode: either target a running
+// replicating fleet (-cluster a1,a2,...) or self-host one (-backends n),
+// spreading the sessions across the members by rendezvous placement.
+func clusterLoadtest(a clusterLoadtestArgs) error {
+	if a.server != "" {
+		return fmt.Errorf("loadtest: -server and fleet mode (-cluster/-backends) are mutually exclusive")
+	}
+	if a.pipeline {
+		return fmt.Errorf("loadtest: -pipeline is not fleet-aware; fleet mode drives the synchronous transport")
+	}
+	if a.killPrimary && len(a.addrs) > 0 {
+		return fmt.Errorf("loadtest: -kill-primary only works on self-hosted backends (-backends), not a running fleet")
+	}
+	res, err := experiments.RunClusterLoad(experiments.ClusterLoadConfig{
+		Addrs:       a.addrs,
+		Backends:    a.backends,
+		Sessions:    a.sessions,
+		Ops:         a.ops,
+		KillPrimary: a.killPrimary,
+		Source:      a.source,
+		Split:       a.split,
+		DataDir:     a.dataDir,
+	})
+	if err != nil {
+		return err
+	}
+	if a.asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+	fmt.Printf("loadtest: fleet of %d backends, %d sessions × %d ops (GOMAXPROCS=%d)\n",
+		res.Backends, res.Sessions, res.OpsPerSession, res.GOMAXPROCS)
+	fmt.Printf("  throughput: %.0f ops/sec (%d ops in %s)\n",
+		res.OpsPerSec, res.TotalOps, time.Duration(res.ElapsedNs))
+	fmt.Printf("  blocking ops: %d, p50 %s, p99 %s, max %s\n",
+		res.Blocking.Count, time.Duration(res.Blocking.P50Ns),
+		time.Duration(res.Blocking.P99Ns), time.Duration(res.Blocking.MaxNs))
+	if res.Killed {
+		fmt.Printf("  failover: primary killed mid-run, promoted in %s (%d owner redirects)\n",
+			time.Duration(res.FailoverNs), res.Redirects)
+	}
 	return nil
 }
 

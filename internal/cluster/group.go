@@ -1,0 +1,409 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"slicehide/internal/hrt"
+	"slicehide/internal/obs"
+	"slicehide/internal/wal"
+)
+
+// Config describes one replica's view of the fleet.
+type Config struct {
+	// Self is this replica's serving address; it must appear in Peers.
+	Self string
+	// Peers is the full fleet membership (including Self), identical on
+	// every replica — rendezvous placement only agrees across the fleet
+	// when the member list does.
+	Peers []string
+	// Replicate enables WAL streaming to peers and semi-synchronous commit
+	// gating. It requires the server to have a durability layer.
+	Replicate bool
+	// ProbeInterval is how often peer liveness is re-checked (default
+	// 150ms). Detection latency bounds failover latency.
+	ProbeInterval time.Duration
+	// DialTimeout bounds liveness probes and pump dials (default 500ms).
+	DialTimeout time.Duration
+	// CommitTimeout bounds how long a response may wait for follower
+	// acknowledgement before degrading to asynchronous replication
+	// (default 5s). A wedged follower slows the fleet; it must not stop it.
+	CommitTimeout time.Duration
+	// Tracer, when set, receives fleet events (peer death, promotion,
+	// pump reconnects).
+	Tracer *obs.Tracer
+}
+
+func (c *Config) fill() error {
+	if c.Self == "" {
+		return errors.New("cluster: Self address is required")
+	}
+	found := false
+	seen := make(map[string]bool, len(c.Peers))
+	for _, p := range c.Peers {
+		if p == "" {
+			return errors.New("cluster: empty peer address")
+		}
+		if seen[p] {
+			return fmt.Errorf("cluster: duplicate peer address %s", p)
+		}
+		seen[p] = true
+		if p == c.Self {
+			found = true
+		}
+	}
+	if !found {
+		return fmt.Errorf("cluster: Self %s is not in the peer list", c.Self)
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 150 * time.Millisecond
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 500 * time.Millisecond
+	}
+	if c.CommitTimeout <= 0 {
+		c.CommitTimeout = 5 * time.Second
+	}
+	return nil
+}
+
+// Group runs one replica's fleet machinery: the liveness prober, the
+// session router, and — when replication is on — one streaming pump per
+// peer plus the semi-synchronous commit gate. It installs itself into the
+// server's Router/ReplHandler hooks at construction and starts its
+// background loops on Start.
+type Group struct {
+	cfg     Config
+	ts      *hrt.TCPServer
+	tracker *wal.OffsetTracker
+
+	mu        sync.Mutex
+	alive     map[string]bool
+	fails     map[string]int // consecutive failed probes per peer
+	deadSince map[string]time.Time
+	promoted  map[string]bool // failover_ns recorded for this death
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	pumpMu    sync.Mutex
+	pumpConns map[string]net.Conn
+
+	redirects  atomic.Int64
+	replBytes  atomic.Int64
+	failoverNS atomic.Int64
+	syncWaits  atomic.Int64
+	syncStalls atomic.Int64
+}
+
+// New builds the group and wires it into ts: the Router hook (owner
+// redirects), the ReplHandler hook (inbound streams), and — with
+// Replicate — the durability layer's commit gate. Call Start once the
+// server is listening.
+func New(cfg Config, ts *hrt.TCPServer) (*Group, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	if ts == nil {
+		return nil, errors.New("cluster: nil server")
+	}
+	if cfg.Replicate && ts.Persist == nil {
+		return nil, errors.New("cluster: replication requires a durable server (-wal)")
+	}
+	g := &Group{
+		cfg:       cfg,
+		ts:        ts,
+		tracker:   wal.NewOffsetTracker(),
+		alive:     make(map[string]bool, len(cfg.Peers)),
+		fails:     make(map[string]int, len(cfg.Peers)),
+		deadSince: make(map[string]time.Time),
+		promoted:  make(map[string]bool),
+		stop:      make(chan struct{}),
+		pumpConns: make(map[string]net.Conn),
+	}
+	// Boot optimistic: a fleet starting together must not redirect-flail
+	// while the first probe round is still in flight.
+	for _, p := range cfg.Peers {
+		g.alive[p] = true
+	}
+	ts.Router = g
+	ts.ReplHandler = g.handleRepl
+	if cfg.Replicate {
+		ts.Persist.SetCommitter(g)
+	}
+	return g, nil
+}
+
+// Start launches the prober and, with replication on, one pump per peer.
+func (g *Group) Start() {
+	g.wg.Add(1)
+	go g.probeLoop()
+	if g.cfg.Replicate {
+		for _, peer := range g.cfg.Peers {
+			if peer == g.cfg.Self {
+				continue
+			}
+			g.wg.Add(1)
+			go g.pumpLoop(peer)
+		}
+	}
+}
+
+// Close stops the background loops and tears down pump connections,
+// releasing any requests blocked in the commit gate (each dropped pump
+// wakes the tracker's waiters). The server's hooks stay installed — a
+// closed group routes everything locally and refuses nothing — because
+// swapping them mid-serve would race the accept loop.
+func (g *Group) Close() {
+	g.stopOnce.Do(func() { close(g.stop) })
+	g.pumpMu.Lock()
+	for _, c := range g.pumpConns {
+		c.Close()
+	}
+	g.pumpMu.Unlock()
+	g.wg.Wait()
+	if g.cfg.Replicate {
+		g.ts.Persist.SetCommitter(nil)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Liveness
+
+// probeFailThreshold is how many consecutive probe failures it takes to
+// declare a live peer dead. Detection latency (and so failover latency)
+// is bounded by probeFailThreshold × ProbeInterval.
+const probeFailThreshold = 3
+
+func (g *Group) probeLoop() {
+	defer g.wg.Done()
+	t := time.NewTicker(g.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		g.probeOnce()
+		select {
+		case <-g.stop:
+			return
+		case <-t.C:
+		}
+	}
+}
+
+func (g *Group) probeOnce() {
+	for _, peer := range g.cfg.Peers {
+		if peer == g.cfg.Self {
+			continue
+		}
+		conn, err := net.DialTimeout("tcp", peer, g.cfg.DialTimeout)
+		up := err == nil
+		if conn != nil {
+			conn.Close()
+		}
+		g.mu.Lock()
+		was := g.alive[peer]
+		if up {
+			g.fails[peer] = 0
+			g.alive[peer] = true
+			if !was {
+				delete(g.deadSince, peer)
+				g.cfg.Tracer.Emit(obs.LevelInfo, "cluster_peer_up", obs.Str("peer", peer))
+			}
+		} else {
+			// Flap damping: a peer is declared dead only after
+			// probeFailThreshold consecutive failed probes. One refused dial
+			// is routinely a fleet member still binding its listener at boot;
+			// clobbering boot optimism on it would zero the live-peer count,
+			// letting readiness and the commit gate pass with no replication
+			// streams established.
+			g.fails[peer]++
+			if was && g.fails[peer] >= probeFailThreshold {
+				g.alive[peer] = false
+				g.deadSince[peer] = time.Now()
+				g.promoted[peer] = false
+				g.cfg.Tracer.Emit(obs.LevelWarn, "cluster_peer_down", obs.Str("peer", peer))
+			}
+		}
+		g.mu.Unlock()
+	}
+}
+
+// livePeers returns the members currently believed alive (Self always is).
+func (g *Group) livePeers() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]string, 0, len(g.cfg.Peers))
+	for _, p := range g.cfg.Peers {
+		if p == g.cfg.Self || g.alive[p] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// AlivePeers reports how many fleet members are currently believed alive.
+func (g *Group) AlivePeers() int { return len(g.livePeers()) }
+
+// ---------------------------------------------------------------------------
+// Routing
+
+// Route implements hrt.Router. A session whose rendezvous owner over the
+// live member set is this replica is served here; when the owner is
+// another live replica the client is redirected — with replication every
+// replica holds the session's state, so the redirect costs nothing but a
+// redial, and keeping a single writer per session keeps the fleet's
+// journals append-consistent. Without replication a session's state exists
+// only where it executed, so known sessions are always served locally and
+// only unknown ones redirect.
+func (g *Group) Route(session uint64, known bool) (string, bool) {
+	select {
+	case <-g.stop:
+		return "", false
+	default:
+	}
+	owner := Owner(session, g.livePeers())
+	if owner == "" || owner == g.cfg.Self {
+		g.observePromotion(session)
+		return "", false
+	}
+	if known && !g.cfg.Replicate {
+		return "", false
+	}
+	g.redirects.Add(1)
+	g.cfg.Tracer.Emit(obs.LevelInfo, "cluster_redirect",
+		obs.Uint("session", session), obs.Str("owner", owner))
+	return owner, true
+}
+
+// observePromotion records failover latency: the first time this replica
+// serves a session whose full-membership owner is a currently dead peer,
+// the gap since that peer's death is the fleet's observed failover time —
+// detection plus re-resolution, the window the session's client was
+// stalled.
+func (g *Group) observePromotion(session uint64) {
+	staticOwner := Owner(session, g.cfg.Peers)
+	if staticOwner == g.cfg.Self {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	since, dead := g.deadSince[staticOwner]
+	if !dead || g.promoted[staticOwner] {
+		return
+	}
+	g.promoted[staticOwner] = true
+	ns := time.Since(since).Nanoseconds()
+	g.failoverNS.Store(ns)
+	g.cfg.Tracer.Emit(obs.LevelWarn, "cluster_promotion",
+		obs.Uint("session", session), obs.Str("dead_peer", staticOwner),
+		obs.Dur("failover", time.Duration(ns)))
+}
+
+// ---------------------------------------------------------------------------
+// Semi-synchronous commit gate
+
+// WaitCommitted implements hrt.ReplCommitter: block until every connected
+// follower has acknowledged the journal position, or the commit timeout
+// passes (degrading that response to asynchronous replication). With no
+// followers connected — a fleet of one, or all peers down — it returns
+// immediately: the fleet cannot demand acknowledgement from nobody.
+func (g *Group) WaitCommitted(gen uint64, records int64) {
+	g.syncWaits.Add(1)
+	_, ok := g.tracker.WaitForTimeout(wal.Position{Gen: gen, Records: records}, g.cfg.CommitTimeout)
+	if !ok {
+		g.syncStalls.Add(1)
+		g.cfg.Tracer.Emit(obs.LevelWarn, "cluster_commit_timeout",
+			obs.Uint("gen", gen), obs.Int("records", records))
+	}
+}
+
+// Lag reports how many journal records the slowest connected follower is
+// behind this replica (0 with no followers connected). Positions across a
+// generation boundary cannot be subtracted exactly; "current records + 1"
+// is the conservative floor.
+func (g *Group) Lag() int64 {
+	if !g.cfg.Replicate {
+		return 0
+	}
+	gen, records := g.ts.Persist.CurrentPosition()
+	min, n := g.tracker.Min()
+	if n == 0 {
+		return 0
+	}
+	if min.Gen == gen {
+		d := records - min.Records
+		if d < 0 {
+			d = 0
+		}
+		return d
+	}
+	if min.Gen > gen {
+		return 0
+	}
+	return records + 1
+}
+
+// Ready reports whether this replica should receive traffic: a
+// replication stream established to every live peer, and catch-up lag
+// zero. The stream requirement matters at boot — the commit gate only
+// holds responses for *connected* followers, so serving before the pumps
+// are up would hand out acknowledgements nothing replicates. The daemon
+// layer additionally gates on recovery having finished before the group
+// even exists.
+func (g *Group) Ready() (bool, string) {
+	if !g.cfg.Replicate {
+		return true, ""
+	}
+	remote := 0
+	for _, p := range g.livePeers() {
+		if p != g.cfg.Self {
+			remote++
+		}
+	}
+	if _, n := g.tracker.Min(); n < remote {
+		return false, fmt.Sprintf("replication streams connecting (%d/%d)", n, remote)
+	}
+	if lag := g.Lag(); lag > 0 {
+		return false, fmt.Sprintf("replication catching up: %d records behind", lag)
+	}
+	return true, ""
+}
+
+// FailoverNS reports the last observed failover latency (death of a peer
+// to first promoted serve of one of its sessions), 0 if none happened.
+func (g *Group) FailoverNS() int64 { return g.failoverNS.Load() }
+
+// Redirects reports how many requests were redirected to their owner.
+func (g *Group) Redirects() int64 { return g.redirects.Load() }
+
+// RegisterMetrics exports the fleet gauges.
+func (g *Group) RegisterMetrics(reg *obs.Registry) {
+	reg.Gauge("repl_lag_records", g.Lag)
+	reg.Gauge("repl_bytes", g.replBytes.Load)
+	reg.Gauge("owner_redirects", g.redirects.Load)
+	reg.Gauge("failover_ns", g.failoverNS.Load)
+	reg.Gauge("repl_sync_waits", g.syncWaits.Load)
+	reg.Gauge("repl_sync_stalls", g.syncStalls.Load)
+	reg.Gauge("cluster_peers_alive", func() int64 { return int64(g.AlivePeers()) })
+}
+
+// Info describes the fleet for the daemon banner and /healthz.
+func (g *Group) Info() map[string]string {
+	rank := make([]string, len(g.cfg.Peers))
+	copy(rank, g.cfg.Peers)
+	sort.Strings(rank)
+	mode := "route-only"
+	if g.cfg.Replicate {
+		mode = "replicate"
+	}
+	return map[string]string{
+		"cluster_self":  g.cfg.Self,
+		"cluster_peers": fmt.Sprintf("%v", rank),
+		"cluster_mode":  mode,
+	}
+}

@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func replicaSet(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("10.0.0.%d:7070", i+1)
+	}
+	return out
+}
+
+// Placement must be near-uniform: with rendezvous hashing over a good
+// mixer, each of N replicas should own about 1/N of the sessions. The
+// fleet's capacity planning (and the chaos harness's "busiest backend"
+// choice) assumes no replica is a hot spot.
+func TestRendezvousDistribution(t *testing.T) {
+	const sessions = 40000
+	for n := 3; n <= 16; n++ {
+		replicas := replicaSet(n)
+		counts := make(map[string]int, n)
+		for s := uint64(1); s <= sessions; s++ {
+			counts[Owner(s, replicas)]++
+		}
+		want := float64(sessions) / float64(n)
+		for _, r := range replicas {
+			got := float64(counts[r])
+			skew := (got - want) / want
+			if skew < -0.10 || skew > 0.10 {
+				t.Errorf("n=%d replica %s owns %.0f sessions, want %.0f ±10%% (skew %+.1f%%)",
+					n, r, got, want, skew*100)
+			}
+		}
+	}
+}
+
+// Removing one replica must re-home only the sessions it owned: every
+// session owned by a survivor keeps its owner. This is the property that
+// makes failover surgical — a death never shuffles unrelated sessions
+// between healthy replicas.
+func TestRendezvousStabilityUnderRemoval(t *testing.T) {
+	const sessions = 5000
+	replicas := replicaSet(7)
+	before := make(map[uint64]string, sessions)
+	for s := uint64(1); s <= sessions; s++ {
+		before[s] = Owner(s, replicas)
+	}
+	for drop := range replicas {
+		survivors := make([]string, 0, len(replicas)-1)
+		for i, r := range replicas {
+			if i != drop {
+				survivors = append(survivors, r)
+			}
+		}
+		for s := uint64(1); s <= sessions; s++ {
+			after := Owner(s, survivors)
+			if before[s] == replicas[drop] {
+				if after == replicas[drop] {
+					t.Fatalf("session %d still owned by removed replica %s", s, replicas[drop])
+				}
+				continue
+			}
+			if after != before[s] {
+				t.Fatalf("removing %s moved session %d from survivor %s to %s",
+					replicas[drop], s, before[s], after)
+			}
+		}
+	}
+}
+
+// Rank's head must agree with Owner, and the order must be total and
+// deterministic — it is the client resolver's probe order, so every node
+// and every client must compute the same one.
+func TestRankAgreesWithOwner(t *testing.T) {
+	replicas := replicaSet(5)
+	for s := uint64(1); s <= 2000; s++ {
+		rank := Rank(s, replicas)
+		if len(rank) != len(replicas) {
+			t.Fatalf("Rank returned %d entries, want %d", len(rank), len(replicas))
+		}
+		if rank[0] != Owner(s, replicas) {
+			t.Fatalf("session %d: Rank[0] = %s, Owner = %s", s, rank[0], Owner(s, replicas))
+		}
+		seen := make(map[string]bool, len(rank))
+		for _, r := range rank {
+			if seen[r] {
+				t.Fatalf("session %d: duplicate %s in rank", s, r)
+			}
+			seen[r] = true
+		}
+		again := Rank(s, replicas)
+		for i := range rank {
+			if rank[i] != again[i] {
+				t.Fatalf("session %d: rank not deterministic at %d", s, i)
+			}
+		}
+	}
+}
+
+// Owner of the empty set is "" — the router treats that as serve-locally,
+// never as a redirect to nowhere.
+func TestOwnerEmpty(t *testing.T) {
+	if got := Owner(42, nil); got != "" {
+		t.Fatalf("Owner(empty) = %q, want empty", got)
+	}
+}

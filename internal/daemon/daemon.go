@@ -14,9 +14,11 @@ import (
 	"os/signal"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	"slicehide/internal/cluster"
 	"slicehide/internal/core"
 	"slicehide/internal/hrt"
 	"slicehide/internal/ir"
@@ -58,6 +60,16 @@ type Config struct {
 	// to wait for in-flight connections to finish before severing them.
 	DrainTimeout time.Duration
 
+	// Peers is the comma-separated full fleet membership (including this
+	// replica's own -listen address). Non-empty turns on fleet mode:
+	// sessions are rendezvous-placed across the members and requests for
+	// sessions owned elsewhere are redirected.
+	Peers string
+	// Replicate streams this replica's WAL to every peer and gates
+	// responses on follower acknowledgement, so a peer can take over a
+	// session when this replica dies (requires -data-dir and -peers).
+	Replicate bool
+
 	// Stdout receives the human-readable startup/shutdown lines (defaults
 	// to os.Stdout).
 	Stdout io.Writer
@@ -82,11 +94,19 @@ func ParseFlags(args []string) (Config, error) {
 	fs.BoolVar(&cfg.Fsync, "fsync", false, "fsync every journal append: durable against power loss, not just process death (requires -data-dir)")
 	fs.IntVar(&cfg.SnapshotEvery, "snapshot-every", 0, "rotate to a fresh snapshot after this many journal records (0 = default 4096, negative = only at shutdown; requires -data-dir)")
 	fs.DurationVar(&cfg.DrainTimeout, "drain-timeout", 5*time.Second, "on SIGTERM/SIGINT, wait this long for in-flight connections to finish before severing them")
+	fs.StringVar(&cfg.Peers, "peers", "", "comma-separated fleet membership, including this replica's own -listen address; sessions are rendezvous-placed across the members")
+	fs.BoolVar(&cfg.Replicate, "replicate", false, "stream the WAL to every peer and gate responses on follower acknowledgement, so sessions survive this replica's death (requires -peers and -data-dir)")
 	if err := fs.Parse(args); err != nil {
 		return Config{}, err
 	}
 	if cfg.Split == "" || fs.NArg() != 1 {
-		return Config{}, fmt.Errorf("usage: hiddend -listen addr -split f[:seed],... [-data-dir dir] program.mj")
+		return Config{}, fmt.Errorf("usage: hiddend -listen addr -split f[:seed],... [-data-dir dir] [-peers addr,...] program.mj")
+	}
+	if cfg.Replicate && cfg.Peers == "" {
+		return Config{}, fmt.Errorf("hiddend: -replicate requires -peers")
+	}
+	if cfg.Replicate && cfg.DataDir == "" {
+		return Config{}, fmt.Errorf("hiddend: -replicate requires -data-dir (replication streams the journal)")
 	}
 	cfg.Program = fs.Arg(0)
 	return cfg, nil
@@ -102,6 +122,24 @@ type Daemon struct {
 	trace   io.Closer
 	addr    net.Addr
 	out     io.Writer
+	group   atomic.Pointer[cluster.Group]
+	ready   atomic.Bool
+}
+
+// Group exposes the fleet group, nil outside fleet mode (tests).
+func (d *Daemon) Group() *cluster.Group { return d.group.Load() }
+
+// readiness backs /readyz: not ready while recovery is still replaying the
+// journal, and — in a replicating fleet — while this replica's followers
+// lag behind its journal.
+func (d *Daemon) readiness() (bool, string) {
+	if !d.ready.Load() {
+		return false, "starting: journal recovery in progress"
+	}
+	if g := d.group.Load(); g != nil {
+		return g.Ready()
+	}
+	return true, ""
 }
 
 // Addr is the address the server is listening on.
@@ -179,29 +217,82 @@ func Start(cfg Config) (*Daemon, error) {
 		d.persist.RegisterMetrics(reg)
 	}
 
-	d.addr, err = d.server.ListenAndServe(cfg.Listen)
-	if err != nil {
-		d.closeTrace()
-		return nil, err
+	var peers []string
+	if cfg.Peers != "" {
+		for _, p := range strings.Split(cfg.Peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peers = append(peers, p)
+			}
+		}
 	}
 	if cfg.Admin != "" {
+		// The admin endpoint comes up before the listener so /readyz is
+		// observable (and honestly "not ready") while journal recovery and
+		// replication catch-up are still running.
+		info := map[string]string{
+			"component": "hiddend",
+			"listen":    cfg.Listen,
+			"split":     cfg.Split,
+		}
+		if len(peers) > 0 {
+			info["cluster_peers"] = cfg.Peers
+			if cfg.Replicate {
+				info["cluster_mode"] = "replicate"
+			} else {
+				info["cluster_mode"] = "route-only"
+			}
+		}
 		mux := obs.AdminMux(obs.AdminConfig{
 			Registry: reg,
 			Tracer:   d.tracer,
-			Info: map[string]string{
-				"component": "hiddend",
-				"listen":    d.addr.String(),
-				"split":     cfg.Split,
-			},
+			Info:     info,
+			Ready:    d.readiness,
 		})
 		d.admin, err = obs.ServeAdmin(cfg.Admin, mux)
 		if err != nil {
-			d.server.Close()
 			d.closeTrace()
 			return nil, fmt.Errorf("admin endpoint: %w", err)
 		}
-		fmt.Fprintf(out, "admin endpoint on http://%s (healthz, metrics, trace, debug/pprof)\n", d.admin.Addr())
+		fmt.Fprintf(out, "admin endpoint on http://%s (healthz, readyz, metrics, trace, debug/pprof)\n", d.admin.Addr())
 	}
+
+	// The fleet group is wired before the listener comes up: a peer's
+	// replication pump may connect the instant the port opens, and the
+	// server's Router/ReplHandler hooks must already be installed when it
+	// does. This is also why -listen must literally match this replica's
+	// entry in -peers — the fleet identity is needed before the bound
+	// address exists.
+	var group *cluster.Group
+	if len(peers) > 0 {
+		group, err = cluster.New(cluster.Config{
+			Self:      cfg.Listen,
+			Peers:     peers,
+			Replicate: cfg.Replicate,
+			Tracer:    d.tracer,
+		}, d.server)
+		if err != nil {
+			if d.admin != nil {
+				d.admin.Close()
+			}
+			d.closeTrace()
+			return nil, fmt.Errorf("%w (-listen must match this replica's entry in -peers)", err)
+		}
+		group.RegisterMetrics(reg)
+	}
+	d.addr, err = d.server.ListenAndServe(cfg.Listen)
+	if err != nil {
+		if d.admin != nil {
+			d.admin.Close()
+		}
+		d.closeTrace()
+		return nil, err
+	}
+	if group != nil {
+		group.Start()
+		d.group.Store(group)
+		fmt.Fprintf(out, "fleet member %s of %d replicas (replicate=%v)\n", cfg.Listen, len(peers), cfg.Replicate)
+	}
+	d.ready.Store(true)
 	for _, name := range res.SplitNames() {
 		sf := res.Splits[name]
 		fmt.Fprintf(out, "hosting hidden component of %s (seed %s, %d fragments, %d hidden vars)\n",
@@ -224,8 +315,13 @@ func (d *Daemon) closeTrace() {
 
 // Shutdown drains in-flight connections (bounded by DrainTimeout), then
 // closes the server — which, with -data-dir, flushes the journal and
-// writes the final snapshot — and reports the drain outcome.
+// writes the final snapshot — and reports the drain outcome. The fleet
+// group goes down first: dropping the replication pumps releases any
+// request still blocked in the commit gate, so the drain can finish.
 func (d *Daemon) Shutdown() error {
+	if g := d.group.Load(); g != nil {
+		g.Close()
+	}
 	stats := d.server.Drain(d.cfg.DrainTimeout)
 	d.tracer.Emit(obs.LevelInfo, "drain",
 		obs.Int("drained", int64(stats.Drained)), obs.Int("aborted", int64(stats.Aborted)))
@@ -239,6 +335,9 @@ func (d *Daemon) Shutdown() error {
 
 // Close stops the daemon immediately (no drain).
 func (d *Daemon) Close() error {
+	if g := d.group.Load(); g != nil {
+		g.Close()
+	}
 	err := d.server.Close()
 	if d.admin != nil {
 		d.admin.Close()

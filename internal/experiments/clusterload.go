@@ -1,0 +1,373 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"slicehide/internal/cluster"
+	"slicehide/internal/hrt"
+	"slicehide/internal/interp"
+	"slicehide/internal/obs"
+)
+
+// Fleet load harness: the cluster counterpart of RunLoad. It self-hosts N
+// replicating hiddend backends (or targets a running fleet), spreads M
+// sessions across them by rendezvous placement, and hammers each with K
+// synchronous fragment calls. With KillPrimary it also SIGKILL-equivalently
+// drops the busiest backend mid-run and measures how long the displaced
+// sessions stall before the promoted follower serves them — the failover
+// latency the fleet design exists to bound. `slicehide loadtest -cluster`
+// and `make bench-cluster` both drive it.
+
+// ClusterLoadConfig configures one fleet load run.
+type ClusterLoadConfig struct {
+	// Addrs targets a running fleet (every member). Empty self-hosts
+	// Backends in-process replicas on loopback ports.
+	Addrs []string
+	// Backends is the self-hosted replica count (default 3; ignored with
+	// Addrs).
+	Backends int
+	// Sessions is the number of concurrent client sessions. Default 8.
+	Sessions int
+	// Ops is the number of hidden fragment calls per session. Default 500.
+	Ops int
+	// KillPrimary closes the backend owning the most sessions once half
+	// the total ops have completed (self-hosted only): the surviving
+	// replicas promote, and displaced sessions resume against them.
+	KillPrimary bool
+	// Source and Split override the workload (defaults: the RunLoad
+	// workload). Every replica must host the same program.
+	Source string
+	Split  string
+	// DataDir is the base directory for the self-hosted replicas' WALs
+	// (default: a fresh temp dir, removed after the run).
+	DataDir string
+}
+
+// ClusterLoadResult is one fleet run's measurement, the document
+// `slicehide loadtest -cluster -json` prints and BENCH_cluster.json
+// collects.
+type ClusterLoadResult struct {
+	Schema        int     `json:"schema"`
+	Backends      int     `json:"backends"`
+	Sessions      int     `json:"sessions"`
+	OpsPerSession int     `json:"ops_per_session"`
+	TotalOps      int64   `json:"total_ops"`
+	GOMAXPROCS    int     `json:"gomaxprocs"`
+	ElapsedNs     int64   `json:"elapsed_ns"`
+	OpsPerSec     float64 `json:"ops_per_sec"`
+	// Blocking is the latency distribution of every synchronous call —
+	// including, in a kill run, the stalled calls that rode out the
+	// failover, which dominate its tail.
+	Blocking obs.HistSnapshot `json:"blocking_latency"`
+	// Killed reports whether a backend was dropped mid-run.
+	Killed bool `json:"killed"`
+	// FailoverNs is the surviving fleet's observed failover latency (peer
+	// death to first promoted serve), 0 when nothing was killed.
+	FailoverNs int64 `json:"failover_ns"`
+	// Redirects counts owner redirects served across the fleet.
+	Redirects int64 `json:"redirects"`
+}
+
+// ClusterSchemaVersion is bumped when ClusterLoadResult's shape changes.
+const ClusterSchemaVersion = 1
+
+func (c *ClusterLoadConfig) withDefaults() ClusterLoadConfig {
+	cfg := *c
+	if cfg.Backends <= 0 {
+		cfg.Backends = 3
+	}
+	if cfg.Sessions <= 0 {
+		cfg.Sessions = 8
+	}
+	if cfg.Ops <= 0 {
+		cfg.Ops = 500
+	}
+	if cfg.Source == "" {
+		cfg.Source = loadSource
+	}
+	if cfg.Split == "" {
+		cfg.Split = "work:k"
+	}
+	return cfg
+}
+
+// clusterBackend is one self-hosted replica.
+type clusterBackend struct {
+	addr  string
+	srv   *hrt.TCPServer
+	group *cluster.Group
+}
+
+// reserveAddrs picks n distinct loopback host:port addresses by binding
+// and immediately releasing listeners. The fleet membership must be known
+// before any replica starts (every member needs the full list), so ":0"
+// self-assignment cannot be used.
+func reserveAddrs(n int) ([]string, error) {
+	addrs := make([]string, 0, n)
+	lns := make([]net.Listener, 0, n)
+	defer func() {
+		for _, ln := range lns {
+			ln.Close()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		lns = append(lns, ln)
+		addrs = append(addrs, ln.Addr().String())
+	}
+	return addrs, nil
+}
+
+// RunClusterLoad executes one fleet load run and reports its measurement.
+func RunClusterLoad(c ClusterLoadConfig) (ClusterLoadResult, error) {
+	cfg := c.withDefaults()
+	res, comp, fragID, argc, err := splitLoadProgram(LoadConfig{Source: cfg.Source, Split: cfg.Split})
+	if err != nil {
+		return ClusterLoadResult{}, err
+	}
+
+	addrs := cfg.Addrs
+	var backends []*clusterBackend
+	if len(addrs) == 0 {
+		base := cfg.DataDir
+		if base == "" {
+			base, err = os.MkdirTemp("", "slicehide-cluster-*")
+			if err != nil {
+				return ClusterLoadResult{}, err
+			}
+			defer os.RemoveAll(base)
+		}
+		addrs, err = reserveAddrs(cfg.Backends)
+		if err != nil {
+			return ClusterLoadResult{}, err
+		}
+		for i, addr := range addrs {
+			srv := &hrt.TCPServer{
+				Server: hrt.NewServerShards(hrt.NewRegistry(res), runtime.GOMAXPROCS(0)),
+				Shards: runtime.GOMAXPROCS(0),
+				Persist: hrt.NewDurability(hrt.DurabilityOptions{
+					Dir: filepath.Join(base, fmt.Sprintf("replica-%d", i)),
+				}),
+			}
+			// Wire the group before the listener: a peer's pump may connect
+			// the instant the port opens, and the server's fleet hooks must
+			// already be installed when it does.
+			g, err := cluster.New(cluster.Config{Self: addr, Peers: addrs, Replicate: true}, srv)
+			if err != nil {
+				return ClusterLoadResult{}, err
+			}
+			if _, err := srv.ListenAndServe(addr); err != nil {
+				return ClusterLoadResult{}, fmt.Errorf("clusterload: start replica %s: %w", addr, err)
+			}
+			g.Start()
+			b := &clusterBackend{addr: addr, srv: srv, group: g}
+			backends = append(backends, b)
+			defer func() {
+				b.group.Close()
+				b.srv.Close()
+			}()
+		}
+		// The commit gate only holds responses for connected followers;
+		// wait for every replica's streams before generating load, so the
+		// whole run (and any failover in it) is covered by replication.
+		deadline := time.Now().Add(10 * time.Second)
+		for _, b := range backends {
+			for {
+				if ok, _ := b.group.Ready(); ok {
+					break
+				}
+				if time.Now().After(deadline) {
+					reason := ""
+					_, reason = b.group.Ready()
+					return ClusterLoadResult{}, fmt.Errorf("clusterload: replica %s never became ready: %s", b.addr, reason)
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}
+	} else if cfg.KillPrimary {
+		return ClusterLoadResult{}, fmt.Errorf("clusterload: KillPrimary requires self-hosted backends")
+	}
+
+	// Stamp sessions deterministically so placement (and the kill victim)
+	// is reproducible, and pre-compute each session's owner.
+	ids := make([]uint64, cfg.Sessions)
+	owned := make(map[string]int, len(addrs))
+	for w := range ids {
+		ids[w] = uint64(w)*0x9e3779b97f4a7c15 + 1
+		owned[cluster.Owner(ids[w], addrs)]++
+	}
+	victim := -1
+	if cfg.KillPrimary {
+		for i, b := range backends {
+			if victim < 0 || owned[b.addr] > owned[backends[victim].addr] {
+				victim = i
+			}
+		}
+	}
+
+	hist := &obs.Histogram{}
+	args := make([]interp.Value, argc)
+	for i := range args {
+		args[i] = interp.IntV(int64(i%5 + 1))
+	}
+
+	var done atomic.Int64
+	total := int64(cfg.Sessions) * int64(cfg.Ops)
+	killAt := total / 2
+	killed := make(chan struct{})
+	if victim >= 0 {
+		go func() {
+			defer close(killed)
+			for done.Load() < killAt {
+				time.Sleep(2 * time.Millisecond)
+			}
+			// Abrupt close: no drain, in-flight connections severed — the
+			// in-process equivalent of SIGKILLing the primary.
+			backends[victim].group.Close()
+			backends[victim].srv.Close()
+		}()
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, cfg.Sessions)
+	start := time.Now()
+	for w := 0; w < cfg.Sessions; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			errs[w] = clusterWorker(addrs, ids[w], comp, fragID, args, cfg, hist, &done)
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if victim >= 0 {
+		<-killed
+	}
+	for _, err := range errs {
+		if err != nil {
+			return ClusterLoadResult{}, err
+		}
+	}
+
+	var failoverNS, redirects int64
+	for i, b := range backends {
+		if i == victim {
+			continue
+		}
+		if ns := b.group.FailoverNS(); ns > failoverNS {
+			failoverNS = ns
+		}
+		redirects += b.group.Redirects()
+	}
+
+	return ClusterLoadResult{
+		Schema:        ClusterSchemaVersion,
+		Backends:      len(addrs),
+		Sessions:      cfg.Sessions,
+		OpsPerSession: cfg.Ops,
+		TotalOps:      total,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		ElapsedNs:     elapsed.Nanoseconds(),
+		OpsPerSec:     float64(total) / elapsed.Seconds(),
+		Blocking:      hist.Snapshot(),
+		Killed:        victim >= 0,
+		FailoverNs:    failoverNS,
+		Redirects:     redirects,
+	}, nil
+}
+
+// clusterWorker is one session against the fleet: a reconnecting
+// synchronous transport whose resolver follows the session's rendezvous
+// rank, with a retry budget generous enough to ride out a primary's death
+// (probe detection plus promotion).
+func clusterWorker(addrs []string, session uint64, comp string, fragID int, args []interp.Value, cfg ClusterLoadConfig, hist *obs.Histogram, done *atomic.Int64) error {
+	tr, err := hrt.DialReconnect(hrt.ReconnectConfig{
+		Resolver: cluster.SessionResolver(addrs, session, 250*time.Millisecond),
+		Session:  session,
+		Policy:   hrt.RetryPolicy{Retries: 60, BackoffBase: 5 * time.Millisecond, BackoffMax: 100 * time.Millisecond},
+	})
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+	sess := &hrt.Session{T: tr}
+	inst, err := sess.Enter(comp, 0)
+	if err != nil {
+		return err
+	}
+	for op := 0; op < cfg.Ops; op++ {
+		start := time.Now()
+		if _, err := sess.Call(comp, inst, fragID, args); err != nil {
+			return fmt.Errorf("clusterload: session %d op %d: %w", session, op, err)
+		}
+		hist.Observe(time.Since(start))
+		done.Add(1)
+	}
+	return sess.Exit(comp, inst)
+}
+
+// ClusterBenchReport is the top-level BENCH_cluster.json document: the
+// same workload against 1, 2, and 4 replicating backends, so fleet
+// scaling (and the cost of semi-synchronous commits) is tracked release
+// over release. Multi-backend rows run with KillPrimary, so every row
+// past the first also carries a measured failover.
+type ClusterBenchReport struct {
+	Schema int `json:"schema"`
+	NumCPU int `json:"num_cpu"`
+	Config struct {
+		Sessions   int `json:"sessions"`
+		OpsPerSess int `json:"ops_per_session"`
+	} `json:"config"`
+	Rows []ClusterLoadResult `json:"rows"`
+}
+
+// WriteClusterBenchJSON runs the backend-scaling matrix and writes the
+// report: 1, 2, and 4 backends (kill-free single, kill-included multi).
+func WriteClusterBenchJSON(w io.Writer, cfg ClusterLoadConfig) error {
+	base := cfg.withDefaults()
+	var rep ClusterBenchReport
+	rep.Schema = ClusterSchemaVersion
+	rep.NumCPU = runtime.NumCPU()
+	rep.Config.Sessions = base.Sessions
+	rep.Config.OpsPerSess = base.Ops
+	for _, backends := range []int{1, 2, 4} {
+		run := base
+		run.Addrs = nil
+		run.Backends = backends
+		run.KillPrimary = backends > 1
+		r, err := RunClusterLoad(run)
+		if err != nil {
+			return err
+		}
+		rep.Rows = append(rep.Rows, r)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// WriteClusterBenchJSONFile is WriteClusterBenchJSON to a file path (used
+// by `make bench-cluster`).
+func WriteClusterBenchJSONFile(path string, cfg ClusterLoadConfig) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("experiments: create %s: %w", path, err)
+	}
+	if err := WriteClusterBenchJSON(f, cfg); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

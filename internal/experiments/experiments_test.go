@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -72,9 +73,39 @@ func TestTables234Shape(t *testing.T) {
 
 func TestTable5Shape(t *testing.T) {
 	cfg := Fast()
-	rows, err := Table5(cfg)
-	if err != nil {
-		t.Fatal(err)
+	// Overhead must be nonnegative within noise. At the tiny Fast scale
+	// wall times are microseconds, so only rows long enough for scheduling
+	// jitter not to dominate are judged — and a GC pause or scheduler
+	// stall landing in one baseline run can still make a single row's
+	// overhead spuriously negative on a loaded box, so the whole table is
+	// re-measured before declaring it: a real inversion reproduces.
+	negatives := func(rows []Table5Row) []string {
+		var bad []string
+		for _, r := range rows {
+			if !r.Excluded && r.Before > 5*time.Millisecond && r.PctIncrease < -20 {
+				bad = append(bad, fmt.Sprintf("%s/%s: negative overhead %f%%", r.Benchmark, r.Input, r.PctIncrease))
+			}
+		}
+		return bad
+	}
+	var rows []Table5Row
+	var err error
+	for attempt := 0; ; attempt++ {
+		rows, err = Table5(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bad := negatives(rows)
+		if len(bad) == 0 {
+			break
+		}
+		if attempt == 2 {
+			for _, msg := range bad {
+				t.Error(msg)
+			}
+			break
+		}
+		t.Logf("re-measuring after suspicious timing: %v", bad)
 	}
 	if len(rows) == 0 {
 		t.Fatal("no rows")
@@ -93,12 +124,6 @@ func TestTable5Shape(t *testing.T) {
 		}
 		if r.After <= 0 || r.Before <= 0 {
 			t.Errorf("%s/%s: missing timings", r.Benchmark, r.Input)
-		}
-		// Overhead must be nonnegative within noise. At the tiny Fast scale
-		// wall times are microseconds, so only judge rows long enough for
-		// scheduling jitter not to dominate.
-		if r.Before > 5*time.Millisecond && r.PctIncrease < -20 {
-			t.Errorf("%s/%s: negative overhead %f%%", r.Benchmark, r.Input, r.PctIncrease)
 		}
 	}
 	if excluded != 1 {

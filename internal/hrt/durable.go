@@ -61,6 +61,11 @@ type Durability struct {
 	gen       uint64
 	sinceSnap int
 	failed    error
+	// committer, when set, gates reply-bearing responses on replication
+	// acknowledgement (see ReplCommitter); notify wakes journal tail
+	// followers after each append or rotation (see AppendNotify).
+	committer ReplCommitter
+	notify    chan struct{}
 
 	recovered RecoveryStats
 
@@ -563,6 +568,7 @@ func (p *Durability) journal(req Request, resp Response, eff *recEffects) error 
 	p.mu.Lock()
 	p.sinceSnap++
 	p.mu.Unlock()
+	p.notifyAppend()
 	return nil
 }
 
@@ -573,6 +579,18 @@ func (p *Durability) roundTrip(d *Dedup, req Request) (Response, error) {
 	p.quiesce.RLock()
 	resp, err := d.RoundTrip(req)
 	p.quiesce.RUnlock()
+	if req.Session != 0 && !req.NoReply() {
+		// Semi-synchronous replication: hold the reply until every
+		// currently connected follower has acknowledged the journal's
+		// current position (which covers this request's record and, for a
+		// flush barrier, every one-way record before it). The wait runs
+		// outside every lock, so follower applies — which take their own
+		// session and store locks — can never deadlock against it.
+		if c := p.getCommitter(); c != nil {
+			gen, records := p.CurrentPosition()
+			c.WaitCommitted(gen, records)
+		}
+	}
 	if p.snapshotDue() {
 		if serr := p.Snapshot(); serr != nil {
 			p.snapErrors.Add(1)
@@ -624,6 +642,7 @@ func (p *Durability) snapshotLocked() error {
 	p.gen = next
 	p.sinceSnap = 0
 	p.mu.Unlock()
+	p.notifyAppend() // wake replication pumps so they roll to the new generation
 	if old != nil {
 		old.Close()
 	}

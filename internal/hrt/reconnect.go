@@ -14,11 +14,18 @@ import (
 // ReconnectConfig configures the fault-tolerant client side of the TCP
 // link (see DialReconnect).
 type ReconnectConfig struct {
-	// Addr is the hidden server's address (used when Dial is nil).
+	// Addr is the hidden server's address (used when Dial and Resolver are
+	// nil).
 	Addr string
 	// Dial overrides how connections are established; fault-injection
 	// tests dial through a proxy or an in-memory pipe.
 	Dial func() (net.Conn, error)
+	// Resolver, when set (and Dial is nil), re-resolves the server address
+	// before every dial — including the re-dial after a broken link or an
+	// owner redirect — so a fleet client follows a session to its promoted
+	// owner instead of re-dialing a dead primary forever. The default is
+	// the static Addr. See cluster.SessionResolver.
+	Resolver func() (string, error)
 	// Timeout is the I/O deadline covering one attempt's write+read;
 	// default 5s.
 	Timeout time.Duration
@@ -47,14 +54,27 @@ type ReconnectTransport struct {
 // initial dial happens eagerly so configuration errors surface here; later
 // re-dials happen on demand inside RoundTrip.
 func DialReconnect(cfg ReconnectConfig) (*ReconnectTransport, error) {
+	resolving := false
 	if cfg.Dial == nil {
-		addr := cfg.Addr
-		cfg.Dial = func() (net.Conn, error) { return net.Dial("tcp", addr) }
+		if cfg.Resolver != nil {
+			resolving = true
+			resolve := cfg.Resolver
+			cfg.Dial = func() (net.Conn, error) {
+				addr, err := resolve()
+				if err != nil {
+					return nil, err
+				}
+				return net.Dial("tcp", addr)
+			}
+		} else {
+			addr := cfg.Addr
+			cfg.Dial = func() (net.Conn, error) { return net.Dial("tcp", addr) }
+		}
 	}
 	if cfg.Timeout == 0 {
 		cfg.Timeout = 5 * time.Second
 	}
-	ct := &connTransport{dial: cfg.Dial, timeout: cfg.Timeout, counters: cfg.Counters, tracer: cfg.Tracer}
+	ct := &connTransport{dial: cfg.Dial, timeout: cfg.Timeout, resolving: resolving, counters: cfg.Counters, tracer: cfg.Tracer}
 	ct.mu.Lock()
 	err := ct.connectLocked()
 	ct.mu.Unlock()
@@ -82,10 +102,14 @@ func (t *ReconnectTransport) Close() error {
 // the next attempt re-dials; the Retry layer above decides whether that
 // next attempt happens.
 type connTransport struct {
-	dial     func() (net.Conn, error)
-	timeout  time.Duration
-	counters *Counters
-	tracer   *obs.Tracer
+	dial    func() (net.Conn, error)
+	timeout time.Duration
+	// resolving marks a transport whose dial re-resolves the address, so
+	// an owner redirect is retryable (the retry lands on the new owner)
+	// instead of terminal.
+	resolving bool
+	counters  *Counters
+	tracer    *obs.Tracer
 
 	mu         sync.Mutex
 	conn       net.Conn
@@ -136,6 +160,19 @@ func (t *connTransport) RoundTrip(req Request) (Response, error) {
 	resp, err := ReadResponse(t.r)
 	if err != nil {
 		return Response{}, t.brokenLocked(err)
+	}
+	if oe := parseOwnerRedirect(resp.Err, ""); oe != nil {
+		// The fleet placed this session on another replica. With a
+		// resolver the redirect is retryable: discard the connection so
+		// the retry re-resolves (and, with the owner live, lands on it);
+		// a static transport cannot follow, so the redirect is terminal.
+		t.tracer.Emit(obs.LevelInfo, "owner_redirect",
+			obs.Uint("session", oe.Session), obs.Str("owner", oe.Owner))
+		if !t.resolving {
+			return Response{}, Terminal(oe)
+		}
+		t.brokenLocked(errors.New("hrt: redirected"))
+		return Response{}, oe
 	}
 	return resp, nil
 }

@@ -1,0 +1,591 @@
+package hrt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"strings"
+	"time"
+
+	"slicehide/internal/obs"
+)
+
+// Fleet replication support: the hrt-side halves of internal/cluster.
+//
+// A fleet primary streams its journal records to every peer over the same
+// TCP port it serves clients on: a connection that opens with an OpRepl
+// request switches into a framed replication stream (record frames one
+// way, ack frames back). The receiving replica applies each record into
+// its live stores through the same replay methods crash recovery uses —
+// so its hidden state, dedup replay cache, and hrt_executed_* tallies
+// track the primary's — and appends the record to its own journal, making
+// the replicated state survive its own restarts too.
+//
+// Requests for sessions this replica does not know (no dedup entry) can
+// be redirected to their rendezvous owner through the Router hook; the
+// client surfaces the redirect as a typed OwnerRedirectError and, when
+// its transport has a resolver, re-resolves and retries.
+
+// OpRepl opens a replication stream on a serving connection. It is
+// deliberately outside the journal record op range (OpEnter..OpFlush), so
+// a replication handshake can never masquerade as a replayable record.
+const OpRepl Op = 9
+
+// Replication frame types.
+const (
+	// ReplFrameRecord carries one journal record payload at (Gen, Index).
+	ReplFrameRecord byte = 1
+	// ReplFrameAck acknowledges that every record up to (Gen, Index) has
+	// been applied and journaled by the follower.
+	ReplFrameAck byte = 2
+)
+
+// ReplFrame is one message of the replication stream.
+type ReplFrame struct {
+	Type byte
+	// Gen is the journal generation of the streaming primary.
+	Gen uint64
+	// Index is the 1-based record index within Gen.
+	Index int64
+	// Payload is the journal record bytes (record frames only).
+	Payload []byte
+}
+
+// maxReplPayload bounds a replication frame's payload. Journal records are
+// bounded by wal.MaxRecord (64 MiB); mirroring the constant here keeps the
+// decoder self-contained.
+const maxReplPayload = 1 << 26
+
+// replReadChunk is the growth step for payload reads, so a corrupt length
+// field drives at most one wasted chunk of allocation, not 64 MiB.
+const replReadChunk = 1 << 16
+
+// AppendReplFrame encodes f: [type][gen u64][index u64][len u32][payload].
+func AppendReplFrame(b []byte, f ReplFrame) ([]byte, error) {
+	if len(f.Payload) > maxReplPayload {
+		return b, fmt.Errorf("hrt: replication payload of %d bytes exceeds limit %d", len(f.Payload), maxReplPayload)
+	}
+	b = append(b, f.Type)
+	b = binary.LittleEndian.AppendUint64(b, f.Gen)
+	b = binary.LittleEndian.AppendUint64(b, uint64(f.Index))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(f.Payload)))
+	return append(b, f.Payload...), nil
+}
+
+// WriteReplFrame encodes and writes one frame.
+func WriteReplFrame(w io.Writer, f ReplFrame) error {
+	b, err := AppendReplFrame(make([]byte, 0, 21+len(f.Payload)), f)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+// ReadReplFrame decodes one replication frame from r. The decoder is
+// fuzzed (FuzzReplFrame): it must never panic, and a lying length field
+// must not drive allocation past the bytes actually present.
+func ReadReplFrame(r io.Reader) (ReplFrame, error) {
+	var head [21]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		return ReplFrame{}, err
+	}
+	f := ReplFrame{
+		Type:  head[0],
+		Gen:   binary.LittleEndian.Uint64(head[1:9]),
+		Index: int64(binary.LittleEndian.Uint64(head[9:17])),
+	}
+	if f.Type != ReplFrameRecord && f.Type != ReplFrameAck {
+		return ReplFrame{}, fmt.Errorf("hrt: unknown replication frame type %d", f.Type)
+	}
+	if f.Index < 0 {
+		return ReplFrame{}, fmt.Errorf("hrt: replication frame has negative index")
+	}
+	length := binary.LittleEndian.Uint32(head[17:21])
+	if length > maxReplPayload {
+		return ReplFrame{}, fmt.Errorf("hrt: replication frame length %d exceeds limit %d", length, maxReplPayload)
+	}
+	remaining := int(length)
+	for remaining > 0 {
+		chunk := remaining
+		if chunk > replReadChunk {
+			chunk = replReadChunk
+		}
+		start := len(f.Payload)
+		f.Payload = append(f.Payload, make([]byte, chunk)...)
+		if _, err := io.ReadFull(r, f.Payload[start:]); err != nil {
+			return ReplFrame{}, err
+		}
+		remaining -= chunk
+	}
+	return f, nil
+}
+
+// ---------------------------------------------------------------------------
+// Owner redirect
+
+// ownerRedirectMsg is the distinct marker carried in Response.Err when a
+// replica refuses a session because another live replica owns it.
+const ownerRedirectMsg = "owned by fleet peer"
+
+// ownerRedirectErr formats the wire form of the redirect for session,
+// naming the owning replica so the client can redial it.
+func ownerRedirectErr(session uint64, owner string) string {
+	return fmt.Sprintf("hrt: session %d %s %s", session, ownerRedirectMsg, owner)
+}
+
+// OwnerRedirectError is the typed, client-side form of a fleet owner
+// redirect: the replica at Addr refused the session because Owner is its
+// rendezvous owner. Transports with a resolver treat it as retryable
+// (the retry re-resolves and lands on a live owner); static transports
+// surface it terminally.
+type OwnerRedirectError struct {
+	// Addr is the replica that refused the session ("" when not recorded).
+	Addr string
+	// Owner is the replica the server named as the session's owner.
+	Owner string
+	// Session is the redirected session id (0 when unparsable).
+	Session uint64
+	// Detail is the server-reported message.
+	Detail string
+}
+
+func (e *OwnerRedirectError) Error() string {
+	msg := e.Detail
+	if msg == "" {
+		msg = ownerRedirectErr(e.Session, e.Owner)
+	}
+	if e.Addr != "" {
+		return fmt.Sprintf("hidden server %s: %s", e.Addr, msg)
+	}
+	return msg
+}
+
+// Hint returns remediation guidance for the redirect.
+func (e *OwnerRedirectError) Hint() string {
+	owner := e.Owner
+	if owner == "" {
+		owner = "the named owner"
+	}
+	return fmt.Sprintf("the fleet places this session on %s; "+
+		"point the client at that replica, or pass the full fleet address "+
+		"list (slicehide run -cluster, or a ReconnectConfig resolver) so "+
+		"the transport can re-resolve the owner itself", owner)
+}
+
+// IsOwnerRedirect reports whether err marks a fleet owner redirect.
+func IsOwnerRedirect(err error) bool {
+	if err == nil {
+		return false
+	}
+	var oe *OwnerRedirectError
+	if errors.As(err, &oe) {
+		return true
+	}
+	return strings.Contains(err.Error(), ownerRedirectMsg)
+}
+
+// parseOwnerRedirect upgrades a wire message carrying the redirect marker
+// to the typed error (nil when the marker is absent).
+func parseOwnerRedirect(msg, addr string) *OwnerRedirectError {
+	i := strings.Index(msg, ownerRedirectMsg)
+	if i < 0 {
+		return nil
+	}
+	owner := strings.TrimSpace(msg[i+len(ownerRedirectMsg):])
+	if j := strings.IndexAny(owner, " ;,"); j >= 0 {
+		owner = owner[:j]
+	}
+	return &OwnerRedirectError{
+		Addr:    addr,
+		Owner:   owner,
+		Session: parseEvictedSession(msg), // same "session <id>" shape
+		Detail:  msg,
+	}
+}
+
+// Router decides, per stamped request, whether this replica should serve
+// the session or redirect the client to the owning peer. known reports
+// whether the session already has local replay state — a session this
+// replica executed or had replicated to it is always served locally
+// (promotion after a primary death is implicit: the replicated state is
+// here and the old owner is no longer live).
+type Router interface {
+	Route(session uint64, known bool) (owner string, redirect bool)
+}
+
+// ---------------------------------------------------------------------------
+// TCPServer: redirect check + follower-side record application
+
+// routeRedirect consults the Router for a stamped request, returning a
+// redirect response when another live replica owns the session.
+func (ts *TCPServer) routeRedirect(req Request) (Response, bool) {
+	if ts.Router == nil || req.Session == 0 || req.Op == OpRepl {
+		return Response{}, false
+	}
+	owner, redirect := ts.Router.Route(req.Session, ts.dedup.Has(req.Session))
+	if !redirect {
+		return Response{}, false
+	}
+	return Response{
+		Seq: req.Seq,
+		Ack: req.Seq,
+		Err: ownerRedirectErr(req.Session, owner),
+	}, true
+}
+
+// ApplyReplicated applies one streamed journal record to the live server:
+// hidden-store state and execution tallies through the recovery replay
+// methods, the dedup replay cache, and — when a durability layer is
+// attached — the raw record into this replica's own journal, so
+// replicated sessions survive this replica's restarts the same way its
+// own do. Records at or below the session's replay high-water mark are
+// acknowledged without effect, which makes genesis re-streams after a
+// pump reconnect and full-mesh echoes idempotent. The apply claims the
+// session's in-flight slot (the same serialization live requests use), so
+// an echo of a record this replica is concurrently executing after a
+// promotion can never double-apply.
+func (ts *TCPServer) ApplyReplicated(payload []byte) error {
+	rec, err := decodeRecord(payload)
+	if err != nil {
+		return fmt.Errorf("hrt: replicated record: %w", err)
+	}
+	if ts.dedup == nil {
+		return errors.New("hrt: server is not serving")
+	}
+	ts.replMu.Lock()
+	defer ts.replMu.Unlock()
+	if ts.replRes == nil {
+		ts.replRes = newVarResolver(ts.Server.reg)
+		ts.replGlobalSeen = make(map[string]uint64)
+	}
+	if !ts.dedup.replBegin(rec.session, rec.seq) {
+		return nil // duplicate: re-stream or mesh echo of an observed record
+	}
+	if ts.Persist != nil {
+		// Atomic with respect to snapshots, like every live request: server
+		// state, journal append, and dedup bookkeeping all land under one
+		// quiesce read hold, so a snapshot never captures applied state
+		// without its replay high-water mark.
+		ts.Persist.quiesce.RLock()
+	}
+	err = ts.applyReplicatedState(rec)
+	if err == nil && ts.Persist != nil {
+		err = ts.Persist.appendReplicated(payload)
+	}
+	if err != nil {
+		ts.dedup.replAbort(rec.session)
+	} else {
+		ts.dedup.replFinish(rec)
+	}
+	if ts.Persist != nil {
+		ts.Persist.quiesce.RUnlock()
+	}
+	if err != nil {
+		return err
+	}
+	if ts.Persist != nil && ts.Persist.snapshotDue() {
+		if serr := ts.Persist.Snapshot(); serr != nil {
+			ts.Persist.snapErrors.Add(1)
+			ts.Persist.opts.Tracer.Emit(obs.LevelError, "wal_snapshot_error", obs.Err(serr))
+		}
+	}
+	return nil
+}
+
+// applyReplicatedState re-applies the record's server-side effects.
+// Caller holds ts.replMu and the session's in-flight slot.
+func (ts *TCPServer) applyReplicatedState(rec *journalRecord) error {
+	if !rec.counted {
+		return nil
+	}
+	switch rec.op {
+	case OpEnter:
+		return ts.Server.replayEnter(rec.session, rec.fn, rec.obj, rec.inst)
+	case OpExit:
+		ts.Server.replayExit(rec.session, rec.fn, rec.inst)
+	case OpCall:
+		local := rec.deltas[:0:0]
+		var globals []globalDelta
+		for _, d := range rec.deltas {
+			if d.scope == scopeGlobal {
+				globals = append(globals, globalDelta{version: rec.globalsVersion, name: d.name, val: d.val})
+			} else {
+				local = append(local, d)
+			}
+		}
+		if err := ts.Server.replayCall(ts.replRes, rec.session, rec.fn, rec.inst, local); err != nil {
+			return err
+		}
+		return ts.applyReplicatedGlobals(globals)
+	}
+	return nil
+}
+
+// applyReplicatedGlobals applies streamed global-store writes with a
+// per-variable version guard: journal append order across sessions can
+// invert the globals-lock order, and unlike recovery (which sorts the
+// whole batch) a stream applies record by record — so each variable keeps
+// only its newest-versioned value.
+func (ts *TCPServer) applyReplicatedGlobals(deltas []globalDelta) error {
+	if len(deltas) == 0 {
+		return nil
+	}
+	s := ts.Server
+	s.globalsMu.Lock()
+	defer s.globalsMu.Unlock()
+	for _, d := range deltas {
+		if d.version < ts.replGlobalSeen[d.name] {
+			continue // an out-of-order older write; the newer value already landed
+		}
+		v := ts.replRes.globals[d.name]
+		if v == nil {
+			return fmt.Errorf("hrt: replicated record writes unknown global %s (program differs across replicas?)", d.name)
+		}
+		s.globals.vals[v] = d.val
+		ts.replGlobalSeen[d.name] = d.version
+		if d.version > s.globalsVersion {
+			s.globalsVersion = d.version
+		}
+	}
+	return nil
+}
+
+// serveRepl switches a serving connection into replication-stream mode
+// after an OpRepl handshake: the handshake is acknowledged with an empty
+// response, the idle deadline is lifted (streams legitimately sit quiet),
+// and the connection is handed to the ReplHandler for the stream's
+// lifetime.
+func (ts *TCPServer) serveRepl(conn net.Conn, r *bufio.Reader, w *bufio.Writer) {
+	if ts.ReplHandler == nil {
+		resp := Response{Err: "hrt: this server does not accept replication streams"}
+		if WriteResponse(w, resp) == nil {
+			w.Flush()
+		}
+		return
+	}
+	if err := WriteResponse(w, Response{}); err != nil {
+		return
+	}
+	if err := w.Flush(); err != nil {
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	ts.ReplHandler(conn, r)
+}
+
+// ---------------------------------------------------------------------------
+// Dedup replication hooks
+
+// Has reports whether session has local replay state (without creating
+// any). The fleet router serves known sessions locally and only considers
+// redirecting unknown ones.
+func (d *Dedup) Has(session uint64) bool {
+	d.lazyInit()
+	sh := d.shard(session)
+	sh.mu.Lock()
+	_, ok := sh.sessions[session]
+	sh.mu.Unlock()
+	return ok
+}
+
+// replBegin claims session's in-flight slot for a replicated apply of
+// seq. It waits out any concurrently executing request of the session,
+// then reports whether seq is still beyond the replay high-water mark; on
+// true the slot stays held and the caller must release it with replFinish
+// or replAbort. Holding the slot is what makes a replicated apply and a
+// live execution of the same session mutually exclusive — a mesh echo of
+// a record a freshly promoted replica is re-executing would otherwise
+// double-apply state and double-count the execution tallies.
+func (d *Dedup) replBegin(session, seq uint64) bool {
+	d.lazyInit()
+	sh := d.shard(session)
+	sh.mu.Lock()
+	sh.clock++
+	e := sh.sessions[session]
+	isNew := e == nil
+	if isNew {
+		e = &dedupEntry{}
+		sh.sessions[session] = e
+	}
+	e.used = sh.clock
+	if d.EvictGrace > 0 {
+		e.lastSeen = d.timeNow()
+	}
+	if isNew {
+		d.evictLocked(sh)
+	}
+	for e.done != nil {
+		done := e.done
+		sh.mu.Unlock()
+		<-done
+		sh.mu.Lock()
+	}
+	if seq <= e.lastSeq {
+		sh.mu.Unlock()
+		return false
+	}
+	e.done = make(chan struct{})
+	sh.mu.Unlock()
+	return true
+}
+
+// replFinish installs the applied record's replay bookkeeping — the
+// high-water mark, the cached reply-bearing response, and any deferred
+// one-way error; the same fields journal recovery restores — and releases
+// the session's in-flight slot.
+func (d *Dedup) replFinish(rec *journalRecord) {
+	sh := d.shard(rec.session)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e := sh.sessions[rec.session]
+	if e == nil {
+		return // unreachable: the slot is held
+	}
+	if rec.seq > e.lastSeq {
+		e.lastSeq = rec.seq
+	}
+	if rec.noReply {
+		if rec.resp.Err != "" && e.deferred == "" {
+			e.deferred = rec.resp.Err
+		}
+	} else {
+		e.respSeq = rec.seq
+		e.resp = rec.resp
+		e.resp.Seq = rec.seq
+		e.resp.Ack = rec.seq
+	}
+	if e.done != nil {
+		close(e.done)
+		e.done = nil
+	}
+}
+
+// replAbort releases the in-flight slot after a failed apply without
+// advancing any state; an entry the failed apply created is removed.
+func (d *Dedup) replAbort(session uint64) {
+	sh := d.shard(session)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e := sh.sessions[session]
+	if e == nil {
+		return
+	}
+	if e.done != nil {
+		close(e.done)
+		e.done = nil
+	}
+	if e.lastSeq == 0 && e.respSeq == 0 && !e.lost && e.deferred == "" {
+		delete(sh.sessions, session)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Durability replication hooks
+
+// ReplCommitter gates responses on replication: after a record lands in
+// the journal at (gen, records), the durable request path calls
+// WaitCommitted before releasing the response, so a client-acknowledged
+// record is always on every connected follower before the client can act
+// on the answer — the property failover correctness rests on.
+type ReplCommitter interface {
+	WaitCommitted(gen uint64, records int64)
+}
+
+// SetCommitter installs the replication commit gate (nil removes it).
+func (p *Durability) SetCommitter(c ReplCommitter) {
+	p.mu.Lock()
+	p.committer = c
+	p.mu.Unlock()
+}
+
+func (p *Durability) getCommitter() ReplCommitter {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.committer
+}
+
+// CurrentPosition reports the journal's current replication position: the
+// open generation and the number of records it holds.
+func (p *Durability) CurrentPosition() (gen uint64, records int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.gen, int64(p.sinceSnap)
+}
+
+// JournalFile returns the path of generation gen's journal (for the
+// replication pump's tail scanner).
+func (p *Durability) JournalFile(gen uint64) string { return p.journalPath(gen) }
+
+// Generations lists the journal generations present on disk, ascending.
+func (p *Durability) Generations() ([]uint64, error) {
+	_, journals, err := p.listGenerations()
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(journals, func(i, j int) bool { return journals[i] < journals[j] })
+	return journals, nil
+}
+
+// AppendNotify returns a channel that is closed at the next journal
+// append or rotation. Acquire the channel before polling the tail: any
+// append after acquisition closes it, so no wakeup is lost.
+func (p *Durability) AppendNotify() <-chan struct{} {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.notify == nil {
+		p.notify = make(chan struct{})
+	}
+	return p.notify
+}
+
+// notifyAppend wakes tail followers. Caller must not hold p.mu.
+func (p *Durability) notifyAppend() {
+	p.mu.Lock()
+	ch := p.notify
+	p.notify = nil
+	p.mu.Unlock()
+	if ch != nil {
+		close(ch)
+	}
+}
+
+// appendReplicated journals a record received from a fleet peer verbatim.
+// It shares the primary path's failure semantics: an append failure
+// poisons the layer, so this replica stops acknowledging replication it
+// cannot make durable.
+func (p *Durability) appendReplicated(payload []byte) error {
+	p.mu.Lock()
+	if p.failed != nil {
+		err := p.failed
+		p.mu.Unlock()
+		return err
+	}
+	j := p.wlog
+	p.mu.Unlock()
+	if j == nil {
+		return fmt.Errorf("hrt: journal not open")
+	}
+	start := time.Now()
+	if err := j.Append(payload); err != nil {
+		err = fmt.Errorf("hrt: replicated journal append failed: %w", err)
+		p.appendErrors.Add(1)
+		p.opts.Tracer.Emit(obs.LevelError, "wal_append_error", obs.Err(err))
+		p.mu.Lock()
+		p.failed = err
+		p.mu.Unlock()
+		return err
+	}
+	p.appendNS.Observe(time.Since(start))
+	p.appends.Add(1)
+	p.appendBytes.Add(int64(len(payload)))
+	p.mu.Lock()
+	p.sinceSnap++
+	p.mu.Unlock()
+	p.notifyAppend()
+	return nil
+}

@@ -54,6 +54,21 @@ type TCPServer struct {
 	// applied mutation is journaled before its response is released, and
 	// Close writes a final snapshot (cmd/hiddend -data-dir).
 	Persist *Durability
+	// Router, when set, lets a fleet redirect stamped requests for
+	// sessions another live replica owns (see internal/cluster). Sessions
+	// with local replay state are always served here.
+	Router Router
+	// ReplHandler, when set, accepts incoming replication streams: a
+	// connection whose first request is OpRepl is handed to it after the
+	// handshake response (see internal/cluster).
+	ReplHandler func(conn net.Conn, r *bufio.Reader)
+
+	// replMu serializes ApplyReplicated across incoming streams; replRes
+	// and replGlobalSeen are its lazily built resolver and per-global
+	// version guard.
+	replMu         sync.Mutex
+	replRes        *varResolver
+	replGlobalSeen map[string]uint64
 
 	ln       net.Listener
 	lnOnce   sync.Once
@@ -194,6 +209,26 @@ func (ts *TCPServer) serveConn(conn net.Conn) {
 			return // EOF, deadline, or broken connection
 		}
 		ts.requests.Add(1)
+		if req.Op == OpRepl {
+			// The connection becomes a replication stream for its lifetime.
+			ts.serveRepl(conn, r, w)
+			return
+		}
+		if resp, redirect := ts.routeRedirect(req); redirect {
+			if req.NoReply() {
+				// A one-way frame for a session routed elsewhere cannot carry
+				// its redirect; drop it and report at the next reply-bearing
+				// request, where the in-order semantics surface errors anyway.
+				continue
+			}
+			if ts.WriteTimeout > 0 {
+				conn.SetWriteDeadline(time.Now().Add(ts.WriteTimeout))
+			}
+			if WriteResponse(w, resp) != nil || w.Flush() != nil {
+				return
+			}
+			continue
+		}
 		if req.NoReply() {
 			if ts.DisablePipeline {
 				return // refuse pipelined clients

@@ -492,6 +492,9 @@ func (s *Session) respError(resp Response) error {
 		}
 		return &SessionEvictedError{Addr: s.Addr, Session: parseEvictedSession(resp.Err), Detail: "hrt: " + resp.Err}
 	}
+	if oe := parseOwnerRedirect(resp.Err, s.Addr); oe != nil {
+		return oe
+	}
 	return fmt.Errorf("hrt: %s", resp.Err)
 }
 
@@ -505,11 +508,18 @@ func (s *Session) wrapEvicted(err error) error {
 	if errors.As(err, &se) {
 		return err
 	}
+	var oe *OwnerRedirectError
+	if errors.As(err, &oe) {
+		return err
+	}
 	if strings.Contains(err.Error(), sessionEvictedMsg) {
 		if s.Counters != nil {
 			s.Counters.SessionBounces.Add(1)
 		}
 		return &SessionEvictedError{Addr: s.Addr, Session: parseEvictedSession(err.Error()), Detail: err.Error()}
+	}
+	if oe := parseOwnerRedirect(err.Error(), s.Addr); oe != nil {
+		return oe
 	}
 	return err
 }

@@ -28,11 +28,23 @@ type AdminConfig struct {
 	Info map[string]string
 	// Start anchors the uptime report; zero means "now".
 	Start time.Time
+	// Ready, when set, backs /readyz: it reports whether the process is
+	// ready to serve (recovery finished, replication caught up) and, when
+	// not, why. Liveness (/healthz) stays green the whole time — a replica
+	// catching up is alive but must not receive traffic yet.
+	Ready func() (bool, string)
+}
+
+// Readiness is the /readyz document.
+type Readiness struct {
+	Status string `json:"status"`
+	Reason string `json:"reason,omitempty"`
 }
 
 // AdminMux builds the admin HTTP handler: /healthz (liveness JSON),
-// /metrics (expvar-style registry snapshot), /trace (recent trace
-// events), and the net/http/pprof profiling suite under /debug/pprof/.
+// /readyz (readiness gate, 503 until ready), /metrics (expvar-style
+// registry snapshot), /trace (recent trace events), and the
+// net/http/pprof profiling suite under /debug/pprof/.
 func AdminMux(cfg AdminConfig) *http.ServeMux {
 	start := cfg.Start
 	if start.IsZero() {
@@ -46,6 +58,21 @@ func AdminMux(cfg AdminConfig) *http.ServeMux {
 			Goroutines: runtime.NumGoroutine(),
 			Info:       cfg.Info,
 		})
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		ready, reason := true, ""
+		if cfg.Ready != nil {
+			ready, reason = cfg.Ready()
+		}
+		if ready {
+			writeJSON(w, Readiness{Status: "ok"})
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(Readiness{Status: "unavailable", Reason: reason})
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")

@@ -1,0 +1,244 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Tail streaming: the replication side of the journal. A primary's
+// replication pump follows its own journal file with a TailScanner,
+// shipping each record to followers as it lands, and tracks how far each
+// follower has acknowledged with an OffsetTracker — the distance between
+// the journal end and the slowest acknowledged offset is the replication
+// lag the /readyz endpoint and the repl_lag_records gauge report.
+//
+// A TailScanner reads with its own file handle, so it never contends with
+// the appender beyond the OS page cache, and it applies the same
+// stop-at-corruption discipline as Scan: a torn or CRC-broken frame at the
+// current end of file is not an error, it is "not yet" — the appender's
+// single write(2) per record will complete it, and the scanner re-reads
+// from the same offset on the next call.
+
+// ErrTailCaughtUp is returned by TailScanner.Next when no complete record
+// lies beyond the current offset. The caller waits for an append
+// notification (or polls) and calls Next again.
+var ErrTailCaughtUp = fmt.Errorf("wal: tail caught up")
+
+// TailScanner incrementally reads records appended to a journal file.
+type TailScanner struct {
+	f   *os.File
+	off int64
+	buf []byte
+}
+
+// OpenTail opens the journal at path for tail reading, starting at off.
+// Offset 0 (or anything below the header) starts at the first record; a
+// larger offset must be a record boundary previously returned by Offset.
+// A journal that does not exist yet is an error — the caller opens the
+// tail only after the appender created the generation.
+func OpenTail(path string, off int64) (*TailScanner, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open journal tail: %w", err)
+	}
+	var head [headerSize]byte
+	if _, err := io.ReadFull(f, head[:]); err != nil || string(head[:]) != string(journalMagic) {
+		f.Close()
+		if err == nil {
+			err = fmt.Errorf("bad magic")
+		}
+		return nil, fmt.Errorf("wal: journal tail header: %w", err)
+	}
+	if off < headerSize {
+		off = headerSize
+	}
+	return &TailScanner{f: f, off: off}, nil
+}
+
+// Next returns the next complete record's payload, or ErrTailCaughtUp when
+// the file ends (or ends in a not-yet-complete frame) at the current
+// offset. The returned slice is reused by the following Next call. A CRC
+// mismatch on a frame that is fully present is a real error: unlike
+// recovery, a live tail never legitimately crosses corrupt history.
+func (t *TailScanner) Next() ([]byte, error) {
+	var frame [frameSize]byte
+	n, err := t.f.ReadAt(frame[:], t.off)
+	if n < frameSize {
+		if err == io.EOF || err == nil {
+			return nil, ErrTailCaughtUp
+		}
+		return nil, fmt.Errorf("wal: tail read frame: %w", err)
+	}
+	length := binary.LittleEndian.Uint32(frame[0:4])
+	sum := binary.LittleEndian.Uint32(frame[4:8])
+	if length > MaxRecord {
+		return nil, fmt.Errorf("wal: tail frame length %d exceeds limit", length)
+	}
+	if cap(t.buf) < int(length) {
+		t.buf = make([]byte, length)
+	}
+	buf := t.buf[:length]
+	n, err = t.f.ReadAt(buf, t.off+frameSize)
+	if n < int(length) {
+		if err == io.EOF || err == nil {
+			return nil, ErrTailCaughtUp // payload still being written
+		}
+		return nil, fmt.Errorf("wal: tail read payload: %w", err)
+	}
+	if crc32.ChecksumIEEE(buf) != sum {
+		// The full frame is present but broken. It may still be a torn
+		// write racing us (length landed, payload partially visible), so
+		// report caught-up once; a persistent mismatch surfaces when the
+		// appender moves past it and we do not.
+		return nil, ErrTailCaughtUp
+	}
+	t.off += frameSize + int64(length)
+	return buf, nil
+}
+
+// Offset is the byte offset of the next unread record (a valid restart
+// point for OpenTail).
+func (t *TailScanner) Offset() int64 { return t.off }
+
+// Close releases the read handle.
+func (t *TailScanner) Close() error { return t.f.Close() }
+
+// OffsetTracker records, per follower, the newest replication position the
+// follower has acknowledged applying. Positions are (generation, record
+// index) pairs — byte offsets do not survive journal rotation, record
+// indexes within a generation do. Waiters block until every currently
+// registered follower has acknowledged at least a target position, which
+// is how the semi-synchronous request path holds a response until its
+// record is safe on the follower tier.
+type OffsetTracker struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	acked map[string]Position
+}
+
+// Position orders replication progress across journal rotations.
+type Position struct {
+	// Gen is the journal generation.
+	Gen uint64
+	// Records is the number of records of that generation acknowledged.
+	Records int64
+}
+
+// Before reports whether p is strictly behind q.
+func (p Position) Before(q Position) bool {
+	if p.Gen != q.Gen {
+		return p.Gen < q.Gen
+	}
+	return p.Records < q.Records
+}
+
+// NewOffsetTracker returns an empty tracker.
+func NewOffsetTracker() *OffsetTracker {
+	t := &OffsetTracker{acked: make(map[string]Position)}
+	t.cond = sync.NewCond(&t.mu)
+	return t
+}
+
+// Register adds a follower at position zero (nothing acknowledged).
+// Registering an existing follower resets its position.
+func (t *OffsetTracker) Register(peer string) {
+	t.mu.Lock()
+	t.acked[peer] = Position{}
+	t.mu.Unlock()
+	t.cond.Broadcast()
+}
+
+// Drop removes a follower; waiters re-evaluate without it (a dead follower
+// must not wedge the request path forever).
+func (t *OffsetTracker) Drop(peer string) {
+	t.mu.Lock()
+	delete(t.acked, peer)
+	t.mu.Unlock()
+	t.cond.Broadcast()
+}
+
+// Ack records that peer has applied everything up to pos.
+func (t *OffsetTracker) Ack(peer string, pos Position) {
+	t.mu.Lock()
+	if cur, ok := t.acked[peer]; ok && cur.Before(pos) {
+		t.acked[peer] = pos
+	}
+	t.mu.Unlock()
+	t.cond.Broadcast()
+}
+
+// Acked returns peer's acknowledged position (zero if unregistered).
+func (t *OffsetTracker) Acked(peer string) Position {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.acked[peer]
+}
+
+// Min returns the slowest registered follower's position and the follower
+// count. With no followers it returns (zero, 0).
+func (t *OffsetTracker) Min() (Position, int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.minLocked()
+}
+
+func (t *OffsetTracker) minLocked() (Position, int) {
+	var min Position
+	first := true
+	for _, pos := range t.acked {
+		if first || pos.Before(min) {
+			min, first = pos, false
+		}
+	}
+	return min, len(t.acked)
+}
+
+// WaitFor blocks until every registered follower has acknowledged at least
+// target, or no followers remain registered (a fleet of one serves alone).
+// It returns the number of followers that covered the target.
+func (t *OffsetTracker) WaitFor(target Position) int {
+	n, _ := t.waitFor(target, nil)
+	return n
+}
+
+// WaitForTimeout is WaitFor with a deadline: it additionally returns false
+// if timeout elapsed before every follower covered the target. A wedged
+// (but still connected) follower must not hold the request path hostage —
+// the caller degrades to asynchronous replication for that response.
+func (t *OffsetTracker) WaitForTimeout(target Position, timeout time.Duration) (int, bool) {
+	if timeout <= 0 {
+		n, _ := t.waitFor(target, nil)
+		return n, true
+	}
+	expired := make(chan struct{})
+	timer := time.AfterFunc(timeout, func() {
+		close(expired)
+		t.cond.Broadcast()
+	})
+	defer timer.Stop()
+	return t.waitFor(target, expired)
+}
+
+func (t *OffsetTracker) waitFor(target Position, expired <-chan struct{}) (int, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for {
+		min, n := t.minLocked()
+		if n == 0 || !min.Before(target) {
+			return n, true
+		}
+		if expired != nil {
+			select {
+			case <-expired:
+				return n, false
+			default:
+			}
+		}
+		t.cond.Wait()
+	}
+}

@@ -1,0 +1,199 @@
+package wal
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func tailJournal(t *testing.T) (*Journal, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "journal-00000000.wal")
+	j, err := Open(path, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { j.Close() })
+	return j, path
+}
+
+func TestTailScannerFollowsAppends(t *testing.T) {
+	j, path := tailJournal(t)
+	tail, err := OpenTail(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tail.Close()
+
+	if _, err := tail.Next(); err != ErrTailCaughtUp {
+		t.Fatalf("empty journal: got %v, want ErrTailCaughtUp", err)
+	}
+	recs := [][]byte{[]byte("one"), []byte("two"), []byte("three")}
+	for _, r := range recs {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range recs {
+		got, err := tail.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("record %d: got %q, want %q", i, got, want)
+		}
+	}
+	if _, err := tail.Next(); err != ErrTailCaughtUp {
+		t.Fatalf("after drain: got %v, want ErrTailCaughtUp", err)
+	}
+
+	// A restart from a saved offset resumes exactly where it left off.
+	off := tail.Offset()
+	if err := j.Append([]byte("four")); err != nil {
+		t.Fatal(err)
+	}
+	tail2, err := OpenTail(path, off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tail2.Close()
+	got, err := tail2.Next()
+	if err != nil || string(got) != "four" {
+		t.Fatalf("resumed read: got %q, %v", got, err)
+	}
+}
+
+// A torn frame at the end of the file — the appender's write caught
+// mid-flight — must read as "caught up", not as an error, and the scanner
+// must deliver the record once the write completes.
+func TestTailScannerTornTail(t *testing.T) {
+	j, path := tailJournal(t)
+	if err := j.Append([]byte("whole")); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a torn append: a frame header promising more payload bytes
+	// than are present.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var frame [frameSize]byte
+	binary.LittleEndian.PutUint32(frame[0:4], 100)
+	if _, err := f.Write(frame[:]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	tail, err := OpenTail(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tail.Close()
+	if got, err := tail.Next(); err != nil || string(got) != "whole" {
+		t.Fatalf("first record: got %q, %v", got, err)
+	}
+	if _, err := tail.Next(); err != ErrTailCaughtUp {
+		t.Fatalf("torn tail: got %v, want ErrTailCaughtUp", err)
+	}
+}
+
+func TestOffsetTrackerMinAndWait(t *testing.T) {
+	tr := NewOffsetTracker()
+	if _, n := tr.Min(); n != 0 {
+		t.Fatalf("empty tracker has %d followers", n)
+	}
+	// No followers: waits return immediately.
+	if n := tr.WaitFor(Position{Gen: 5, Records: 5}); n != 0 {
+		t.Fatalf("WaitFor on empty tracker returned %d", n)
+	}
+
+	tr.Register("a")
+	tr.Register("b")
+	tr.Ack("a", Position{Gen: 0, Records: 10})
+	tr.Ack("b", Position{Gen: 0, Records: 4})
+	min, n := tr.Min()
+	if n != 2 || min != (Position{Gen: 0, Records: 4}) {
+		t.Fatalf("Min = %+v/%d", min, n)
+	}
+	// Acks are monotone: a stale ack cannot move a follower backwards.
+	tr.Ack("a", Position{Gen: 0, Records: 3})
+	if got := tr.Acked("a"); got != (Position{Gen: 0, Records: 10}) {
+		t.Fatalf("stale ack regressed position to %+v", got)
+	}
+	// Generation bumps order above any record count.
+	tr.Ack("b", Position{Gen: 1, Records: 0})
+	if min, _ := tr.Min(); min != (Position{Gen: 0, Records: 10}) {
+		t.Fatalf("cross-gen Min = %+v", min)
+	}
+
+	// A waiter blocks until the slowest follower covers the target.
+	target := Position{Gen: 1, Records: 2}
+	released := make(chan int, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		released <- tr.WaitFor(target)
+	}()
+	select {
+	case <-released:
+		t.Fatal("WaitFor returned before target was covered")
+	case <-time.After(20 * time.Millisecond):
+	}
+	tr.Ack("a", target)
+	tr.Ack("b", target)
+	wg.Wait()
+	if n := <-released; n != 2 {
+		t.Fatalf("WaitFor released with %d followers", n)
+	}
+}
+
+// Dropping a follower must release waiters stuck on it — a dead follower
+// cannot be allowed to wedge the request path.
+func TestOffsetTrackerDropReleasesWaiters(t *testing.T) {
+	tr := NewOffsetTracker()
+	tr.Register("fast")
+	tr.Register("dead")
+	target := Position{Gen: 0, Records: 1}
+	tr.Ack("fast", target)
+	done := make(chan int, 1)
+	go func() { done <- tr.WaitFor(target) }()
+	select {
+	case <-done:
+		t.Fatal("WaitFor returned while the dead follower lagged")
+	case <-time.After(20 * time.Millisecond):
+	}
+	tr.Drop("dead")
+	select {
+	case n := <-done:
+		if n != 1 {
+			t.Fatalf("released with %d followers, want 1", n)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Drop did not release the waiter")
+	}
+}
+
+func TestOffsetTrackerWaitTimeout(t *testing.T) {
+	tr := NewOffsetTracker()
+	tr.Register("slow")
+	start := time.Now()
+	n, ok := tr.WaitForTimeout(Position{Gen: 0, Records: 1}, 30*time.Millisecond)
+	if ok {
+		t.Fatal("timed-out wait reported success")
+	}
+	if n != 1 {
+		t.Fatalf("follower count = %d, want 1", n)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("timeout vastly overshot")
+	}
+	// Covered target: success well before the timeout.
+	tr.Ack("slow", Position{Gen: 0, Records: 1})
+	if _, ok := tr.WaitForTimeout(Position{Gen: 0, Records: 1}, time.Minute); !ok {
+		t.Fatal("covered target reported timeout")
+	}
+}
