@@ -257,11 +257,16 @@ func cmdRun(args []string) error {
 	retries := fs.Int("retries", 8, "max retries per round trip on the hiddend link (-1 disables)")
 	pipeline := fs.Bool("pipeline", true, "pipeline reply-free hidden calls (one-way sends, coalesced writes)")
 	window := fs.Int("window", 64, "max unacknowledged in-flight requests when pipelining")
+	execFlag := fs.String("exec", "vm", "in-process fragment execution engine: vm (compiled bytecode) or interp (tree-walking oracle); a remote hiddend picks its own")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("run: expected one source file")
+	}
+	execMode, err := interp.ParseExecMode(*execFlag)
+	if err != nil {
+		return fmt.Errorf("run: %w", err)
 	}
 	statsMode, err := parseStatsMode(*stats)
 	if err != nil {
@@ -357,7 +362,9 @@ func cmdRun(args []string) error {
 			t = tr
 		}
 	} else {
-		t = &hrt.Local{Server: hrt.NewServer(hrt.NewRegistry(res))}
+		local := hrt.NewServer(hrt.NewRegistry(res))
+		local.SetExecMode(execMode)
+		t = &hrt.Local{Server: local}
 	}
 	if *rtt > 0 {
 		t = &hrt.Latency{Inner: t, RTT: *rtt}
@@ -453,6 +460,7 @@ func cmdLoadtest(args []string) error {
 	split := fs.String("split", "", `workload split spec "f:seed" (default: built-in workload; with a program file it must name one of its functions)`)
 	dataDir := fs.String("data-dir", "", "make the self-hosted server durable: journal session state in this directory (measures WAL overhead; ignored with -server)")
 	fsync := fs.Bool("fsync", false, "fsync every journal append on the self-hosted durable server (requires -data-dir)")
+	execFlag := fs.String("exec", "vm", "self-hosted server fragment execution engine: vm (compiled bytecode) or interp (tree-walking oracle); ignored with -server")
 	asJSON := fs.Bool("json", false, "emit the schema-versioned LoadResult JSON instead of text")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -502,6 +510,7 @@ func cmdLoadtest(args []string) error {
 		Split:        *split,
 		DataDir:      *dataDir,
 		Fsync:        *fsync,
+		ExecMode:     *execFlag,
 	})
 	if err != nil {
 		return err
@@ -515,8 +524,8 @@ func cmdLoadtest(args []string) error {
 	if res.Durability != "" {
 		durable = ", durability=" + res.Durability
 	}
-	fmt.Printf("loadtest: %d sessions × %d ops (%s, shards=%s, GOMAXPROCS=%d%s)\n",
-		res.Sessions, res.OpsPerSession, res.Mode, shardsLabel(res.Shards), res.GOMAXPROCS, durable)
+	fmt.Printf("loadtest: %d sessions × %d ops (%s, exec=%s, shards=%s, GOMAXPROCS=%d%s)\n",
+		res.Sessions, res.OpsPerSession, res.Mode, res.ExecMode, shardsLabel(res.Shards), res.GOMAXPROCS, durable)
 	fmt.Printf("  throughput: %.0f ops/sec (%d ops in %s)\n",
 		res.OpsPerSec, res.TotalOps, time.Duration(res.ElapsedNs))
 	fmt.Printf("  blocking ops: %d, p50 %s, p99 %s, max %s\n",

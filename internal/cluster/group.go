@@ -100,6 +100,12 @@ type Group struct {
 	failoverNS atomic.Int64
 	syncWaits  atomic.Int64
 	syncStalls atomic.Int64
+	// replReceived/replApplied tally the incoming replication stream:
+	// records read off the wire vs. records applied to local state. Their
+	// difference is this follower's own apply lag, the receiving-side
+	// counterpart of the sender's repl_lag_records.
+	replReceived atomic.Int64
+	replApplied  atomic.Int64
 }
 
 // New builds the group and wires it into ts: the Router hook (owner
@@ -384,6 +390,7 @@ func (g *Group) Redirects() int64 { return g.redirects.Load() }
 // RegisterMetrics exports the fleet gauges.
 func (g *Group) RegisterMetrics(reg *obs.Registry) {
 	reg.Gauge("repl_lag_records", g.Lag)
+	reg.Gauge("repl_apply_lag_records", func() int64 { return g.replReceived.Load() - g.replApplied.Load() })
 	reg.Gauge("repl_bytes", g.replBytes.Load)
 	reg.Gauge("owner_redirects", g.redirects.Load)
 	reg.Gauge("failover_ns", g.failoverNS.Load)

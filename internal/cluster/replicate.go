@@ -278,11 +278,13 @@ func (g *Group) handleRepl(conn net.Conn, r *bufio.Reader) {
 		if f.Type != hrt.ReplFrameRecord {
 			continue
 		}
+		g.replReceived.Add(1)
 		if err := g.ts.ApplyReplicated(f.Payload); err != nil {
 			g.cfg.Tracer.Emit(obs.LevelError, "cluster_repl_apply_error",
 				obs.Str("peer", peer), obs.Err(err))
 			return
 		}
+		g.replApplied.Add(1)
 		g.replBytes.Add(int64(21 + len(f.Payload)))
 		conn.SetWriteDeadline(time.Now().Add(g.cfg.CommitTimeout))
 		if err := hrt.WriteReplFrame(w, hrt.ReplFrame{Type: hrt.ReplFrameAck, Gen: f.Gen, Index: f.Index}); err != nil {

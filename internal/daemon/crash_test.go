@@ -116,9 +116,14 @@ type child struct {
 }
 
 // startChild launches this test binary as hiddend and waits until it
-// reports the listener is up.
+// reports the listener is up. SLICEHIDE_CHAOS_EXEC selects the child's
+// fragment execution engine (vm or interp), so CI runs the whole chaos
+// harness once per engine; unset means the default (vm).
 func startChild(t *testing.T, args ...string) *child {
 	t.Helper()
+	if mode := os.Getenv("SLICEHIDE_CHAOS_EXEC"); mode != "" {
+		args = append([]string{"-exec", mode}, args...)
+	}
 	c := &child{stderr: &bytes.Buffer{}, ready: make(chan struct{})}
 	c.cmd = exec.Command(os.Args[0], args...)
 	c.cmd.Env = append(os.Environ(), childEnv+"=1")

@@ -21,6 +21,7 @@ import (
 	"slicehide/internal/cluster"
 	"slicehide/internal/core"
 	"slicehide/internal/hrt"
+	"slicehide/internal/interp"
 	"slicehide/internal/ir"
 	"slicehide/internal/obs"
 	"slicehide/internal/slicer"
@@ -70,6 +71,10 @@ type Config struct {
 	// session when this replica dies (requires -data-dir and -peers).
 	Replicate bool
 
+	// ExecMode selects the fragment execution engine: "vm" (default)
+	// runs compiled bytecode, "interp" the tree-walking oracle.
+	ExecMode string
+
 	// Stdout receives the human-readable startup/shutdown lines (defaults
 	// to os.Stdout).
 	Stdout io.Writer
@@ -96,8 +101,12 @@ func ParseFlags(args []string) (Config, error) {
 	fs.DurationVar(&cfg.DrainTimeout, "drain-timeout", 5*time.Second, "on SIGTERM/SIGINT, wait this long for in-flight connections to finish before severing them")
 	fs.StringVar(&cfg.Peers, "peers", "", "comma-separated fleet membership, including this replica's own -listen address; sessions are rendezvous-placed across the members")
 	fs.BoolVar(&cfg.Replicate, "replicate", false, "stream the WAL to every peer and gate responses on follower acknowledgement, so sessions survive this replica's death (requires -peers and -data-dir)")
+	fs.StringVar(&cfg.ExecMode, "exec", "vm", "fragment execution engine: vm (compiled bytecode) or interp (tree-walking oracle)")
 	if err := fs.Parse(args); err != nil {
 		return Config{}, err
+	}
+	if _, err := interp.ParseExecMode(cfg.ExecMode); err != nil {
+		return Config{}, fmt.Errorf("hiddend: %w", err)
 	}
 	if cfg.Split == "" || fs.NArg() != 1 {
 		return Config{}, fmt.Errorf("usage: hiddend -listen addr -split f[:seed],... [-data-dir dir] [-peers addr,...] program.mj")
@@ -199,8 +208,15 @@ func Start(cfg Config) (*Daemon, error) {
 			Tracer:        d.tracer,
 		})
 	}
+	exec, err := interp.ParseExecMode(cfg.ExecMode)
+	if err != nil {
+		d.closeTrace()
+		return nil, fmt.Errorf("hiddend: %w", err)
+	}
+	server := hrt.NewServerShards(hrt.NewRegistry(res), shards)
+	server.SetExecMode(exec)
 	d.server = &hrt.TCPServer{
-		Server:          hrt.NewServerShards(hrt.NewRegistry(res), shards),
+		Server:          server,
 		ReadTimeout:     cfg.Timeout,
 		WriteTimeout:    cfg.Timeout,
 		MaxConns:        cfg.MaxConns,

@@ -74,6 +74,10 @@ type LoadConfig struct {
 	// Fsync fsyncs each journal append (power-loss durability; requires
 	// DataDir). This is the expensive tier of the durability table.
 	Fsync bool
+	// ExecMode selects the self-hosted server's fragment execution engine:
+	// "vm" (default, compiled bytecode) or "interp" (the tree-walking
+	// oracle). Ignored when Addr is set — a remote server picks its own.
+	ExecMode string
 }
 
 // LoadResult is one load run's measurement, the schema-versioned document
@@ -96,10 +100,15 @@ type LoadResult struct {
 	// "" (in-memory), "wal" (journaled), or "wal+fsync" (journaled with
 	// per-append fsync).
 	Durability string `json:"durability,omitempty"`
+	// ExecMode records the fragment execution engine the server ran:
+	// "vm" (compiled bytecode) or "interp" (tree-walking oracle);
+	// "remote" when targeting a server whose engine this client can't see.
+	ExecMode string `json:"exec_mode"`
 }
 
-// LoadSchemaVersion is bumped when LoadResult's shape changes.
-const LoadSchemaVersion = 1
+// LoadSchemaVersion is bumped when LoadResult's shape changes. Version 2
+// added exec_mode when fragment execution moved to compiled bytecode.
+const LoadSchemaVersion = 2
 
 func (c *LoadConfig) withDefaults() LoadConfig {
 	cfg := *c
@@ -164,7 +173,13 @@ func RunLoad(c LoadConfig) (LoadResult, error) {
 	addr := cfg.Addr
 	shards := cfg.Shards
 	durability := ""
+	execLabel := "remote"
 	if addr == "" {
+		exec, err := interp.ParseExecMode(cfg.ExecMode)
+		if err != nil {
+			return LoadResult{}, fmt.Errorf("loadgen: %w", err)
+		}
+		execLabel = exec.String()
 		var persist *hrt.Durability
 		if cfg.DataDir != "" {
 			persist = hrt.NewDurability(hrt.DurabilityOptions{Dir: cfg.DataDir, Fsync: cfg.Fsync})
@@ -173,8 +188,10 @@ func RunLoad(c LoadConfig) (LoadResult, error) {
 				durability = "wal+fsync"
 			}
 		}
+		inner := hrt.NewServerShards(hrt.NewRegistry(res), shards)
+		inner.SetExecMode(exec)
 		srv := &hrt.TCPServer{
-			Server:  hrt.NewServerShards(hrt.NewRegistry(res), shards),
+			Server:  inner,
 			Shards:  shards,
 			Persist: persist,
 		}
@@ -233,6 +250,7 @@ func RunLoad(c LoadConfig) (LoadResult, error) {
 		OpsPerSec:     float64(total) / elapsed.Seconds(),
 		Blocking:      hist.Snapshot(),
 		Durability:    durability,
+		ExecMode:      execLabel,
 	}, nil
 }
 
@@ -334,17 +352,23 @@ func WriteLoadBenchJSON(w io.Writer, cfg LoadConfig, shardedCount int) error {
 
 	prev := runtime.GOMAXPROCS(0)
 	defer runtime.GOMAXPROCS(prev)
+	// Each (procs, shards) cell runs under both execution engines, so the
+	// report carries the interpreter-vs-VM overhead alongside the striping
+	// comparison.
 	for _, procs := range []int{1, 4} {
 		runtime.GOMAXPROCS(procs)
 		for _, shards := range []int{1, shardedCount} {
-			run := base
-			run.Shards = shards
-			r, err := RunLoad(run)
-			if err != nil {
-				return err
+			for _, exec := range []string{"vm", "interp"} {
+				run := base
+				run.Shards = shards
+				run.ExecMode = exec
+				r, err := RunLoad(run)
+				if err != nil {
+					return err
+				}
+				r.GOMAXPROCS = procs
+				rep.Rows = append(rep.Rows, r)
 			}
-			r.GOMAXPROCS = procs
-			rep.Rows = append(rep.Rows, r)
 		}
 	}
 	runtime.GOMAXPROCS(prev)

@@ -83,6 +83,25 @@ func (m *RuntimeMetrics) Observe(op Op, oneWay bool, d time.Duration) {
 	m.hists[op][mode].Observe(d)
 }
 
+// VMMetrics times bytecode fragment executions. The handle set is resolved
+// once at registration; when no registry is attached the server carries a
+// nil VMMetrics and the hot path pays a single pointer check.
+type VMMetrics struct {
+	execCall *obs.Histogram
+}
+
+// RegisterVMMetrics exports the execution engine's metrics into reg: the
+// one-time bytecode compile cost, the per-call VM execution latency, and
+// how many pooled temp frames sit idle.
+func (s *Server) RegisterVMMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	s.vmMetrics = &VMMetrics{execCall: reg.Histogram("vm_exec_call_ns")}
+	reg.Gauge("vm_compile_ns", func() int64 { return s.reg.Prog.CompileNS })
+	reg.Gauge("vm_frames_pooled", func() int64 { return s.frames.Pooled() })
+}
+
 // valuesAttr formats a value list for tracing. Always attach it with
 // obs.Secret: the values are hidden-state inputs or outputs.
 func valuesAttr(key string, vals []interp.Value) obs.Attr {

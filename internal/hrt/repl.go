@@ -342,11 +342,11 @@ func (ts *TCPServer) applyReplicatedGlobals(deltas []globalDelta) error {
 		if d.version < ts.replGlobalSeen[d.name] {
 			continue // an out-of-order older write; the newer value already landed
 		}
-		v := ts.replRes.globals[d.name]
-		if v == nil {
+		slot, ok := ts.replRes.globalSlot(d.name)
+		if !ok {
 			return fmt.Errorf("hrt: replicated record writes unknown global %s (program differs across replicas?)", d.name)
 		}
-		s.globals.vals[v] = d.val
+		s.globals.vals[slot] = d.val
 		ts.replGlobalSeen[d.name] = d.version
 		if d.version > s.globalsVersion {
 			s.globalsVersion = d.version

@@ -41,6 +41,10 @@ type RunOptions struct {
 	// hidden calls go one-way and only barriers/reply-bearing calls block.
 	// The outermost wrapped transport must be async-capable.
 	Pipeline bool
+	// Exec selects the hidden server's fragment execution engine
+	// (bytecode VM by default; the tree-walking interpreter is kept as a
+	// differential oracle).
+	Exec interp.ExecMode
 }
 
 // RunOriginal executes the unsplit program and returns its output.
@@ -61,6 +65,7 @@ func RunSplit(res *core.Result, wrap func(Transport) Transport, maxSteps int64) 
 // RunSplitOpts is RunSplit with pipelining control.
 func RunSplitOpts(res *core.Result, wrap func(Transport) Transport, maxSteps int64, opts RunOptions) RunOutcome {
 	server := NewServer(NewRegistry(res))
+	server.SetExecMode(opts.Exec)
 	var t Transport = &Local{Server: server}
 	if wrap != nil {
 		t = wrap(t)

@@ -15,13 +15,13 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"slicehide/internal/core"
 	"slicehide/internal/interp"
 	"slicehide/internal/ir"
-	"slicehide/internal/lang/ast"
 	"slicehide/internal/lang/token"
-	"slicehide/internal/lang/types"
+	"slicehide/internal/vm"
 )
 
 // Registry holds the hidden components of a split program; it is the
@@ -31,9 +31,14 @@ type Registry struct {
 	// GlobalInit seeds the shared hidden-globals store (the §2.2
 	// global-variable extension); keys are hidden global variables.
 	GlobalInit map[*ir.Var]interp.Value
+	// Prog is the bytecode form of Components, compiled once at build: it
+	// also owns the slot layouts both execution modes address stores
+	// through, and the program hash recovery checks snapshots against.
+	Prog *vm.Program
 }
 
-// NewRegistry collects the hidden components from a program split result.
+// NewRegistry collects the hidden components from a program split result
+// and compiles them to bytecode.
 func NewRegistry(res *core.Result) *Registry {
 	r := &Registry{
 		Components: make(map[string]*core.HiddenComponent, len(res.Splits)),
@@ -51,6 +56,7 @@ func NewRegistry(res *core.Result) *Registry {
 	for class, fi := range res.Fields {
 		r.Components[core.ClassComponentPrefix+class] = fi.Component
 	}
+	r.Prog = vm.Compile(r.Components, r.GlobalInit)
 	return r
 }
 
@@ -105,9 +111,16 @@ type Server struct {
 	// append order across sessions can invert the order the globals lock
 	// was taken in.
 	globalsVersion uint64
-	// touchesGlobals marks components whose fragments can reach a global
-	// hidden variable; only their calls take globalsMu.
-	touchesGlobals map[string]bool
+
+	// exec selects the fragment executor: the bytecode VM (default) or
+	// the tree-walking interpreter kept as its differential oracle.
+	exec interp.ExecMode
+	// frames pools VM temp frames, sized to the program's largest
+	// fragment.
+	frames *vm.FramePool
+	// vmMetrics, when non-nil, times fragment executions (see
+	// RegisterVMMetrics); the default path pays one nil check.
+	vmMetrics *VMMetrics
 }
 
 // serverShard holds the session state of one stripe: activation stores,
@@ -117,6 +130,14 @@ type Server struct {
 type serverShard struct {
 	mu     sync.Mutex
 	stores map[string]map[actKey]*store
+	// memo caches the last activation resolution of this stripe so the
+	// steady state of a session's calls — same component, same activation
+	// — skips the lock and both map lookups. Any mutation of the stripe's
+	// store tables clears it. Caching a *store here is safe for the same
+	// reason executing against one without the stripe lock already is:
+	// one session's operations are serialized by the dedup layer, and a
+	// session's stores are not reachable from other sessions.
+	memo atomic.Pointer[actMemo]
 	// instances holds per-object hidden-field stores (the §2.2
 	// object-oriented extension), keyed by session, class, and object
 	// instance id. Object ids are assigned by the client interpreter, so
@@ -142,11 +163,26 @@ type actKey struct {
 }
 
 // store is one hidden activation record: the values of the hidden variables
-// of one activation of a split function.
+// of one activation of a split function, indexed by the slots the compiled
+// program's layouts assign.
 type store struct {
-	vals map[*ir.Var]interp.Value
+	vals []interp.Value
 	// obj is the receiver instance id the activation was opened with.
 	obj int64
+	// frame is the VM temp frame cached on this activation between calls
+	// (a session's calls are serialized, so the activation owns it);
+	// returned to the server pool on Exit.
+	frame *vm.Frame
+}
+
+// actMemo is one cached activation resolution (see serverShard.memo).
+type actMemo struct {
+	fn      string
+	session uint64
+	inst    int64
+	st      *store
+	instore *store
+	cc      *vm.Comp
 }
 
 // NewServer creates a hidden-component server over reg with one session
@@ -169,24 +205,25 @@ func NewServerShards(reg *Registry, shards int) *Server {
 			instances: make(map[instanceKey]*store),
 		}
 	}
-	s.globals = &store{vals: make(map[*ir.Var]interp.Value)}
-	for v, val := range reg.GlobalInit {
-		s.globals.vals[v] = val
-	}
-	s.touchesGlobals = make(map[string]bool)
-	for name, comp := range reg.Components {
-		if name == core.GlobalsComponent {
-			s.touchesGlobals[name] = true
-			continue
-		}
-		for _, v := range comp.Vars {
-			if v.Kind == ir.VarGlobal {
-				s.touchesGlobals[name] = true
-				break
-			}
-		}
-	}
+	s.globals = &store{vals: reg.Prog.NewGlobalVals()}
+	s.frames = vm.NewFramePool(reg.Prog.MaxTemps)
 	return s
+}
+
+// SetExecMode selects the fragment executor. Call before serving traffic;
+// both modes address the same slot-based stores, so the choice only picks
+// the execution engine.
+func (s *Server) SetExecMode(m interp.ExecMode) { s.exec = m }
+
+// ExecMode reports the selected fragment executor.
+func (s *Server) ExecMode() interp.ExecMode { return s.exec }
+
+// clearMemos drops every stripe's cached activation resolution (called
+// after bulk state mutation: snapshot import).
+func (s *Server) clearMemos() {
+	for _, sh := range s.shards {
+		sh.memo.Store(nil)
+	}
 }
 
 // shardCount normalizes a shard configuration value: at least one, rounded
@@ -242,13 +279,14 @@ func (s *Server) Enter(fn string, obj int64) (int64, error) {
 // transport picks ids locally so Enter needs no reply); zero asks the
 // server to assign one.
 func (s *Server) EnterSession(session uint64, fn string, obj, inst int64) (int64, error) {
-	comp := s.reg.Components[fn]
-	if comp == nil {
+	cc := s.reg.Prog.Comps[fn]
+	if cc == nil {
 		return 0, fmt.Errorf("hrt: no hidden component for %s", fn)
 	}
 	sh := s.shard(session)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	sh.memo.Store(nil)
 	if inst == 0 {
 		// Server-assigned ids are unique per shard, which is enough:
 		// activations are addressed by (session, inst) and a session lives
@@ -259,13 +297,7 @@ func (s *Server) EnterSession(session uint64, fn string, obj, inst int64) (int64
 	if sh.stores[fn] == nil {
 		sh.stores[fn] = make(map[actKey]*store)
 	}
-	st := &store{vals: make(map[*ir.Var]interp.Value, len(comp.Vars)), obj: obj}
-	for _, v := range comp.Vars {
-		if v.Kind == ir.VarField || v.Kind == ir.VarGlobal {
-			continue // routed to instance/globals stores
-		}
-		st.vals[v] = zeroValue(v)
-	}
+	st := &store{vals: cc.Act.NewVals(), obj: obj}
 	sh.stores[fn][actKey{session: session, inst: inst}] = st
 	s.statEnters.Add(1)
 	return inst, nil
@@ -288,11 +320,11 @@ func (s *Server) Stats() ServerStats {
 
 // instanceStore returns (creating on first use) the hidden-field store of
 // one object in one session's namespace. Caller holds sh.mu.
-func (sh *serverShard) instanceStore(session uint64, class string, obj int64) *store {
+func (sh *serverShard) instanceStore(prog *vm.Program, session uint64, class string, obj int64) *store {
 	key := instanceKey{session: session, class: class, obj: obj}
 	st, ok := sh.instances[key]
 	if !ok {
-		st = &store{vals: make(map[*ir.Var]interp.Value), obj: obj}
+		st = &store{vals: prog.Fields[class].NewVals(), obj: obj}
 		sh.instances[key] = st
 	}
 	return st
@@ -320,8 +352,14 @@ func (s *Server) ExitSession(session uint64, fn string, inst int64) error {
 	sh := s.shard(session)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	sh.memo.Store(nil)
 	if m := sh.stores[fn]; m != nil {
-		delete(m, actKey{session: session, inst: inst})
+		key := actKey{session: session, inst: inst}
+		if st := m[key]; st != nil && st.frame != nil {
+			s.frames.Put(st.frame)
+			st.frame = nil
+		}
+		delete(m, key)
 		s.statExits.Add(1)
 		return nil
 	}
@@ -367,44 +405,47 @@ func (s *Server) callSession(session uint64, fn string, inst int64, frag int, ar
 	if wantEffects {
 		eff = &recEffects{}
 	}
-	comp := s.reg.Components[fn]
-	if comp == nil {
-		return interp.NullV(), eff, fmt.Errorf("hrt: no hidden component for %s", fn)
+	sh := s.shard(session)
+
+	// Fast path: the stripe's last resolution. A session's steady state —
+	// call after call against one activation — hits here and pays neither
+	// the stripe lock nor the component/activation map lookups.
+	var cc *vm.Comp
+	var st, instStore *store
+	if m := sh.memo.Load(); m != nil && m.inst == inst && m.session == session && m.fn == fn {
+		cc, st, instStore = m.cc, m.st, m.instore
+	} else {
+		cc = s.reg.Prog.Comps[fn]
+		if cc == nil {
+			return interp.NullV(), eff, fmt.Errorf("hrt: no hidden component for %s", fn)
+		}
+		sh.mu.Lock()
+		st = sh.stores[fn][actKey{session: session, inst: inst}]
+		if st == nil && fn == core.GlobalsComponent {
+			// The shared globals component has a single implicit activation.
+			st = s.globals
+		}
+		if st == nil && cc.IsClass {
+			// Class components address per-object stores directly; inst is
+			// the object instance id.
+			st = sh.instanceStore(s.reg.Prog, session, cc.Class, inst)
+		}
+		if st != nil && cc.Class != "" {
+			instStore = sh.instanceStore(s.reg.Prog, session, cc.Class, st.obj)
+		}
+		sh.mu.Unlock()
+		if st == nil {
+			return interp.NullV(), eff, fmt.Errorf("hrt: no activation %s/%d", fn, inst)
+		}
+		sh.memo.Store(&actMemo{fn: fn, session: session, inst: inst, st: st, instore: instStore, cc: cc})
 	}
-	fr := comp.Frags[frag]
-	if fr == nil {
+
+	f := cc.Frag(frag)
+	if f == nil {
 		return interp.NullV(), eff, fmt.Errorf("hrt: %s has no fragment %d", fn, frag)
 	}
-	class := classOf(fn)
-	sh := s.shard(session)
-	sh.mu.Lock()
-	st := sh.stores[fn][actKey{session: session, inst: inst}]
-	if st == nil && fn == core.GlobalsComponent {
-		// The shared globals component has a single implicit activation.
-		st = s.globals
-	}
-	if st == nil && class != "" && isClassComponent(fn) {
-		// Class components address per-object stores directly; inst is the
-		// object instance id.
-		st = sh.instanceStore(session, class, inst)
-	}
-	var instStore *store
-	if st != nil && class != "" {
-		instStore = sh.instanceStore(session, class, st.obj)
-	}
-	sh.mu.Unlock()
-	if st == nil {
-		return interp.NullV(), eff, fmt.Errorf("hrt: no activation %s/%d", fn, inst)
-	}
-	if len(args) != len(fr.ArgVars) {
-		return interp.NullV(), eff, fmt.Errorf("hrt: fragment %s/%d wants %d args, got %d", fn, frag, len(fr.ArgVars), len(args))
-	}
-	ex := &fragExec{store: st, globals: s.globals, instance: instStore}
-	if eff != nil {
-		ex.track = &writeTracker{}
-	}
-	for i, av := range fr.ArgVars {
-		ex.args = append(ex.args, argBinding{v: av, val: args[i]})
+	if len(args) != f.NArgs {
+		return interp.NullV(), eff, fmt.Errorf("hrt: fragment %s/%d wants %d args, got %d", fn, frag, f.NArgs, len(args))
 	}
 	s.statCalls.Add(1)
 	if eff != nil {
@@ -412,7 +453,7 @@ func (s *Server) callSession(session uint64, fn string, inst int64, frag int, ar
 		// even when the fragment body errors, and recovery must re-bump it.
 		eff.counted = true
 	}
-	if s.touchesGlobals[fn] {
+	if cc.TouchesGlobals {
 		// The shared globals store is the only cross-session state; a
 		// fragment that can read or write it runs under the dedicated
 		// globals lock, which both prevents data races between sessions on
@@ -421,9 +462,53 @@ func (s *Server) callSession(session uint64, fn string, inst int64, frag int, ar
 		s.globalsMu.Lock()
 		defer s.globalsMu.Unlock()
 	}
-	v, err := ex.run(fr.Body)
+
+	if s.exec == interp.ExecInterp {
+		// Tree-walking oracle path.
+		fr := s.reg.Components[fn].Frags[frag]
+		ex := &fragExec{
+			store: st, globals: s.globals, instance: instStore,
+			actL: cc.Act, globalsL: s.reg.Prog.Globals, fieldsL: s.reg.Prog.Fields[cc.Class],
+		}
+		if eff != nil {
+			ex.track = &writeTracker{}
+		}
+		for i, av := range fr.ArgVars {
+			ex.args = append(ex.args, argBinding{v: av, val: args[i]})
+		}
+		v, err := ex.run(fr.Body)
+		if eff != nil {
+			s.captureEffects(eff, cc, ex.track, st, instStore)
+		}
+		return v, eff, err
+	}
+
+	// Bytecode path.
+	frame := st.frame
+	if frame == nil {
+		frame = s.frames.Get()
+		st.frame = frame
+	}
+	env := vm.Env{Act: st.vals, Globals: s.globals.vals}
+	if instStore != nil {
+		env.Fields = instStore.vals
+	}
+	var ws *vm.WriteSet
 	if eff != nil {
-		s.captureEffects(eff, fn, ex.track, st, instStore)
+		ws = &vm.WriteSet{}
+	}
+	if m := s.vmMetrics; m != nil {
+		t0 := time.Now()
+		v, err := f.Exec(frame, args, env, ws)
+		m.execCall.Observe(time.Since(t0))
+		if eff != nil {
+			s.captureVMEffects(eff, cc, ws, st, instStore)
+		}
+		return v, eff, err
+	}
+	v, err := f.Exec(frame, args, env, ws)
+	if eff != nil {
+		s.captureVMEffects(eff, cc, ws, st, instStore)
 	}
 	return v, eff, err
 }
@@ -433,20 +518,51 @@ func (s *Server) callSession(session uint64, fn string, inst int64, frag int, ar
 // the caller still holds globalsMu iff the component touches globals, and
 // st/instStore are only reachable through this session, whose requests the
 // dedup layer serializes.
-func (s *Server) captureEffects(eff *recEffects, fn string, track *writeTracker, st, instStore *store) {
-	if s.touchesGlobals[fn] {
+func (s *Server) captureEffects(eff *recEffects, cc *vm.Comp, track *writeTracker, st, instStore *store) {
+	if cc.TouchesGlobals {
 		s.globalsVersion++
 		eff.globalsVersion = s.globalsVersion
 	}
+	prog := s.reg.Prog
 	for _, v := range track.act {
-		eff.deltas = append(eff.deltas, stateDelta{scope: scopeAct, name: v.Name, val: st.vals[v]})
+		if slot, ok := cc.Act.Slot(v); ok {
+			eff.deltas = append(eff.deltas, stateDelta{scope: scopeAct, name: v.Name, val: st.vals[slot]})
+		}
 	}
 	for _, v := range track.globals {
-		eff.deltas = append(eff.deltas, stateDelta{scope: scopeGlobal, name: v.Name, val: s.globals.vals[v]})
+		if slot, ok := prog.Globals.Slot(v); ok {
+			eff.deltas = append(eff.deltas, stateDelta{scope: scopeGlobal, name: v.Name, val: s.globals.vals[slot]})
+		}
 	}
 	for _, v := range track.fields {
+		if slot, ok := prog.Fields[cc.Class].Slot(v); ok {
+			eff.deltas = append(eff.deltas, stateDelta{
+				scope: scopeField, name: v.Name, class: v.Class, obj: instStore.obj, val: instStore.vals[slot],
+			})
+		}
+	}
+}
+
+// captureVMEffects is captureEffects for the bytecode path, whose write
+// tracker records slots instead of variables.
+func (s *Server) captureVMEffects(eff *recEffects, cc *vm.Comp, ws *vm.WriteSet, st, instStore *store) {
+	if cc.TouchesGlobals {
+		s.globalsVersion++
+		eff.globalsVersion = s.globalsVersion
+	}
+	prog := s.reg.Prog
+	for _, slot := range ws.Act {
+		v := cc.Act.Vars[slot]
+		eff.deltas = append(eff.deltas, stateDelta{scope: scopeAct, name: v.Name, val: st.vals[slot]})
+	}
+	for _, slot := range ws.Globals {
+		v := prog.Globals.Vars[slot]
+		eff.deltas = append(eff.deltas, stateDelta{scope: scopeGlobal, name: v.Name, val: s.globals.vals[slot]})
+	}
+	for _, slot := range ws.Fields {
+		v := prog.Fields[cc.Class].Vars[slot]
 		eff.deltas = append(eff.deltas, stateDelta{
-			scope: scopeField, name: v.Name, class: v.Class, obj: instStore.obj, val: instStore.vals[v],
+			scope: scopeField, name: v.Name, class: v.Class, obj: instStore.obj, val: instStore.vals[slot],
 		})
 	}
 }
@@ -459,15 +575,7 @@ func isClassComponent(fn string) bool {
 // zeroValue returns the typed zero of a hidden variable (hidden variables
 // are scalars by construction).
 func zeroValue(v *ir.Var) interp.Value {
-	if b, ok := v.Type.(*types.Basic); ok {
-		switch b.Kind {
-		case ast.Float:
-			return interp.FloatV(0)
-		case ast.Bool:
-			return interp.BoolV(false)
-		}
-	}
-	return interp.IntV(0)
+	return vm.ZeroValue(v)
 }
 
 // ---------------------------------------------------------------------------
@@ -486,6 +594,12 @@ type fragExec struct {
 	store    *store
 	globals  *store
 	instance *store
+	// actL/globalsL/fieldsL are the layouts the three stores are indexed
+	// by; the tree-walker resolves variables to slots through them, so it
+	// reads and writes the exact state the bytecode VM does.
+	actL     *vm.Layout
+	globalsL *vm.Layout
+	fieldsL  *vm.Layout
 	args     []argBinding
 	steps    int64
 	// track, when non-nil, records which variables the fragment wrote,
@@ -551,17 +665,29 @@ func (ex *fragExec) exec(stmts []ir.Stmt) (fragSignal, interp.Value, error) {
 			}
 			switch {
 			case vt.Var.Kind == ir.VarGlobal && ex.globals != nil:
-				ex.globals.vals[vt.Var] = v
+				slot, ok := ex.globalsL.Slot(vt.Var)
+				if !ok {
+					return fragNone, interp.Value{}, fmt.Errorf("hrt: fragment writes unlaid-out global %s", vt.Var)
+				}
+				ex.globals.vals[slot] = v
 				if ex.track != nil {
 					ex.track.globals = addWritten(ex.track.globals, vt.Var)
 				}
 			case vt.Var.Kind == ir.VarField && ex.instance != nil:
-				ex.instance.vals[vt.Var] = v
+				slot, ok := ex.fieldsL.Slot(vt.Var)
+				if !ok {
+					return fragNone, interp.Value{}, fmt.Errorf("hrt: fragment writes unlaid-out field %s", vt.Var)
+				}
+				ex.instance.vals[slot] = v
 				if ex.track != nil {
 					ex.track.fields = addWritten(ex.track.fields, vt.Var)
 				}
 			default:
-				ex.store.vals[vt.Var] = v
+				slot, ok := ex.actL.Slot(vt.Var)
+				if !ok {
+					return fragNone, interp.Value{}, fmt.Errorf("hrt: fragment writes unlaid-out variable %s", vt.Var)
+				}
+				ex.store.vals[slot] = v
 				if ex.track != nil {
 					ex.track.act = addWritten(ex.track.act, vt.Var)
 				}
@@ -654,19 +780,19 @@ func (ex *fragExec) eval(e ir.Expr) (interp.Value, error) {
 			}
 		}
 		if e.Var.Kind == ir.VarGlobal && ex.globals != nil {
-			if v, ok := ex.globals.vals[e.Var]; ok {
-				return v, nil
+			if slot, ok := ex.globalsL.Slot(e.Var); ok {
+				return ex.globals.vals[slot], nil
 			}
 		}
 		if e.Var.Kind == ir.VarField && ex.instance != nil {
-			if v, ok := ex.instance.vals[e.Var]; ok {
-				return v, nil
+			if slot, ok := ex.fieldsL.Slot(e.Var); ok {
+				return ex.instance.vals[slot], nil
 			}
 			// Fields are zero-initialized at object creation.
 			return zeroValue(e.Var), nil
 		}
-		if v, ok := ex.store.vals[e.Var]; ok {
-			return v, nil
+		if slot, ok := ex.actL.Slot(e.Var); ok {
+			return ex.store.vals[slot], nil
 		}
 		return interp.NullV(), fmt.Errorf("hrt: fragment reads unknown variable %s", e.Var)
 	case *ir.Unary:

@@ -8,23 +8,27 @@ import (
 
 	"slicehide/internal/core"
 	"slicehide/internal/interp"
-	"slicehide/internal/ir"
+	"slicehide/internal/vm"
 )
 
 // Snapshot codec and replay application: the full hidden-server state
 // (execution tallies, globals, activation and instance stores) plus the
 // dedup replay cache, serialized with the wire codec's primitives.
 //
-// Stores key values by *ir.Var, and pointers do not survive a process
-// restart — so everything is serialized by stable names ((component, var)
-// for activation state, plain name for globals, (class, name) for fields)
-// and resolved against the recompiled Registry at import. A name the new
-// Registry cannot resolve aborts recovery: it means the program or the
-// split changed between runs, and resuming sessions against different
-// hidden components would corrupt state rather than preserve it.
+// Stores index values by compiled slot, and slot numbers are an artifact
+// of one compilation — so everything is serialized by stable names
+// ((component, var) for activation state, plain name for globals,
+// (class, name) for fields) and resolved against the recompiled program's
+// layouts at import. A name the new program cannot resolve aborts
+// recovery: it means the program or the split changed between runs, and
+// resuming sessions against different hidden components would corrupt
+// state rather than preserve it. The payload also records the compiled
+// program's hash; a mismatch against the recompiled registry is refused
+// outright rather than resolved name by name.
 
-// snapshotFormat versions the snapshot payload layout.
-const snapshotFormat = 1
+// snapshotFormat versions the snapshot payload layout. Format 2 added the
+// program hash after the format word when stores moved to compiled slots.
+const snapshotFormat = 2
 
 // maxSnapshotItems bounds every decoded collection count so a corrupt (but
 // CRC-clean) snapshot can never drive allocation; decode loops append as
@@ -41,77 +45,36 @@ type dedupSessionState struct {
 	Lost     bool
 }
 
-// varResolver maps the stable names used on disk back to the recompiled
-// Registry's *ir.Var identities.
+// varResolver maps the stable names used on disk back to slots in the
+// recompiled program's layouts.
 type varResolver struct {
-	// acts: component → name, for variables routed to activation stores
-	// (everything except globals and fields).
-	acts    map[string]map[string]*ir.Var
-	globals map[string]*ir.Var
-	// fields: class → field name.
-	fields map[string]map[string]*ir.Var
+	prog *vm.Program
 }
 
 func newVarResolver(reg *Registry) *varResolver {
-	r := &varResolver{
-		acts:    make(map[string]map[string]*ir.Var),
-		globals: make(map[string]*ir.Var),
-		fields:  make(map[string]map[string]*ir.Var),
-	}
-	for name, comp := range reg.Components {
-		for _, v := range comp.Vars {
-			switch v.Kind {
-			case ir.VarGlobal:
-				r.globals[v.Name] = v
-			case ir.VarField:
-				class := v.Class
-				if class == "" {
-					class = classOf(name)
-				}
-				m := r.fields[class]
-				if m == nil {
-					m = make(map[string]*ir.Var)
-					r.fields[class] = m
-				}
-				m[v.Name] = v
-			default:
-				m := r.acts[name]
-				if m == nil {
-					m = make(map[string]*ir.Var)
-					r.acts[name] = m
-				}
-				m[v.Name] = v
-			}
-		}
-	}
-	for v := range reg.GlobalInit {
-		r.globals[v.Name] = v
-	}
-	return r
+	return &varResolver{prog: reg.Prog}
 }
 
-func (r *varResolver) actVar(fn, name string) *ir.Var {
-	if m := r.acts[fn]; m != nil {
-		return m[name]
+// actSlot resolves a name in component fn's activation store. The globals
+// component's activation layout aliases the globals layout and a class
+// component's aliases its field layout, mirroring the stores themselves.
+func (r *varResolver) actSlot(fn, name string) (int32, bool) {
+	cc := r.prog.Comps[fn]
+	if cc == nil {
+		return 0, false
 	}
-	return nil
+	return cc.Act.SlotByName(name)
 }
 
-func (r *varResolver) fieldVar(class, name string) *ir.Var {
-	if m := r.fields[class]; m != nil {
-		return m[name]
-	}
-	return nil
+func (r *varResolver) fieldSlot(class, name string) (int32, bool) {
+	return r.prog.Fields[class].SlotByName(name)
 }
 
-// globalsStoreVar resolves a name found in the shared globals store: true
-// hidden globals first, then temporaries of the globals component (which
-// execute against the same store).
-func (r *varResolver) globalsStoreVar(name string) *ir.Var {
-	if v := r.globals[name]; v != nil {
-		return v
-	}
-	return r.actVar(core.GlobalsComponent, name)
+// globalSlot resolves a name found in the shared globals store: the
+// unified globals layout holds both true hidden globals and the globals
+// component's temporaries (which execute against the same store).
+func (r *varResolver) globalSlot(name string) (int32, bool) {
+	return r.prog.Globals.SlotByName(name)
 }
 
 // ---------------------------------------------------------------------------
@@ -121,26 +84,21 @@ func (r *varResolver) globalsStoreVar(name string) *ir.Var {
 // execution assigned, bumping the shard's id counter past it so fresh
 // server-assigned ids never collide with recovered ones.
 func (s *Server) replayEnter(session uint64, fn string, obj, inst int64) error {
-	comp := s.reg.Components[fn]
-	if comp == nil {
+	cc := s.reg.Prog.Comps[fn]
+	if cc == nil {
 		return fmt.Errorf("hrt: journal enters unknown component %s (program changed since the journal was written?)", fn)
 	}
 	sh := s.shard(session)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	sh.memo.Store(nil)
 	if inst > sh.nextInst {
 		sh.nextInst = inst
 	}
 	if sh.stores[fn] == nil {
 		sh.stores[fn] = make(map[actKey]*store)
 	}
-	st := &store{vals: make(map[*ir.Var]interp.Value, len(comp.Vars)), obj: obj}
-	for _, v := range comp.Vars {
-		if v.Kind == ir.VarField || v.Kind == ir.VarGlobal {
-			continue
-		}
-		st.vals[v] = zeroValue(v)
-	}
+	st := &store{vals: cc.Act.NewVals(), obj: obj}
 	sh.stores[fn][actKey{session: session, inst: inst}] = st
 	s.statEnters.Add(1)
 	return nil
@@ -152,6 +110,7 @@ func (s *Server) replayEnter(session uint64, fn string, obj, inst int64) error {
 func (s *Server) replayExit(session uint64, fn string, inst int64) {
 	sh := s.shard(session)
 	sh.mu.Lock()
+	sh.memo.Store(nil)
 	if m := sh.stores[fn]; m != nil {
 		delete(m, actKey{session: session, inst: inst})
 	}
@@ -168,35 +127,36 @@ func (s *Server) replayCall(res *varResolver, session uint64, fn string, inst in
 	sh := s.shard(session)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	sh.memo.Store(nil)
 	for _, d := range deltas {
 		switch d.scope {
 		case scopeAct:
-			v := res.actVar(fn, d.name)
-			if v == nil {
+			slot, ok := res.actSlot(fn, d.name)
+			if !ok {
 				return fmt.Errorf("hrt: journal writes unknown variable %s of %s (program changed?)", d.name, fn)
 			}
 			var st *store
 			switch {
 			case fn == core.GlobalsComponent:
 				s.globalsMu.Lock()
-				s.globals.vals[v] = d.val
+				s.globals.vals[slot] = d.val
 				s.globalsMu.Unlock()
 				continue
 			case class != "" && isClassComponent(fn):
-				st = sh.instanceStore(session, class, inst)
+				st = sh.instanceStore(s.reg.Prog, session, class, inst)
 			default:
 				st = sh.stores[fn][actKey{session: session, inst: inst}]
 			}
 			if st == nil {
 				return fmt.Errorf("hrt: journal call against missing activation %s/%d", fn, inst)
 			}
-			st.vals[v] = d.val
+			st.vals[slot] = d.val
 		case scopeField:
-			v := res.fieldVar(d.class, d.name)
-			if v == nil {
+			slot, ok := res.fieldSlot(d.class, d.name)
+			if !ok {
 				return fmt.Errorf("hrt: journal writes unknown field %s.%s (program changed?)", d.class, d.name)
 			}
-			sh.instanceStore(session, d.class, d.obj).vals[v] = d.val
+			sh.instanceStore(s.reg.Prog, session, d.class, d.obj).vals[slot] = d.val
 		default:
 			return fmt.Errorf("hrt: journal delta has unexpected scope %d", d.scope)
 		}
@@ -215,11 +175,11 @@ func (s *Server) applyGlobalDeltas(res *varResolver, deltas []globalDelta) error
 	s.globalsMu.Lock()
 	defer s.globalsMu.Unlock()
 	for _, d := range deltas {
-		v := res.globals[d.name]
-		if v == nil {
+		slot, ok := res.globalSlot(d.name)
+		if !ok {
 			return fmt.Errorf("hrt: journal writes unknown global %s (program changed?)", d.name)
 		}
-		s.globals.vals[v] = d.val
+		s.globals.vals[slot] = d.val
 		if d.version > s.globalsVersion {
 			s.globalsVersion = d.version
 		}
@@ -265,7 +225,9 @@ func encodeSnapshot(s *Server, d *Dedup) ([]byte, error) {
 }
 
 func (s *Server) exportState(b []byte) ([]byte, error) {
+	prog := s.reg.Prog
 	b = binary.LittleEndian.AppendUint32(b, snapshotFormat)
+	b = binary.LittleEndian.AppendUint64(b, prog.Hash)
 	st := s.Stats()
 	b = binary.LittleEndian.AppendUint64(b, uint64(st.Enters))
 	b = binary.LittleEndian.AppendUint64(b, uint64(st.Exits))
@@ -274,16 +236,9 @@ func (s *Server) exportState(b []byte) ([]byte, error) {
 	var err error
 	s.globalsMu.Lock()
 	b = binary.LittleEndian.AppendUint64(b, s.globalsVersion)
-	b = binary.LittleEndian.AppendUint32(b, uint32(len(s.globals.vals)))
-	for v, val := range s.globals.vals {
-		if b, err = appendString(b, v.Name); err != nil {
-			s.globalsMu.Unlock()
-			return nil, err
-		}
-		if b, err = appendValue(b, val); err != nil {
-			s.globalsMu.Unlock()
-			return nil, err
-		}
+	if b, err = appendVals(b, prog.Globals, s.globals.vals); err != nil {
+		s.globalsMu.Unlock()
+		return nil, err
 	}
 	s.globalsMu.Unlock()
 
@@ -306,7 +261,7 @@ func (s *Server) exportState(b []byte) ([]byte, error) {
 				b = binary.LittleEndian.AppendUint64(b, k.session)
 				b = binary.LittleEndian.AppendUint64(b, uint64(k.inst))
 				b = binary.LittleEndian.AppendUint64(b, uint64(act.obj))
-				if b, err = appendVals(b, act.vals); err != nil {
+				if b, err = appendVals(b, prog.Comps[fn].Act, act.vals); err != nil {
 					sh.mu.Unlock()
 					return nil, err
 				}
@@ -330,7 +285,7 @@ func (s *Server) exportState(b []byte) ([]byte, error) {
 				return nil, err
 			}
 			b = binary.LittleEndian.AppendUint64(b, uint64(k.obj))
-			if b, err = appendVals(b, inst.vals); err != nil {
+			if b, err = appendVals(b, prog.Fields[k.class], inst.vals); err != nil {
 				sh.mu.Unlock()
 				return nil, err
 			}
@@ -344,12 +299,14 @@ func (s *Server) exportState(b []byte) ([]byte, error) {
 	return b, nil
 }
 
-// appendVals encodes one store's name→value map.
-func appendVals(b []byte, vals map[*ir.Var]interp.Value) ([]byte, error) {
+// appendVals encodes one store's values as name→value pairs, taking the
+// stable names from the store's layout. Slot order makes the encoding
+// deterministic for one program build.
+func appendVals(b []byte, l *vm.Layout, vals []interp.Value) ([]byte, error) {
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(vals)))
 	var err error
-	for v, val := range vals {
-		if b, err = appendString(b, v.Name); err != nil {
+	for slot, val := range vals {
+		if b, err = appendString(b, l.Vars[slot].Name); err != nil {
 			return nil, err
 		}
 		if b, err = appendValue(b, val); err != nil {
@@ -427,6 +384,13 @@ func (s *Server) importState(d *wireReader, res *varResolver) error {
 	if format != snapshotFormat {
 		return fmt.Errorf("hrt: snapshot format %d, this build reads %d", format, snapshotFormat)
 	}
+	hash, err := d.u64()
+	if err != nil {
+		return err
+	}
+	if hash != s.reg.Prog.Hash {
+		return fmt.Errorf("hrt: snapshot was written by program %016x, this registry compiles to %016x (program changed?)", hash, s.reg.Prog.Hash)
+	}
 	var enters, exits, calls uint64
 	if enters, err = d.u64(); err != nil {
 		return err
@@ -465,12 +429,12 @@ func (s *Server) importState(d *wireReader, res *varResolver) error {
 			s.globalsMu.Unlock()
 			return err
 		}
-		v := res.globalsStoreVar(name)
-		if v == nil {
+		slot, ok := res.globalSlot(name)
+		if !ok {
 			s.globalsMu.Unlock()
 			return fmt.Errorf("hrt: snapshot has unknown global %s (program changed?)", name)
 		}
-		s.globals.vals[v] = val
+		s.globals.vals[slot] = val
 	}
 	s.globalsMu.Unlock()
 
@@ -498,12 +462,12 @@ func (s *Server) importState(d *wireReader, res *varResolver) error {
 		if err != nil {
 			return err
 		}
-		vars := res.acts[fn]
-		if vars == nil && s.reg.Components[fn] == nil {
+		cc := s.reg.Prog.Comps[fn]
+		if cc == nil {
 			return fmt.Errorf("hrt: snapshot has activation of unknown component %s (program changed?)", fn)
 		}
-		st := &store{vals: make(map[*ir.Var]interp.Value), obj: int64(objU)}
-		if err := readVals(d, vars, fn, st); err != nil {
+		st := &store{vals: cc.Act.NewVals(), obj: int64(objU)}
+		if err := readVals(d, cc.Act.SlotByName, fn, st); err != nil {
 			return err
 		}
 		sh := s.shard(session)
@@ -535,9 +499,8 @@ func (s *Server) importState(d *wireReader, res *varResolver) error {
 		if err != nil {
 			return err
 		}
-		fields := res.fields[class]
-		st := &store{vals: make(map[*ir.Var]interp.Value), obj: int64(objU)}
-		if err := readVals(d, fields, "fields of "+class, st); err != nil {
+		st := &store{vals: s.reg.Prog.Fields[class].NewVals(), obj: int64(objU)}
+		if err := readVals(d, func(name string) (int32, bool) { return res.fieldSlot(class, name) }, "fields of "+class, st); err != nil {
 			return err
 		}
 		sh := s.shard(session)
@@ -555,11 +518,13 @@ func (s *Server) importState(d *wireReader, res *varResolver) error {
 		sh.nextInst = int64(maxInst)
 		sh.mu.Unlock()
 	}
+	s.clearMemos()
 	return nil
 }
 
-// readVals decodes one store's values, resolving names through vars.
-func readVals(d *wireReader, vars map[string]*ir.Var, what string, st *store) error {
+// readVals decodes one store's values, resolving names to slots through
+// the store's layout.
+func readVals(d *wireReader, resolve func(string) (int32, bool), what string, st *store) error {
 	n, err := d.u32()
 	if err != nil {
 		return err
@@ -576,11 +541,11 @@ func readVals(d *wireReader, vars map[string]*ir.Var, what string, st *store) er
 		if err != nil {
 			return err
 		}
-		v := vars[name]
-		if v == nil {
+		slot, ok := resolve(name)
+		if !ok {
 			return fmt.Errorf("hrt: snapshot has unknown variable %s in %s (program changed?)", name, what)
 		}
-		st.vals[v] = val
+		st.vals[slot] = val
 	}
 	return nil
 }

@@ -122,6 +122,7 @@ func (ts *TCPServer) RegisterMetrics(reg *obs.Registry) {
 		return
 	}
 	ts.Metrics = NewRuntimeMetrics(reg)
+	ts.Server.RegisterVMMetrics(reg)
 	ts.requests = reg.Counter("hrt_requests_total")
 	reg.Gauge("hrt_active_conns", func() int64 { return int64(ts.ActiveConns()) })
 	reg.Gauge("hrt_active_activations", func() int64 { return int64(ts.Server.ActiveInstances()) })

@@ -1,0 +1,113 @@
+package interp
+
+import (
+	"fmt"
+	"strings"
+
+	"slicehide/internal/ir"
+)
+
+// ExecMode selects how the hidden runtime executes fragment bodies: the
+// compiled bytecode VM (the default hot path) or the tree-walking
+// interpreter (kept as the differential-testing oracle). It lives here, at
+// the bottom of the execution stack, so both internal/vm and internal/hrt
+// can consume it without an import cycle.
+type ExecMode int
+
+const (
+	// ExecVM executes fragments as compiled bytecode (default).
+	ExecVM ExecMode = iota
+	// ExecInterp tree-walks fragment IR (the differential oracle).
+	ExecInterp
+)
+
+func (m ExecMode) String() string {
+	switch m {
+	case ExecVM:
+		return "vm"
+	case ExecInterp:
+		return "interp"
+	}
+	return fmt.Sprintf("ExecMode(%d)", int(m))
+}
+
+// ParseExecMode parses the -exec flag values "vm" and "interp"; the
+// empty string means the default (vm), so zero-valued configs work.
+func ParseExecMode(s string) (ExecMode, error) {
+	switch s {
+	case "vm", "":
+		return ExecVM, nil
+	case "interp":
+		return ExecInterp, nil
+	}
+	return ExecVM, fmt.Errorf("unknown exec mode %q (want vm or interp)", s)
+}
+
+// EvalBinOp applies a (non-short-circuit) binary operator to two values,
+// dispatching on the language-neutral operator enum. This is the single
+// definition of MiniJ binary-operator semantics: EvalBinary converts and
+// delegates, and the bytecode VM's inlined fast paths mirror it exactly
+// (the differential fuzzer holds them together).
+func EvalBinOp(op ir.BinOp, x, y Value) (Value, error) {
+	switch op {
+	case ir.BinAdd:
+		switch x.Kind {
+		case KindInt:
+			return IntV(x.I + y.I), nil
+		case KindFloat:
+			return FloatV(x.F + y.F), nil
+		case KindString:
+			return StrV(x.S + y.S), nil
+		}
+	case ir.BinSub:
+		if x.Kind == KindFloat {
+			return FloatV(x.F - y.F), nil
+		}
+		return IntV(x.I - y.I), nil
+	case ir.BinMul:
+		if x.Kind == KindFloat {
+			return FloatV(x.F * y.F), nil
+		}
+		return IntV(x.I * y.I), nil
+	case ir.BinDiv:
+		if x.Kind == KindFloat {
+			return FloatV(x.F / y.F), nil
+		}
+		if y.I == 0 {
+			return NullV(), &RuntimeError{Msg: "division by zero"}
+		}
+		return IntV(x.I / y.I), nil
+	case ir.BinMod:
+		if y.I == 0 {
+			return NullV(), &RuntimeError{Msg: "division by zero"}
+		}
+		return IntV(x.I % y.I), nil
+	case ir.BinEq:
+		return BoolV(x.Equal(y)), nil
+	case ir.BinNeq:
+		return BoolV(!x.Equal(y)), nil
+	case ir.BinLt, ir.BinLeq, ir.BinGt, ir.BinGeq:
+		var cmp int
+		switch x.Kind {
+		case KindInt:
+			cmp = compareInt(x.I, y.I)
+		case KindFloat:
+			cmp = compareFloat(x.F, y.F)
+		case KindString:
+			cmp = strings.Compare(x.S, y.S)
+		default:
+			return NullV(), &RuntimeError{Msg: "ordered comparison of " + x.Kind.String()}
+		}
+		switch op {
+		case ir.BinLt:
+			return BoolV(cmp < 0), nil
+		case ir.BinLeq:
+			return BoolV(cmp <= 0), nil
+		case ir.BinGt:
+			return BoolV(cmp > 0), nil
+		case ir.BinGeq:
+			return BoolV(cmp >= 0), nil
+		}
+	}
+	return NullV(), &RuntimeError{Msg: fmt.Sprintf("invalid binary op %s on %s", op, x.Kind)}
+}

@@ -702,69 +702,10 @@ func (in *Interp) eval(fr *frame, e ir.Expr) (Value, error) {
 
 // EvalBinary applies a (non-short-circuit) binary operator to two values.
 // Exported so the hidden-component executor evaluates expressions with
-// identical semantics.
+// identical semantics. The semantics themselves live in EvalBinOp, keyed
+// by the language-neutral operator enum.
 func EvalBinary(op token.Kind, x, y Value) (Value, error) {
-	switch op {
-	case token.PLUS:
-		switch x.Kind {
-		case KindInt:
-			return IntV(x.I + y.I), nil
-		case KindFloat:
-			return FloatV(x.F + y.F), nil
-		case KindString:
-			return StrV(x.S + y.S), nil
-		}
-	case token.MINUS:
-		if x.Kind == KindFloat {
-			return FloatV(x.F - y.F), nil
-		}
-		return IntV(x.I - y.I), nil
-	case token.STAR:
-		if x.Kind == KindFloat {
-			return FloatV(x.F * y.F), nil
-		}
-		return IntV(x.I * y.I), nil
-	case token.SLASH:
-		if x.Kind == KindFloat {
-			return FloatV(x.F / y.F), nil
-		}
-		if y.I == 0 {
-			return NullV(), &RuntimeError{Msg: "division by zero"}
-		}
-		return IntV(x.I / y.I), nil
-	case token.PERCENT:
-		if y.I == 0 {
-			return NullV(), &RuntimeError{Msg: "division by zero"}
-		}
-		return IntV(x.I % y.I), nil
-	case token.EQ:
-		return BoolV(x.Equal(y)), nil
-	case token.NEQ:
-		return BoolV(!x.Equal(y)), nil
-	case token.LT, token.LEQ, token.GT, token.GEQ:
-		var cmp int
-		switch x.Kind {
-		case KindInt:
-			cmp = compareInt(x.I, y.I)
-		case KindFloat:
-			cmp = compareFloat(x.F, y.F)
-		case KindString:
-			cmp = strings.Compare(x.S, y.S)
-		default:
-			return NullV(), &RuntimeError{Msg: "ordered comparison of " + x.Kind.String()}
-		}
-		switch op {
-		case token.LT:
-			return BoolV(cmp < 0), nil
-		case token.LEQ:
-			return BoolV(cmp <= 0), nil
-		case token.GT:
-			return BoolV(cmp > 0), nil
-		case token.GEQ:
-			return BoolV(cmp >= 0), nil
-		}
-	}
-	return NullV(), &RuntimeError{Msg: fmt.Sprintf("invalid binary op %s on %s", op, x.Kind)}
+	return EvalBinOp(ir.BinOpOf(op), x, y)
 }
 
 func compareInt(a, b int64) int {

@@ -1,0 +1,108 @@
+package vm
+
+// Instr is one three-address instruction: Dst <- A op B, with Dst doubling
+// as the relative jump offset for control flow and the statement count for
+// OpStep. Operands address one of six value spaces through their top bits,
+// so an operand fetch is a switch and an index — no map lookups at run
+// time.
+type Instr struct {
+	Op   Opcode
+	Dst  uint32
+	A, B uint32
+}
+
+// Opcode identifies an instruction.
+type Opcode uint32
+
+// Opcodes. Arithmetic and comparison ops mirror interp.EvalBinOp exactly
+// (the executor inlines the scalar fast paths and the differential fuzzer
+// holds them to the interpreter).
+const (
+	OpNop Opcode = iota
+	// OpStep adds Dst to the step counter and enforces MaxFragSteps: one
+	// per statement reached, one per completed loop iteration. Straight
+	// runs of statements are coalesced into a single bump.
+	OpStep
+	OpMov    // Dst <- A
+	OpNeg    // Dst <- -A (float-aware)
+	OpNot    // Dst <- bool(!A.B)
+	OpToBool // Dst <- bool(A.B), normalizing short-circuit results
+	OpConvF  // Dst <- float(A)
+	OpConvI  // Dst <- int(A)
+	OpAdd    // Dst <- A + B
+	OpSub    // Dst <- A - B
+	OpMul    // Dst <- A * B
+	OpDiv    // Dst <- A / B
+	OpMod    // Dst <- A % B
+	OpEq     // Dst <- A == B
+	OpNeq    // Dst <- A != B
+	OpLt     // Dst <- A < B
+	OpLeq    // Dst <- A <= B
+	OpGt     // Dst <- A > B
+	OpGeq    // Dst <- A >= B
+	// Control flow: Dst is a pc-relative offset from the jump itself.
+	OpJump     // pc += Dst
+	OpJumpF    // if !A.IsTrue(): pc += Dst
+	OpJumpRawF // if !A.B: pc += Dst (AND short-circuit, raw bool read)
+	OpJumpRawT // if A.B: pc += Dst (OR short-circuit)
+	OpRet      // return A
+	OpRetNil   // return null (explicit empty return)
+	OpFail     // raise fails[Dst]
+	opCount
+)
+
+var opNames = [...]string{
+	OpNop: "nop", OpStep: "step", OpMov: "mov", OpNeg: "neg", OpNot: "not",
+	OpToBool: "tobool", OpConvF: "convf", OpConvI: "convi",
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div", OpMod: "mod",
+	OpEq: "eq", OpNeq: "neq", OpLt: "lt", OpLeq: "leq", OpGt: "gt", OpGeq: "geq",
+	OpJump: "jump", OpJumpF: "jumpf", OpJumpRawF: "jumprawf", OpJumpRawT: "jumprawt",
+	OpRet: "ret", OpRetNil: "retnil", OpFail: "fail",
+}
+
+func (op Opcode) String() string {
+	if int(op) < len(opNames) {
+		return opNames[op]
+	}
+	return "?"
+}
+
+// Operand spaces, encoded in the top bits of an operand word.
+const (
+	opdShift   = 29
+	opdIdxMask = 1<<opdShift - 1
+
+	spcTemp   = 0 // frame temporaries
+	spcConst  = 1 // fragment constant pool
+	spcArg    = 2 // call arguments ($a0..)
+	spcAct    = 3 // activation store slots
+	spcGlobal = 4 // shared globals store slots
+	spcField  = 5 // per-object field store slots
+)
+
+func opd(space uint32, idx int32) uint32 { return space<<opdShift | uint32(idx)&opdIdxMask }
+
+var spcNames = [...]string{"t", "c", "a", "s", "g", "f"}
+
+func opdString(o uint32) string {
+	space := o >> opdShift
+	name := "?"
+	if int(space) < len(spcNames) {
+		name = spcNames[space]
+	}
+	return name + itoa(int(o&opdIdxMask))
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,636 @@
+package vm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"slicehide/internal/core"
+	"slicehide/internal/interp"
+	"slicehide/internal/ir"
+)
+
+// Compile lowers every fragment of a registry's hidden components into
+// bytecode, resolving variables to integer slots in shared layouts. It is
+// deterministic: components are processed in name order, fragments in ID
+// order, and initializer keys in name order, so the same registry always
+// produces the same Program (and the same Hash — recovery depends on it).
+func Compile(comps map[string]*core.HiddenComponent, globalInit map[*ir.Var]interp.Value) *Program {
+	start := time.Now()
+	p := &Program{
+		Comps:   make(map[string]*Comp, len(comps)),
+		Globals: NewLayout(),
+		Fields:  make(map[string]*Layout),
+	}
+
+	names := make([]string, 0, len(comps))
+	for name := range comps {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	// The globals layout: the globals component's variables first, then
+	// every other component's global variables, then initializer keys.
+	// Assignment strays found in bodies are appended by the pre-scan.
+	if gc := comps[core.GlobalsComponent]; gc != nil {
+		for _, v := range gc.Vars {
+			p.Globals.Add(v)
+		}
+	}
+	for _, name := range names {
+		if name == core.GlobalsComponent {
+			continue
+		}
+		for _, v := range comps[name].Vars {
+			if v.Kind == ir.VarGlobal {
+				p.Globals.Add(v)
+			}
+		}
+	}
+	initVars := make([]*ir.Var, 0, len(globalInit))
+	for v := range globalInit {
+		initVars = append(initVars, v)
+	}
+	sort.Slice(initVars, func(i, j int) bool { return initVars[i].Name < initVars[j].Name })
+	for _, v := range initVars {
+		p.Globals.Add(v)
+	}
+
+	// Field layouts: declared hidden fields of every component that
+	// belongs to a class.
+	for _, name := range names {
+		class := compClass(name)
+		if class == "" {
+			continue
+		}
+		fl := p.fieldLayout(class)
+		for _, v := range comps[name].Vars {
+			if v.Kind == ir.VarField {
+				fl.Add(v)
+			}
+		}
+	}
+
+	// Component shells with activation layouts. The globals component's
+	// activation IS the globals store, and a "$class:" component's
+	// activation IS the per-object field store, so their Act layouts alias
+	// the corresponding shared layout: slots stay consistent whichever
+	// space an operand addresses the store through.
+	for _, name := range names {
+		src := comps[name]
+		cc := &Comp{Name: name, Class: compClass(name), IsClass: isClassComp(name)}
+		switch {
+		case name == core.GlobalsComponent:
+			cc.Act = p.Globals
+		case cc.IsClass:
+			cc.Act = p.fieldLayout(cc.Class)
+		default:
+			cc.Act = NewLayout()
+			for _, v := range src.Vars {
+				if v.Kind == ir.VarField || v.Kind == ir.VarGlobal {
+					continue // routed to instance/globals stores
+				}
+				cc.Act.Add(v)
+			}
+		}
+		p.Comps[name] = cc
+	}
+
+	// Pre-scan every body before compiling any: reads resolve against the
+	// full set of slots any fragment can write (activation stores persist
+	// across calls, so a variable one fragment assigns must be readable by
+	// slot in every other fragment of the component). The scan also
+	// decides TouchesGlobals from both declared variables and body
+	// references.
+	for _, name := range names {
+		src, cc := comps[name], p.Comps[name]
+		cc.TouchesGlobals = name == core.GlobalsComponent
+		for _, v := range src.Vars {
+			if v.Kind == ir.VarGlobal {
+				cc.TouchesGlobals = true
+			}
+		}
+		for _, id := range fragIDs(src) {
+			walkBody(src.Frags[id].Body,
+				func(v *ir.Var) { // assignment target
+					p.writeLayout(cc, v).Add(v)
+					if v.Kind == ir.VarGlobal {
+						cc.TouchesGlobals = true
+					}
+				},
+				func(v *ir.Var) { // reference
+					if v.Kind == ir.VarGlobal {
+						cc.TouchesGlobals = true
+					}
+				})
+		}
+	}
+
+	// The initial globals image, full length so a fresh store is one copy.
+	p.globalInit = p.Globals.NewVals()
+	for v, val := range globalInit {
+		if s, ok := p.Globals.Slot(v); ok {
+			p.globalInit[s] = val
+		}
+	}
+
+	// Compile fragment bodies.
+	for _, name := range names {
+		src, cc := comps[name], p.Comps[name]
+		ids := fragIDs(src)
+		if len(ids) == 0 {
+			continue
+		}
+		cc.frags = make([]*Frag, ids[len(ids)-1]+1)
+		for _, id := range ids {
+			f := compileFrag(p, cc, src.Frags[id])
+			cc.frags[id] = f
+			if f.NTemps > p.MaxTemps {
+				p.MaxTemps = f.NTemps
+			}
+		}
+	}
+
+	p.Hash = p.hash()
+	p.CompileNS = time.Since(start).Nanoseconds()
+	return p
+}
+
+func (p *Program) fieldLayout(class string) *Layout {
+	fl := p.Fields[class]
+	if fl == nil {
+		fl = NewLayout()
+		p.Fields[class] = fl
+	}
+	return fl
+}
+
+// writeLayout picks the store an assignment to v routes to, mirroring the
+// tree-walking executor's store selection.
+func (p *Program) writeLayout(cc *Comp, v *ir.Var) *Layout {
+	switch {
+	case v.Kind == ir.VarGlobal:
+		return p.Globals
+	case v.Kind == ir.VarField && cc.Class != "":
+		return p.fieldLayout(cc.Class)
+	default:
+		return cc.Act
+	}
+}
+
+func fragIDs(c *core.HiddenComponent) []int {
+	ids := make([]int, 0, len(c.Frags))
+	for id := range c.Frags {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+func compClass(name string) string {
+	if rest, ok := cutPrefix(name, core.ClassComponentPrefix); ok {
+		return rest
+	}
+	for i := 0; i < len(name); i++ {
+		if name[i] == '.' {
+			return name[:i]
+		}
+	}
+	return ""
+}
+
+func isClassComp(name string) bool {
+	_, ok := cutPrefix(name, core.ClassComponentPrefix)
+	return ok
+}
+
+func cutPrefix(s, prefix string) (string, bool) {
+	if len(s) >= len(prefix) && s[:len(prefix)] == prefix {
+		return s[len(prefix):], true
+	}
+	return s, false
+}
+
+// walkBody visits assignment targets and variable references in a body,
+// recursing into nested blocks.
+func walkBody(stmts []ir.Stmt, onAssign, onRef func(*ir.Var)) {
+	for _, st := range stmts {
+		switch st := st.(type) {
+		case *ir.AssignStmt:
+			walkExpr(st.Rhs, onRef)
+			if vt, ok := st.Lhs.(*ir.VarTarget); ok {
+				onAssign(vt.Var)
+			}
+		case *ir.IfStmt:
+			walkExpr(st.Cond, onRef)
+			walkBody(st.Then, onAssign, onRef)
+			walkBody(st.Else, onAssign, onRef)
+		case *ir.WhileStmt:
+			walkExpr(st.Cond, onRef)
+			walkBody(st.Body, onAssign, onRef)
+			walkBody(st.Post, onAssign, onRef)
+		case *ir.ReturnStmt:
+			if st.Value != nil {
+				walkExpr(st.Value, onRef)
+			}
+		}
+	}
+}
+
+func walkExpr(e ir.Expr, onRef func(*ir.Var)) {
+	switch e := e.(type) {
+	case *ir.VarRef:
+		onRef(e.Var)
+	case *ir.Unary:
+		walkExpr(e.X, onRef)
+	case *ir.Binary:
+		walkExpr(e.X, onRef)
+		walkExpr(e.Y, onRef)
+	case *ir.CondExpr:
+		walkExpr(e.C, onRef)
+		walkExpr(e.T, onRef)
+		walkExpr(e.F, onRef)
+	case *ir.ConvertExpr:
+		walkExpr(e.X, onRef)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Fragment compiler
+
+// constKey identifies a constant-pool entry; Value itself holds reference
+// fields, so the dedup key is the scalar payload.
+type constKey struct {
+	kind interp.ValueKind
+	i    int64
+	f    float64
+	b    bool
+	s    string
+}
+
+// fragCompiler lowers one fragment body. Temporaries are scratch within a
+// statement (nothing lives across statements except through stores), so
+// the temp counter resets per statement and NTemps is the high-water mark.
+type fragCompiler struct {
+	prog *Program
+	comp *Comp
+	args []*ir.Var
+
+	code     []Instr
+	consts   []interp.Value
+	constIdx map[constKey]uint32
+	fails    []error
+	failIdx  map[string]uint32
+
+	curTemp, nTemps int32
+	// pending counts statements reached since the last OpStep; it is
+	// flushed before any control transfer so loop iterations accumulate
+	// steps and the MaxFragSteps limit fires like the tree-walker's.
+	pending uint32
+
+	loops    []*loopCtx
+	endJumps []int
+}
+
+type loopCtx struct {
+	breaks, bodyConts, postConts []int
+	inPost                       bool
+}
+
+func compileFrag(p *Program, cc *Comp, fr *core.Fragment) *Frag {
+	c := &fragCompiler{
+		prog:     p,
+		comp:     cc,
+		args:     fr.ArgVars,
+		constIdx: make(map[constKey]uint32),
+		failIdx:  make(map[string]uint32),
+	}
+	c.stmts(fr.Body)
+	for _, pc := range c.endJumps {
+		c.patch(pc, len(c.code))
+	}
+	return &Frag{
+		ID:     fr.ID,
+		NArgs:  len(fr.ArgVars),
+		Code:   c.code,
+		Consts: c.consts,
+		fails:  c.fails,
+		NTemps: c.nTemps,
+	}
+}
+
+func (c *fragCompiler) emit(in Instr) int {
+	c.code = append(c.code, in)
+	return len(c.code) - 1
+}
+
+// patch sets a jump's relative offset once its target is known.
+func (c *fragCompiler) patch(pc, target int) {
+	c.code[pc].Dst = uint32(int32(target - pc))
+}
+
+func (c *fragCompiler) flush() {
+	if c.pending > 0 {
+		c.emit(Instr{Op: OpStep, Dst: c.pending})
+		c.pending = 0
+	}
+}
+
+func (c *fragCompiler) allocTemp() uint32 {
+	t := c.curTemp
+	c.curTemp++
+	if c.curTemp > c.nTemps {
+		c.nTemps = c.curTemp
+	}
+	return opd(spcTemp, t)
+}
+
+func (c *fragCompiler) constOpd(v interp.Value) uint32 {
+	key := constKey{kind: v.Kind, i: v.I, f: v.F, b: v.B, s: v.S}
+	if o, ok := c.constIdx[key]; ok {
+		return o
+	}
+	o := opd(spcConst, int32(len(c.consts)))
+	c.consts = append(c.consts, v)
+	c.constIdx[key] = o
+	return o
+}
+
+// fail emits an instruction raising a prebuilt error with the given
+// message. Code the caller emits after it is unreachable.
+func (c *fragCompiler) fail(msg string) {
+	idx, ok := c.failIdx[msg]
+	if !ok {
+		idx = uint32(len(c.fails))
+		c.fails = append(c.fails, errors.New(msg))
+		c.failIdx[msg] = idx
+	}
+	c.emit(Instr{Op: OpFail, Dst: idx})
+}
+
+// readOpd resolves a variable read, mirroring the tree-walker's order:
+// argument bindings first (by identity, in ArgVars order — they shadow
+// stores even after the variable is assigned), then the globals store for
+// global variables, the per-object field store for fields of class-owned
+// components (missing fields read as their typed zero, like the
+// zero-initialized field stores), and the activation store otherwise.
+// Unknown variables compile to the tree-walker's error.
+func (c *fragCompiler) readOpd(v *ir.Var) uint32 {
+	for i, av := range c.args {
+		if av == v {
+			return opd(spcArg, int32(i))
+		}
+	}
+	if v.Kind == ir.VarGlobal {
+		if s, ok := c.prog.Globals.Slot(v); ok {
+			return opd(spcGlobal, s)
+		}
+		return c.unknownVar(v)
+	}
+	if v.Kind == ir.VarField && c.comp.Class != "" {
+		if fl := c.prog.Fields[c.comp.Class]; fl != nil {
+			if s, ok := fl.Slot(v); ok {
+				return opd(spcField, s)
+			}
+		}
+		return c.constOpd(ZeroValue(v))
+	}
+	if s, ok := c.comp.Act.Slot(v); ok {
+		return opd(spcAct, s)
+	}
+	return c.unknownVar(v)
+}
+
+func (c *fragCompiler) unknownVar(v *ir.Var) uint32 {
+	c.fail("hrt: fragment reads unknown variable " + v.String())
+	// The operand is never loaded (OpFail returns), but keep it valid.
+	return c.constOpd(interp.IntV(0))
+}
+
+// writeOpd resolves an assignment target. The pre-scan already added the
+// slot, so Add is a lookup here.
+func (c *fragCompiler) writeOpd(v *ir.Var) uint32 {
+	switch {
+	case v.Kind == ir.VarGlobal:
+		return opd(spcGlobal, c.prog.Globals.Add(v))
+	case v.Kind == ir.VarField && c.comp.Class != "":
+		return opd(spcField, c.prog.fieldLayout(c.comp.Class).Add(v))
+	default:
+		return opd(spcAct, c.comp.Act.Add(v))
+	}
+}
+
+func (c *fragCompiler) stmts(list []ir.Stmt) {
+	for _, st := range list {
+		c.pending++
+		c.curTemp = 0
+		switch st := st.(type) {
+		case *ir.AssignStmt:
+			vt, ok := st.Lhs.(*ir.VarTarget)
+			if !ok {
+				// The tree-walker evaluates the RHS before checking the
+				// target, so RHS errors win.
+				c.exprTo(c.allocTemp(), st.Rhs)
+				c.fail("hrt: fragment assigns to non-variable target")
+				continue
+			}
+			c.exprTo(c.writeOpd(vt.Var), st.Rhs)
+		case *ir.IfStmt:
+			c.flush()
+			cond := c.expr(st.Cond)
+			jf := c.emit(Instr{Op: OpJumpF, A: cond})
+			c.stmts(st.Then)
+			if len(st.Else) > 0 {
+				j := c.emit(Instr{Op: OpJump})
+				c.patch(jf, len(c.code))
+				c.stmts(st.Else)
+				c.patch(j, len(c.code))
+			} else {
+				c.patch(jf, len(c.code))
+			}
+		case *ir.WhileStmt:
+			c.flush()
+			loopStart := len(c.code)
+			cond := c.expr(st.Cond)
+			jf := c.emit(Instr{Op: OpJumpF, A: cond})
+			lc := &loopCtx{}
+			c.loops = append(c.loops, lc)
+			c.stmts(st.Body)
+			// continue in the body runs the post block; continue in the
+			// post block skips straight to the iteration step (the
+			// tree-walker does not check for it after the post block).
+			for _, pc := range lc.bodyConts {
+				c.patch(pc, len(c.code))
+			}
+			lc.inPost = true
+			c.stmts(st.Post)
+			stepPC := c.emit(Instr{Op: OpStep, Dst: 1})
+			for _, pc := range lc.postConts {
+				c.patch(pc, stepPC)
+			}
+			jb := c.emit(Instr{Op: OpJump})
+			c.patch(jb, loopStart)
+			c.patch(jf, len(c.code))
+			for _, pc := range lc.breaks {
+				c.patch(pc, len(c.code))
+			}
+			c.loops = c.loops[:len(c.loops)-1]
+		case *ir.ReturnStmt:
+			c.flush()
+			if st.Value == nil {
+				c.emit(Instr{Op: OpRetNil})
+				continue
+			}
+			v := c.expr(st.Value)
+			c.emit(Instr{Op: OpRet, A: v})
+		case *ir.BreakStmt:
+			c.flush()
+			pc := c.emit(Instr{Op: OpJump})
+			if len(c.loops) == 0 {
+				// Outside a loop the signal unwinds to the top, ending
+				// the fragment with the "any" value.
+				c.endJumps = append(c.endJumps, pc)
+			} else {
+				lc := c.loops[len(c.loops)-1]
+				lc.breaks = append(lc.breaks, pc)
+			}
+		case *ir.ContinueStmt:
+			c.flush()
+			pc := c.emit(Instr{Op: OpJump})
+			if len(c.loops) == 0 {
+				c.endJumps = append(c.endJumps, pc)
+			} else if lc := c.loops[len(c.loops)-1]; lc.inPost {
+				lc.postConts = append(lc.postConts, pc)
+			} else {
+				lc.bodyConts = append(lc.bodyConts, pc)
+			}
+		default:
+			c.flush()
+			c.fail(fmt.Sprintf("hrt: fragment contains unsupported statement %T", st))
+		}
+	}
+	c.flush()
+}
+
+// expr compiles e and returns the operand holding its value: a direct
+// slot/constant for leaves, a fresh temp otherwise.
+func (c *fragCompiler) expr(e ir.Expr) uint32 {
+	switch e := e.(type) {
+	case *ir.Const:
+		switch e.Kind {
+		case ir.ConstInt, ir.ConstFloat, ir.ConstBool, ir.ConstString, ir.ConstNull:
+			return c.constOpd(ConstValue(e))
+		}
+		return c.unsupported(e)
+	case *ir.VarRef:
+		return c.readOpd(e.Var)
+	}
+	t := c.allocTemp()
+	c.exprTo(t, e)
+	return t
+}
+
+// exprTo compiles e into dst, fusing the final operation's destination so
+// assignments need no extra move. Every shape writes dst exactly once, as
+// its last action, so an error inside e leaves dst unwritten.
+func (c *fragCompiler) exprTo(dst uint32, e ir.Expr) {
+	switch e := e.(type) {
+	case *ir.Const, *ir.VarRef:
+		c.emit(Instr{Op: OpMov, Dst: dst, A: c.expr(e)})
+	case *ir.Unary:
+		x := c.expr(e.X)
+		switch ir.UnOpOf(e.Op) {
+		case ir.UnNeg:
+			c.emit(Instr{Op: OpNeg, Dst: dst, A: x})
+		case ir.UnNot:
+			c.emit(Instr{Op: OpNot, Dst: dst, A: x})
+		default:
+			// The tree-walker evaluates the operand, finds no matching
+			// operator, and reports the node unsupported.
+			c.fail(fmt.Sprintf("hrt: fragment contains unsupported expression %T", e))
+		}
+	case *ir.Binary:
+		op := ir.BinOpOf(e.Op)
+		if op == ir.BinAnd || op == ir.BinOr {
+			c.shortCircuit(dst, op, e)
+			return
+		}
+		oc := binOpcode(op)
+		if oc == OpNop {
+			c.fail(fmt.Sprintf("hrt: fragment contains unsupported expression %T", e))
+			return
+		}
+		x := c.expr(e.X)
+		y := c.expr(e.Y)
+		c.emit(Instr{Op: oc, Dst: dst, A: x, B: y})
+	case *ir.CondExpr:
+		cond := c.expr(e.C)
+		jf := c.emit(Instr{Op: OpJumpF, A: cond})
+		c.exprTo(dst, e.T)
+		j := c.emit(Instr{Op: OpJump})
+		c.patch(jf, len(c.code))
+		c.exprTo(dst, e.F)
+		c.patch(j, len(c.code))
+	case *ir.ConvertExpr:
+		x := c.expr(e.X)
+		oc := OpConvI
+		if e.ToFloat {
+			oc = OpConvF
+		}
+		c.emit(Instr{Op: oc, Dst: dst, A: x})
+	default:
+		c.unsupported(e)
+	}
+}
+
+// shortCircuit compiles && and ||, preserving the tree-walker's raw-bool
+// reads: the left operand short-circuits on its raw B field, and the
+// result is the normalized bool of whichever operand decided it.
+func (c *fragCompiler) shortCircuit(dst uint32, op ir.BinOp, e *ir.Binary) {
+	x := c.expr(e.X)
+	jop := OpJumpRawF
+	if op == ir.BinOr {
+		jop = OpJumpRawT
+	}
+	jshort := c.emit(Instr{Op: jop, A: x})
+	y := c.expr(e.Y)
+	c.emit(Instr{Op: OpToBool, Dst: dst, A: y})
+	jend := c.emit(Instr{Op: OpJump})
+	c.patch(jshort, len(c.code))
+	c.emit(Instr{Op: OpMov, Dst: dst, A: c.constOpd(interp.BoolV(op == ir.BinOr))})
+	c.patch(jend, len(c.code))
+}
+
+func (c *fragCompiler) unsupported(e ir.Expr) uint32 {
+	c.fail(fmt.Sprintf("hrt: fragment contains unsupported expression %T", e))
+	return c.constOpd(interp.IntV(0))
+}
+
+func binOpcode(op ir.BinOp) Opcode {
+	switch op {
+	case ir.BinAdd:
+		return OpAdd
+	case ir.BinSub:
+		return OpSub
+	case ir.BinMul:
+		return OpMul
+	case ir.BinDiv:
+		return OpDiv
+	case ir.BinMod:
+		return OpMod
+	case ir.BinEq:
+		return OpEq
+	case ir.BinNeq:
+		return OpNeq
+	case ir.BinLt:
+		return OpLt
+	case ir.BinLeq:
+		return OpLeq
+	case ir.BinGt:
+		return OpGt
+	case ir.BinGeq:
+		return OpGeq
+	}
+	return OpNop
+}

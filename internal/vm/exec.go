@@ -1,0 +1,320 @@
+package vm
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"slicehide/internal/interp"
+	"slicehide/internal/ir"
+)
+
+// Frame is a reusable temp-register file. Frames are cached on activation
+// stores (calls of one session are serialized, so the store owns its frame
+// between calls) and overflow into a FramePool.
+type Frame struct {
+	temps []interp.Value
+}
+
+// FramePool recycles frames across activations. One pool serves a whole
+// server: frames are sized to the program's largest fragment.
+type FramePool struct {
+	mu     sync.Mutex
+	free   []*Frame
+	temps  int32
+	pooled atomic.Int64
+}
+
+// NewFramePool creates a pool of frames with the given temp count.
+func NewFramePool(temps int32) *FramePool {
+	return &FramePool{temps: temps}
+}
+
+// Get returns a pooled frame or allocates a fresh one.
+func (p *FramePool) Get() *Frame {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		f := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		p.pooled.Add(-1)
+		return f
+	}
+	p.mu.Unlock()
+	return &Frame{temps: make([]interp.Value, p.temps)}
+}
+
+// Put parks a frame for reuse.
+func (p *FramePool) Put(f *Frame) {
+	if f == nil {
+		return
+	}
+	p.mu.Lock()
+	p.free = append(p.free, f)
+	p.mu.Unlock()
+	p.pooled.Add(1)
+}
+
+// Pooled reports how many frames are parked (the vm_frames_pooled gauge).
+func (p *FramePool) Pooled() int64 { return p.pooled.Load() }
+
+// Env addresses the three stores a fragment can reach. Act and Fields may
+// alias the same slice for "$class:" components, and Act aliases Globals
+// for the globals component.
+type Env struct {
+	Act, Globals, Fields []interp.Value
+}
+
+// WriteSet records which slots an execution wrote, bucketed by store, for
+// the durability layer's effect capture. Nil disables tracking (the
+// default path pays one predictable branch per store).
+type WriteSet struct {
+	Act, Globals, Fields []int32
+}
+
+// Reset clears the set for reuse.
+func (w *WriteSet) Reset() {
+	w.Act, w.Globals, w.Fields = w.Act[:0], w.Globals[:0], w.Fields[:0]
+}
+
+func addSlot(list []int32, s int32) []int32 {
+	for _, x := range list {
+		if x == s {
+			return list
+		}
+	}
+	return append(list, s)
+}
+
+var errStepLimit = errors.New("hrt: fragment step limit exceeded")
+
+// errDivZero matches the interpreter's division-by-zero error; a prebuilt
+// instance keeps the error path allocation-free.
+var errDivZero = &interp.RuntimeError{Msg: "division by zero"}
+
+// Exec runs the fragment: args are the $a0.. bindings, env the resolved
+// stores, ws an optional write tracker. It returns the fragment's returned
+// value, or null for fragments that fall off the end (the "any" the open
+// side discards). Semantics mirror the tree-walking executor exactly; the
+// differential fuzzer enforces it.
+func (f *Frag) Exec(fr *Frame, args []interp.Value, env Env, ws *WriteSet) (interp.Value, error) {
+	code := f.Code
+	temps := fr.temps
+	consts := f.Consts
+	act, globals, fields := env.Act, env.Globals, env.Fields
+
+	ld := func(o uint32) *interp.Value {
+		i := o & opdIdxMask
+		switch o >> opdShift {
+		case spcTemp:
+			return &temps[i]
+		case spcConst:
+			return &consts[i]
+		case spcArg:
+			return &args[i]
+		case spcAct:
+			return &act[i]
+		case spcGlobal:
+			return &globals[i]
+		default:
+			return &fields[i]
+		}
+	}
+	st := func(o uint32, v interp.Value) {
+		i := o & opdIdxMask
+		switch o >> opdShift {
+		case spcTemp:
+			temps[i] = v
+		case spcAct:
+			act[i] = v
+			if ws != nil {
+				ws.Act = addSlot(ws.Act, int32(i))
+			}
+		case spcGlobal:
+			globals[i] = v
+			if ws != nil {
+				ws.Globals = addSlot(ws.Globals, int32(i))
+			}
+		default:
+			fields[i] = v
+			if ws != nil {
+				ws.Fields = addSlot(ws.Fields, int32(i))
+			}
+		}
+	}
+
+	var steps int64
+	for pc := 0; pc < len(code); {
+		in := &code[pc]
+		switch in.Op {
+		case OpStep:
+			steps += int64(in.Dst)
+			if steps > MaxFragSteps {
+				return interp.NullV(), errStepLimit
+			}
+		case OpMov:
+			st(in.Dst, *ld(in.A))
+		case OpNeg:
+			x := ld(in.A)
+			if x.Kind == interp.KindFloat {
+				st(in.Dst, interp.FloatV(-x.F))
+			} else {
+				st(in.Dst, interp.IntV(-x.I))
+			}
+		case OpNot:
+			st(in.Dst, interp.BoolV(!ld(in.A).B))
+		case OpToBool:
+			st(in.Dst, interp.BoolV(ld(in.A).B))
+		case OpConvF:
+			x := ld(in.A)
+			if x.Kind == interp.KindInt {
+				st(in.Dst, interp.FloatV(float64(x.I)))
+			} else {
+				st(in.Dst, *x)
+			}
+		case OpConvI:
+			x := ld(in.A)
+			if x.Kind == interp.KindFloat {
+				st(in.Dst, interp.IntV(int64(x.F)))
+			} else {
+				st(in.Dst, *x)
+			}
+		case OpAdd:
+			a, b := ld(in.A), ld(in.B)
+			switch a.Kind {
+			case interp.KindInt:
+				st(in.Dst, interp.IntV(a.I+b.I))
+			case interp.KindFloat:
+				st(in.Dst, interp.FloatV(a.F+b.F))
+			case interp.KindString:
+				st(in.Dst, interp.StrV(a.S+b.S))
+			default:
+				if _, err := interp.EvalBinOp(ir.BinAdd, *a, *b); err != nil {
+					return interp.NullV(), err
+				}
+			}
+		case OpSub:
+			a, b := ld(in.A), ld(in.B)
+			if a.Kind == interp.KindFloat {
+				st(in.Dst, interp.FloatV(a.F-b.F))
+			} else {
+				st(in.Dst, interp.IntV(a.I-b.I))
+			}
+		case OpMul:
+			a, b := ld(in.A), ld(in.B)
+			if a.Kind == interp.KindFloat {
+				st(in.Dst, interp.FloatV(a.F*b.F))
+			} else {
+				st(in.Dst, interp.IntV(a.I*b.I))
+			}
+		case OpDiv:
+			a, b := ld(in.A), ld(in.B)
+			if a.Kind == interp.KindFloat {
+				st(in.Dst, interp.FloatV(a.F/b.F))
+			} else if b.I == 0 {
+				return interp.NullV(), errDivZero
+			} else {
+				st(in.Dst, interp.IntV(a.I/b.I))
+			}
+		case OpMod:
+			a, b := ld(in.A), ld(in.B)
+			if b.I == 0 {
+				return interp.NullV(), errDivZero
+			}
+			st(in.Dst, interp.IntV(a.I%b.I))
+		case OpEq:
+			st(in.Dst, interp.BoolV(ld(in.A).Equal(*ld(in.B))))
+		case OpNeq:
+			st(in.Dst, interp.BoolV(!ld(in.A).Equal(*ld(in.B))))
+		case OpLt, OpLeq, OpGt, OpGeq:
+			v, err := compare(in.Op, ld(in.A), ld(in.B))
+			if err != nil {
+				return interp.NullV(), err
+			}
+			st(in.Dst, v)
+		case OpJump:
+			pc += int(int32(in.Dst))
+			continue
+		case OpJumpF:
+			if !ld(in.A).IsTrue() {
+				pc += int(int32(in.Dst))
+				continue
+			}
+		case OpJumpRawF:
+			if !ld(in.A).B {
+				pc += int(int32(in.Dst))
+				continue
+			}
+		case OpJumpRawT:
+			if ld(in.A).B {
+				pc += int(int32(in.Dst))
+				continue
+			}
+		case OpRet:
+			return *ld(in.A), nil
+		case OpRetNil:
+			return interp.NullV(), nil
+		case OpFail:
+			return interp.NullV(), f.fails[in.Dst]
+		}
+		pc++
+	}
+	// Fell off the end: "any", the open side discards this value.
+	return interp.NullV(), nil
+}
+
+// compare mirrors interp.EvalBinOp's ordered comparisons, including the
+// comparator-style float semantics (NaN compares equal-rank, so <= and >=
+// are the negations of > and <).
+func compare(op Opcode, a, b *interp.Value) (interp.Value, error) {
+	switch a.Kind {
+	case interp.KindInt:
+		switch op {
+		case OpLt:
+			return interp.BoolV(a.I < b.I), nil
+		case OpLeq:
+			return interp.BoolV(a.I <= b.I), nil
+		case OpGt:
+			return interp.BoolV(a.I > b.I), nil
+		default:
+			return interp.BoolV(a.I >= b.I), nil
+		}
+	case interp.KindFloat:
+		switch op {
+		case OpLt:
+			return interp.BoolV(a.F < b.F), nil
+		case OpLeq:
+			return interp.BoolV(!(a.F > b.F)), nil
+		case OpGt:
+			return interp.BoolV(a.F > b.F), nil
+		default:
+			return interp.BoolV(!(a.F < b.F)), nil
+		}
+	case interp.KindString:
+		switch op {
+		case OpLt:
+			return interp.BoolV(a.S < b.S), nil
+		case OpLeq:
+			return interp.BoolV(a.S <= b.S), nil
+		case OpGt:
+			return interp.BoolV(a.S > b.S), nil
+		default:
+			return interp.BoolV(a.S >= b.S), nil
+		}
+	}
+	return interp.EvalBinOp(binOpOfCmp(op), *a, *b)
+}
+
+func binOpOfCmp(op Opcode) ir.BinOp {
+	switch op {
+	case OpLt:
+		return ir.BinLt
+	case OpLeq:
+		return ir.BinLeq
+	case OpGt:
+		return ir.BinGt
+	default:
+		return ir.BinGeq
+	}
+}

@@ -1,0 +1,208 @@
+// Package vm compiles hidden-component fragments (package core) into a
+// flat three-address bytecode and executes it with a dispatch loop. It is
+// the hot execution path of the hidden server: the tree-walking executor
+// in package hrt re-resolves every variable through maps and allocates per
+// call, while compiled fragments address preresolved integer slots in
+// activation/globals/field stores and run on a pooled temp frame.
+//
+// The package consumes IR only: operator kinds cross the boundary through
+// the language-neutral ir.BinOp/ir.UnOp enums, never lang/token (enforced
+// by a CI layering check).
+package vm
+
+import (
+	"slicehide/internal/interp"
+	"slicehide/internal/ir"
+)
+
+// MaxFragSteps bounds one fragment execution, mirroring the tree-walking
+// executor's limit: +1 per statement reached, +1 per completed loop
+// iteration.
+const MaxFragSteps = 100_000_000
+
+// Layout assigns integer slots to the variables of one store. A store's
+// values slice is indexed by slot; the names are kept for the snapshot
+// codec and journal recovery, which address variables by stable name
+// because *ir.Var identities do not survive a process restart.
+type Layout struct {
+	// Vars maps slot -> variable.
+	Vars []*ir.Var
+	// Index maps variable identity -> slot.
+	Index map[*ir.Var]int32
+	// byName maps stable name -> slot (last add wins, mirroring the
+	// name-resolution maps the recovery path used before slots).
+	byName map[string]int32
+}
+
+// NewLayout returns an empty layout.
+func NewLayout() *Layout {
+	return &Layout{Index: make(map[*ir.Var]int32), byName: make(map[string]int32)}
+}
+
+// Add ensures v has a slot and returns it.
+func (l *Layout) Add(v *ir.Var) int32 {
+	if s, ok := l.Index[v]; ok {
+		return s
+	}
+	s := int32(len(l.Vars))
+	l.Vars = append(l.Vars, v)
+	l.Index[v] = s
+	l.byName[v.Name] = s
+	return s
+}
+
+// Slot returns v's slot. Nil layouts (a class with no hidden fields)
+// resolve nothing.
+func (l *Layout) Slot(v *ir.Var) (int32, bool) {
+	if l == nil {
+		return 0, false
+	}
+	s, ok := l.Index[v]
+	return s, ok
+}
+
+// SlotByName resolves a stable on-disk name to a slot.
+func (l *Layout) SlotByName(name string) (int32, bool) {
+	if l == nil {
+		return 0, false
+	}
+	s, ok := l.byName[name]
+	return s, ok
+}
+
+// Len reports the number of slots.
+func (l *Layout) Len() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.Vars)
+}
+
+// NewVals allocates a store image with every slot at its typed zero.
+func (l *Layout) NewVals() []interp.Value {
+	if l == nil || len(l.Vars) == 0 {
+		return nil
+	}
+	vals := make([]interp.Value, len(l.Vars))
+	for i, v := range l.Vars {
+		vals[i] = ZeroValue(v)
+	}
+	return vals
+}
+
+// ZeroValue returns the typed zero of a hidden variable, with the hidden
+// runtime's historical convention: floats and bools get their own zeros,
+// everything else (including strings) starts as int 0.
+func ZeroValue(v *ir.Var) interp.Value {
+	switch ir.ZeroKindOf(v) {
+	case ir.ZeroFloat:
+		return interp.FloatV(0)
+	case ir.ZeroBool:
+		return interp.BoolV(false)
+	}
+	return interp.IntV(0)
+}
+
+// ConstValue converts an IR constant to a runtime value.
+func ConstValue(c *ir.Const) interp.Value {
+	switch c.Kind {
+	case ir.ConstInt:
+		return interp.IntV(c.I)
+	case ir.ConstFloat:
+		return interp.FloatV(c.F)
+	case ir.ConstBool:
+		return interp.BoolV(c.B)
+	case ir.ConstString:
+		return interp.StrV(c.S)
+	}
+	return interp.NullV()
+}
+
+// Program is the compiled form of a registry's hidden components.
+type Program struct {
+	// Comps maps component name to its compiled form.
+	Comps map[string]*Comp
+	// Globals lays out the shared hidden-globals store: true globals from
+	// every component, then the globals component's temporaries (which
+	// execute against the same store).
+	Globals *Layout
+	// globalInit is the slot-indexed initial globals image.
+	globalInit []interp.Value
+	// Fields lays out the per-object hidden-field store of each class.
+	Fields map[string]*Layout
+	// Hash fingerprints the compiled bytecode (instructions, constants,
+	// layouts). Recovery compares it against the recompiled registry so a
+	// changed program is refused rather than replayed into wrong slots.
+	Hash uint64
+	// CompileNS is the one-time compile cost, exported as vm_compile_ns.
+	CompileNS int64
+	// MaxTemps is the largest temp-frame any fragment needs; frames from
+	// one pool fit every fragment.
+	MaxTemps int32
+}
+
+// Comp is one compiled hidden component.
+type Comp struct {
+	Name string
+	// Class is the owning class ("" for top-level components): "C" for
+	// method components "C.m" and for the per-class component "$class:C".
+	Class string
+	// IsClass marks "$class:" components, whose activations address
+	// per-object field stores directly.
+	IsClass bool
+	// TouchesGlobals marks components whose fragments can reach a global
+	// hidden variable; their calls run under the globals lock.
+	TouchesGlobals bool
+	// Act lays out this component's activation store. For the globals
+	// component it aliases Program.Globals; for "$class:" components it
+	// aliases the class's field layout (their activations are the field
+	// stores themselves).
+	Act *Layout
+	// frags is dense by fragment ID (nil holes).
+	frags []*Frag
+}
+
+// Frag returns the compiled fragment with the given ID, or nil.
+func (c *Comp) Frag(id int) *Frag {
+	if id < 0 || id >= len(c.frags) {
+		return nil
+	}
+	return c.frags[id]
+}
+
+// FragIDs returns the compiled fragment IDs in ascending order.
+func (c *Comp) FragIDs() []int {
+	var ids []int
+	for id, f := range c.frags {
+		if f != nil {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// Frag is one fragment compiled to three-address bytecode.
+type Frag struct {
+	ID    int
+	NArgs int
+	Code  []Instr
+	// Consts is the constant pool.
+	Consts []interp.Value
+	// fails holds the prebuilt errors OpFail raises (unknown variables,
+	// constructs the fragment executor does not support) so raising one
+	// costs no allocation and reproduces the tree-walker's message.
+	fails []error
+	// NTemps is the temp-frame size this fragment needs.
+	NTemps int32
+}
+
+// NewGlobalVals returns a fresh copy of the initial globals store image
+// (globalInit is full length, so this is a single copy).
+func (p *Program) NewGlobalVals() []interp.Value {
+	if len(p.globalInit) == 0 {
+		return nil
+	}
+	vals := make([]interp.Value, len(p.globalInit))
+	copy(vals, p.globalInit)
+	return vals
+}

@@ -95,6 +95,33 @@ func benchLoadDirect(b *testing.B, shards int) {
 func BenchmarkLoadDirectSerial(b *testing.B)  { benchLoadDirect(b, 1) }
 func BenchmarkLoadDirectSharded(b *testing.B) { benchLoadDirect(b, runtime.GOMAXPROCS(0)) }
 
+// benchExecMode is the single-session direct-dispatch loop under one
+// execution engine: no contention, no sockets — just the cost of one
+// hidden fragment call end to end through CallSession.
+func benchExecMode(b *testing.B, mode interp.ExecMode) {
+	res, fragID, args := loadBenchSplit(b)
+	server := hrt.NewServer(hrt.NewRegistry(res))
+	server.SetExecMode(mode)
+	inst, err := server.EnterSession(1, "work", 0, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := server.CallSession(1, "work", inst, fragID, args); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVMVsInterp is the execution-engine micro-pair: the compiled
+// bytecode VM against the tree-walking oracle on the same fragment.
+func BenchmarkVMVsInterp(b *testing.B) {
+	b.Run("vm", func(b *testing.B) { benchExecMode(b, interp.ExecVM) })
+	b.Run("interp", func(b *testing.B) { benchExecMode(b, interp.ExecInterp) })
+}
+
 // benchLoadJSONPath makes `make bench-load` emit the machine-readable
 // throughput report:
 //
@@ -134,6 +161,7 @@ func TestLoadSmoke(t *testing.T) {
 		{"sync/sharded", experiments.LoadConfig{Sessions: 4, Ops: 50, Shards: 4}},
 		{"pipelined/serial", experiments.LoadConfig{Sessions: 4, Ops: 50, Shards: 1, Pipeline: true, BarrierEvery: 8}},
 		{"pipelined/sharded", experiments.LoadConfig{Sessions: 4, Ops: 50, Shards: 4, Pipeline: true, BarrierEvery: 8}},
+		{"sync/interp", experiments.LoadConfig{Sessions: 4, Ops: 50, Shards: 4, ExecMode: "interp"}},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			r, err := experiments.RunLoad(tc.cfg)
