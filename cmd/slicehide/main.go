@@ -11,8 +11,8 @@
 //	slicehide analyze <file.mj>
 //	slicehide split   -func f [-seed v] [-no-cfh] <file.mj>
 //	slicehide ilp     -func f [-seed v] <file.mj>
-//	slicehide run     [-split f[:v],g[:v],...] [-rtt d] [-server addr | -cluster a1,a2,...] [-timeout d] [-retries n] [-pipeline] [-window n] [-stats text|json] [-trace file] <file.mj>
-//	slicehide loadtest [-server addr | -cluster a1,a2,... | -backends n [-kill-primary]] [-sessions m] [-ops k] [-pipeline] [-window n] [-shards n] [-split f:v] [-data-dir dir [-fsync]] [-json] [program.mj]
+//	slicehide run     [-split f[:v],g[:v],...] [-rtt d] [-server addr | -cluster a1,a2,...] [-timeout d] [-retries n] [-pipeline] [-mux] [-window n] [-stats text|json] [-trace file] <file.mj>
+//	slicehide loadtest [-server addr | -cluster a1,a2,... | -backends n [-kill-primary]] [-sessions m] [-ops k] [-pipeline] [-mux] [-mux-conns n] [-window n] [-shards n] [-split f:v] [-data-dir dir [-fsync]] [-json] [program.mj]
 //	slicehide attack  -func f [-seed v] [-calls n] [-window k] <file.mj>
 package main
 
@@ -256,7 +256,8 @@ func cmdRun(args []string) error {
 	timeout := fs.Duration("timeout", 5*time.Second, "per-attempt I/O deadline on the hiddend link")
 	retries := fs.Int("retries", 8, "max retries per round trip on the hiddend link (-1 disables)")
 	pipeline := fs.Bool("pipeline", true, "pipeline reply-free hidden calls (one-way sends, coalesced writes)")
-	window := fs.Int("window", 64, "max unacknowledged in-flight requests when pipelining")
+	mux := fs.Bool("mux", true, "multiplex the session over a shared connection (with -cluster: one pooled upstream per replica); -mux=false dials a dedicated connection")
+	window := fs.Int("window", 64, "max unacknowledged in-flight requests when pipelining or multiplexing")
 	execFlag := fs.String("exec", "vm", "in-process fragment execution engine: vm (compiled bytecode) or interp (tree-walking oracle); a remote hiddend picks its own")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -316,23 +317,52 @@ func cmdRun(args []string) error {
 			return fmt.Errorf("run: -cluster needs at least one replica address")
 		}
 		session := rand.Uint64() | 1
-		tr, err := hrt.DialReconnect(hrt.ReconnectConfig{
-			Resolver: cluster.SessionResolver(peers, session, 0),
-			Session:  session,
-			Timeout:  *timeout,
-			Policy:   hrt.RetryPolicy{Retries: *retries},
-			Counters: counters,
-			Tracer:   tracer,
-		})
-		if err != nil {
-			return err
+		if *mux {
+			pool := cluster.NewMuxPool(cluster.MuxPoolConfig{
+				Peers:    peers,
+				Timeout:  *timeout,
+				Policy:   hrt.RetryPolicy{Retries: *retries},
+				Window:   *window,
+				Counters: counters,
+				Tracer:   tracer,
+			})
+			defer pool.Close()
+			t = pool.SessionTransport(session)
+		} else {
+			tr, err := hrt.DialReconnect(hrt.ReconnectConfig{
+				Resolver: cluster.SessionResolver(peers, session, 0),
+				Session:  session,
+				Timeout:  *timeout,
+				Policy:   hrt.RetryPolicy{Retries: *retries},
+				Counters: counters,
+				Tracer:   tracer,
+			})
+			if err != nil {
+				return err
+			}
+			defer tr.Close()
+			t = tr
 		}
-		defer tr.Close()
-		t = tr
 		serverLabel = cluster.Owner(session, peers)
 		*pipeline = false
 	} else if *server != "" {
-		if *pipeline {
+		if *mux {
+			mt, err := hrt.DialMux(hrt.MuxConfig{
+				Addr:     *server,
+				Timeout:  *timeout,
+				Policy:   hrt.RetryPolicy{Retries: *retries},
+				Window:   *window,
+				Counters: counters,
+				Tracer:   tracer,
+			})
+			if err != nil {
+				return err
+			}
+			defer mt.Close()
+			stream := mt.Stream(0, counters)
+			reg.Gauge("hrt_inflight_window", func() int64 { return int64(stream.InFlight()) })
+			t = stream
+		} else if *pipeline {
 			tr, err := hrt.DialPipeline(hrt.PipelineConfig{
 				Addr:     *server,
 				Timeout:  *timeout,
@@ -454,7 +484,9 @@ func cmdLoadtest(args []string) error {
 	sessions := fs.Int("sessions", 8, "concurrent client sessions")
 	ops := fs.Int("ops", 1000, "hidden fragment calls per session")
 	pipeline := fs.Bool("pipeline", false, "drive the pipelined transport (one-way calls + flush barriers)")
-	window := fs.Int("window", 0, "pipelined in-flight window (0 = transport default)")
+	muxFlag := fs.Bool("mux", true, "multiplex sessions over shared connections (fleet mode: one pooled upstream per replica); -mux=false dials one connection per session")
+	muxConns := fs.Int("mux-conns", 0, "shared connection count with -mux (0 = one per 256 sessions, capped at 64)")
+	window := fs.Int("window", 0, "pipelined/muxed in-flight window (0 = transport default)")
 	barrier := fs.Int("barrier-every", 16, "pipelined ops between flush barriers")
 	shards := fs.Int("shards", 0, "self-hosted server session shards (0 = GOMAXPROCS, 1 = serial baseline; ignored with -server)")
 	split := fs.String("split", "", `workload split spec "f:seed" (default: built-in workload; with a program file it must name one of its functions)`)
@@ -494,6 +526,7 @@ func cmdLoadtest(args []string) error {
 			split:       *split,
 			dataDir:     *dataDir,
 			pipeline:    *pipeline,
+			mux:         *muxFlag,
 			server:      *server,
 			asJSON:      *asJSON,
 		})
@@ -503,6 +536,8 @@ func cmdLoadtest(args []string) error {
 		Sessions:     *sessions,
 		Ops:          *ops,
 		Pipeline:     *pipeline,
+		Mux:          *muxFlag,
+		MuxConns:     *muxConns,
 		Window:       *window,
 		BarrierEvery: *barrier,
 		Shards:       *shards,
@@ -524,8 +559,12 @@ func cmdLoadtest(args []string) error {
 	if res.Durability != "" {
 		durable = ", durability=" + res.Durability
 	}
+	mode := res.Mode
+	if res.MuxConns > 0 {
+		mode = fmt.Sprintf("%s over %d conns", res.Mode, res.MuxConns)
+	}
 	fmt.Printf("loadtest: %d sessions × %d ops (%s, exec=%s, shards=%s, GOMAXPROCS=%d%s)\n",
-		res.Sessions, res.OpsPerSession, res.Mode, res.ExecMode, shardsLabel(res.Shards), res.GOMAXPROCS, durable)
+		res.Sessions, res.OpsPerSession, mode, res.ExecMode, shardsLabel(res.Shards), res.GOMAXPROCS, durable)
 	fmt.Printf("  throughput: %.0f ops/sec (%d ops in %s)\n",
 		res.OpsPerSec, res.TotalOps, time.Duration(res.ElapsedNs))
 	fmt.Printf("  blocking ops: %d, p50 %s, p99 %s, max %s\n",
@@ -544,6 +583,7 @@ type clusterLoadtestArgs struct {
 	split       string
 	dataDir     string
 	pipeline    bool
+	mux         bool
 	server      string
 	asJSON      bool
 }
@@ -570,6 +610,7 @@ func clusterLoadtest(a clusterLoadtestArgs) error {
 		Source:      a.source,
 		Split:       a.split,
 		DataDir:     a.dataDir,
+		Mux:         a.mux,
 	})
 	if err != nil {
 		return err

@@ -213,6 +213,7 @@ func (g *Group) probeOnce() {
 		}
 		g.mu.Lock()
 		was := g.alive[peer]
+		died := false
 		if up {
 			g.fails[peer] = 0
 			g.alive[peer] = true
@@ -232,11 +233,34 @@ func (g *Group) probeOnce() {
 				g.alive[peer] = false
 				g.deadSince[peer] = time.Now()
 				g.promoted[peer] = false
+				died = true
 				g.cfg.Tracer.Emit(obs.LevelWarn, "cluster_peer_down", obs.Str("peer", peer))
 			}
 		}
 		g.mu.Unlock()
+		if died {
+			g.releaseDeadPeer(peer)
+		}
 	}
+}
+
+// releaseDeadPeer severs a prober-declared-dead peer from the commit path
+// immediately. Its pump connection may look healthy — a partitioned or
+// wedged follower keeps the socket open while acknowledging nothing — so
+// without this, every response gated on that follower waits out the full
+// ack-degrade timeout even though the prober already knows the peer is
+// gone. Dropping the peer from the offset tracker wakes those waiters now
+// (with the last connected follower dead, the gate releases instead of
+// timing out), and closing the pump connection moves the pump into its
+// reconnect backoff, whose normal disconnect path would otherwise be the
+// only place the tracker entry dies.
+func (g *Group) releaseDeadPeer(peer string) {
+	g.tracker.Drop(peer)
+	g.pumpMu.Lock()
+	if c, ok := g.pumpConns[peer]; ok {
+		c.Close()
+	}
+	g.pumpMu.Unlock()
 }
 
 // livePeers returns the members currently believed alive (Self always is).

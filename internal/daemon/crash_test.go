@@ -36,6 +36,21 @@ import (
 
 const childEnv = "SLICEHIDE_HIDDEND_CHILD"
 
+// muxEnv mirrors SLICEHIDE_CHAOS_EXEC for the link layer: the chaos
+// harnesses drive their clients over multiplexed transports by default,
+// and SLICEHIDE_CHAOS_MUX=false reverts both the clients and every
+// hiddend child (via -mux=false) to one TCP connection per session, so
+// CI exercises the pre-mux link layer once per run.
+const muxEnv = "SLICEHIDE_CHAOS_MUX"
+
+func chaosMux() bool {
+	switch os.Getenv(muxEnv) {
+	case "false", "0", "off":
+		return false
+	}
+	return true
+}
+
 // TestMain re-executes this binary as hiddend when the child marker is
 // set, so subprocess tests exercise the exact daemon.Main code path
 // cmd/hiddend runs.
@@ -124,6 +139,9 @@ func startChild(t *testing.T, args ...string) *child {
 	if mode := os.Getenv("SLICEHIDE_CHAOS_EXEC"); mode != "" {
 		args = append([]string{"-exec", mode}, args...)
 	}
+	if !chaosMux() {
+		args = append([]string{"-mux=false"}, args...)
+	}
 	c := &child{stderr: &bytes.Buffer{}, ready: make(chan struct{})}
 	c.cmd = exec.Command(os.Args[0], args...)
 	c.cmd.Env = append(os.Environ(), childEnv+"=1")
@@ -211,24 +229,44 @@ func (k *killerTransport) RoundTrip(req hrt.Request) (hrt.Response, error) {
 	return k.inner.RoundTrip(req)
 }
 
-// chaosClient runs the open program against addr through the reconnecting
-// transport, with kills seeded at the given interaction counts.
+// chaosClient runs the open program against addr with kills seeded at the
+// given interaction counts. By default the session rides a stream of a
+// multiplexed connection (the production link layer); SLICEHIDE_CHAOS_MUX=false
+// reverts to the per-session reconnecting transport. Both survive kills:
+// the mux transport re-dials and replays unacknowledged frames, the
+// reconnecting transport re-dials per exchange.
 func chaosClient(t *testing.T, res *core.Result, addr string, session uint64, kills []int64, fire func(int)) (string, error) {
 	t.Helper()
-	tr, err := hrt.DialReconnect(hrt.ReconnectConfig{
-		Addr:    addr,
-		Session: session,
-		Timeout: 2 * time.Second,
-		Policy: hrt.RetryPolicy{
-			Retries:     60,
-			BackoffBase: 2 * time.Millisecond,
-			BackoffMax:  100 * time.Millisecond,
-		},
-	})
-	if err != nil {
-		t.Fatal(err)
+	policy := hrt.RetryPolicy{
+		Retries:     60,
+		BackoffBase: 2 * time.Millisecond,
+		BackoffMax:  100 * time.Millisecond,
 	}
-	defer tr.Close()
+	var tr hrt.Transport
+	if chaosMux() {
+		mt, err := hrt.DialMux(hrt.MuxConfig{
+			Addr:    addr,
+			Timeout: 2 * time.Second,
+			Policy:  policy,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer mt.Close()
+		tr = mt.Stream(session, nil)
+	} else {
+		rt, err := hrt.DialReconnect(hrt.ReconnectConfig{
+			Addr:    addr,
+			Session: session,
+			Timeout: 2 * time.Second,
+			Policy:  policy,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rt.Close()
+		tr = rt
+	}
 	killer := &killerTransport{inner: tr, kills: kills, fire: fire}
 	var b strings.Builder
 	in := interp.New(res.Open, interp.Options{

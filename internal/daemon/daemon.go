@@ -42,9 +42,12 @@ type Config struct {
 	MaxSessions int
 	EvictGrace  time.Duration
 	Pipeline    bool
-	Shards      int
-	Admin       string
-	TraceFile   string
+	// Mux accepts multiplexed connections carrying many sessions (default
+	// on); -mux=false forces every session onto its own TCP connection.
+	Mux       bool
+	Shards    int
+	Admin     string
+	TraceFile string
 
 	// DataDir, when set, makes the server crash-recoverable: hidden
 	// session state is journaled to and snapshotted in this directory,
@@ -70,6 +73,10 @@ type Config struct {
 	// responses on follower acknowledgement, so a peer can take over a
 	// session when this replica dies (requires -data-dir and -peers).
 	Replicate bool
+	// ReplAckTimeout bounds how long a response waits for follower
+	// acknowledgement before degrading to asynchronous replication
+	// (0 = the cluster default, 5s).
+	ReplAckTimeout time.Duration
 
 	// ExecMode selects the fragment execution engine: "vm" (default)
 	// runs compiled bytecode, "interp" the tree-walking oracle.
@@ -92,6 +99,7 @@ func ParseFlags(args []string) (Config, error) {
 	fs.IntVar(&cfg.MaxSessions, "max-sessions", 0, "maximum cached replay sessions (0 = default 1024)")
 	fs.DurationVar(&cfg.EvictGrace, "evict-grace", 0, "protect sessions seen within this window from replay-cache eviction (0 disables)")
 	fs.BoolVar(&cfg.Pipeline, "pipeline", true, "accept pipelined (reply-free) frames; -pipeline=false forces clients back to the synchronous protocol")
+	fs.BoolVar(&cfg.Mux, "mux", true, "accept multiplexed connections carrying many sessions; -mux=false forces one TCP connection per session")
 	fs.IntVar(&cfg.Shards, "shards", 0, "session-state lock stripes for hidden state and the replay cache (0 = GOMAXPROCS, rounded up to a power of two; 1 = the serial single-lock server)")
 	fs.StringVar(&cfg.Admin, "admin", "", "serve the admin endpoint (/healthz, /metrics, /trace, /debug/pprof/) on this address (empty disables)")
 	fs.StringVar(&cfg.TraceFile, "trace", "", "write redacted runtime trace events (JSON lines) to this file")
@@ -101,6 +109,7 @@ func ParseFlags(args []string) (Config, error) {
 	fs.DurationVar(&cfg.DrainTimeout, "drain-timeout", 5*time.Second, "on SIGTERM/SIGINT, wait this long for in-flight connections to finish before severing them")
 	fs.StringVar(&cfg.Peers, "peers", "", "comma-separated fleet membership, including this replica's own -listen address; sessions are rendezvous-placed across the members")
 	fs.BoolVar(&cfg.Replicate, "replicate", false, "stream the WAL to every peer and gate responses on follower acknowledgement, so sessions survive this replica's death (requires -peers and -data-dir)")
+	fs.DurationVar(&cfg.ReplAckTimeout, "repl-ack-timeout", 0, "how long a response may wait for follower acknowledgement before degrading to asynchronous replication (0 = default 5s; requires -replicate)")
 	fs.StringVar(&cfg.ExecMode, "exec", "vm", "fragment execution engine: vm (compiled bytecode) or interp (tree-walking oracle)")
 	if err := fs.Parse(args); err != nil {
 		return Config{}, err
@@ -223,6 +232,7 @@ func Start(cfg Config) (*Daemon, error) {
 		MaxSessions:     cfg.MaxSessions,
 		EvictGrace:      cfg.EvictGrace,
 		DisablePipeline: !cfg.Pipeline,
+		DisableMux:      !cfg.Mux,
 		Shards:          shards,
 		Tracer:          d.tracer,
 		Persist:         d.persist,
@@ -281,10 +291,11 @@ func Start(cfg Config) (*Daemon, error) {
 	var group *cluster.Group
 	if len(peers) > 0 {
 		group, err = cluster.New(cluster.Config{
-			Self:      cfg.Listen,
-			Peers:     peers,
-			Replicate: cfg.Replicate,
-			Tracer:    d.tracer,
+			Self:          cfg.Listen,
+			Peers:         peers,
+			Replicate:     cfg.Replicate,
+			CommitTimeout: cfg.ReplAckTimeout,
+			Tracer:        d.tracer,
 		}, d.server)
 		if err != nil {
 			if d.admin != nil {

@@ -50,6 +50,10 @@ type ClusterLoadConfig struct {
 	// DataDir is the base directory for the self-hosted replicas' WALs
 	// (default: a fresh temp dir, removed after the run).
 	DataDir string
+	// Mux shares one multiplexed upstream connection per replica among
+	// every session (see cluster.MuxPool) instead of dialing one TCP
+	// connection per session.
+	Mux bool
 }
 
 // ClusterLoadResult is one fleet run's measurement, the document
@@ -240,6 +244,18 @@ func RunClusterLoad(c ClusterLoadConfig) (ClusterLoadResult, error) {
 		}()
 	}
 
+	// Mux mode: every session's exchanges ride the pool's one shared
+	// multiplexed connection per replica; the retry budget matches the
+	// per-session transports so a kill run rides out failover either way.
+	var pool *cluster.MuxPool
+	if cfg.Mux {
+		pool = cluster.NewMuxPool(cluster.MuxPoolConfig{
+			Peers:  addrs,
+			Policy: hrt.RetryPolicy{Retries: 60, BackoffBase: 5 * time.Millisecond, BackoffMax: 100 * time.Millisecond},
+		})
+		defer pool.Close()
+	}
+
 	var wg sync.WaitGroup
 	errs := make([]error, cfg.Sessions)
 	start := time.Now()
@@ -247,7 +263,7 @@ func RunClusterLoad(c ClusterLoadConfig) (ClusterLoadResult, error) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			errs[w] = clusterWorker(addrs, ids[w], comp, fragID, args, cfg, hist, &done)
+			errs[w] = clusterWorker(addrs, ids[w], pool, comp, fragID, args, cfg, hist, &done)
 		}(w)
 	}
 	wg.Wait()
@@ -288,21 +304,28 @@ func RunClusterLoad(c ClusterLoadConfig) (ClusterLoadResult, error) {
 	}, nil
 }
 
-// clusterWorker is one session against the fleet: a reconnecting
-// synchronous transport whose resolver follows the session's rendezvous
-// rank, with a retry budget generous enough to ride out a primary's death
-// (probe detection plus promotion).
-func clusterWorker(addrs []string, session uint64, comp string, fragID int, args []interp.Value, cfg ClusterLoadConfig, hist *obs.Histogram, done *atomic.Int64) error {
-	tr, err := hrt.DialReconnect(hrt.ReconnectConfig{
-		Resolver: cluster.SessionResolver(addrs, session, 250*time.Millisecond),
-		Session:  session,
-		Policy:   hrt.RetryPolicy{Retries: 60, BackoffBase: 5 * time.Millisecond, BackoffMax: 100 * time.Millisecond},
-	})
-	if err != nil {
-		return err
+// clusterWorker is one session against the fleet: either a reconnecting
+// per-session transport whose resolver follows the session's rendezvous
+// rank, or (with a pool) the session's slice of the shared multiplexed
+// upstreams. Both carry a retry budget generous enough to ride out a
+// primary's death (probe detection plus promotion).
+func clusterWorker(addrs []string, session uint64, pool *cluster.MuxPool, comp string, fragID int, args []interp.Value, cfg ClusterLoadConfig, hist *obs.Histogram, done *atomic.Int64) error {
+	var t hrt.Transport
+	if pool != nil {
+		t = pool.SessionTransport(session)
+	} else {
+		tr, err := hrt.DialReconnect(hrt.ReconnectConfig{
+			Resolver: cluster.SessionResolver(addrs, session, 250*time.Millisecond),
+			Session:  session,
+			Policy:   hrt.RetryPolicy{Retries: 60, BackoffBase: 5 * time.Millisecond, BackoffMax: 100 * time.Millisecond},
+		})
+		if err != nil {
+			return err
+		}
+		defer tr.Close()
+		t = tr
 	}
-	defer tr.Close()
-	sess := &hrt.Session{T: tr}
+	sess := &hrt.Session{T: t}
 	inst, err := sess.Enter(comp, 0)
 	if err != nil {
 		return err

@@ -50,7 +50,16 @@ type LoadConfig struct {
 	// Pipeline drives the pipelined transport (one-way calls with a flush
 	// barrier every BarrierEvery ops) instead of the synchronous one.
 	Pipeline bool
-	// Window is the pipelined in-flight window (0 = transport default).
+	// Mux multiplexes every session over a small shared set of TCP
+	// connections (MuxConns of them) instead of one connection per
+	// session; sessions drive one-way calls with periodic barriers like
+	// Pipeline. Mux takes precedence over Pipeline.
+	Mux bool
+	// MuxConns is the shared connection count in Mux mode
+	// (0 = ceil(Sessions/256), capped at 64).
+	MuxConns int
+	// Window is the pipelined/muxed in-flight window (0 = transport
+	// default).
 	Window int
 	// BarrierEvery is how many pipelined ops ride between flush barriers.
 	// Default 16.
@@ -83,9 +92,12 @@ type LoadConfig struct {
 // LoadResult is one load run's measurement, the schema-versioned document
 // `slicehide loadtest -json` prints and BENCH_load.json collects.
 type LoadResult struct {
-	Schema        int     `json:"schema"`
-	Mode          string  `json:"mode"` // "sync" or "pipelined"
-	Sessions      int     `json:"sessions"`
+	Schema   int    `json:"schema"`
+	Mode     string `json:"mode"` // "sync", "pipelined", or "mux"
+	Sessions int    `json:"sessions"`
+	// MuxConns is the shared TCP connection count in mux mode (0 in the
+	// one-connection-per-session modes).
+	MuxConns      int     `json:"mux_conns,omitempty"`
 	OpsPerSession int     `json:"ops_per_session"`
 	TotalOps      int64   `json:"total_ops"`
 	Shards        int     `json:"shards"` // 0 = remote server, stripe count unknown
@@ -107,8 +119,9 @@ type LoadResult struct {
 }
 
 // LoadSchemaVersion is bumped when LoadResult's shape changes. Version 2
-// added exec_mode when fragment execution moved to compiled bytecode.
-const LoadSchemaVersion = 2
+// added exec_mode when fragment execution moved to compiled bytecode;
+// version 3 added the "mux" mode and its mux_conns count.
+const LoadSchemaVersion = 3
 
 func (c *LoadConfig) withDefaults() LoadConfig {
 	cfg := *c
@@ -195,6 +208,14 @@ func RunLoad(c LoadConfig) (LoadResult, error) {
 			Shards:  shards,
 			Persist: persist,
 		}
+		if cfg.Sessions > 512 {
+			// The replay cache must hold every live session at once: a 10k
+			// session run over the default cap (1024) LRU-evicts sessions
+			// that are merely descheduled, and their next request bounces
+			// with the session-evicted error. Doubling leaves room for the
+			// striped LRU's per-stripe skew.
+			srv.MaxSessions = cfg.Sessions * 2
+		}
 		a, err := srv.ListenAndServe("127.0.0.1:0")
 		if err != nil {
 			return LoadResult{}, fmt.Errorf("loadgen: start loopback server: %w", err)
@@ -211,6 +232,38 @@ func RunLoad(c LoadConfig) (LoadResult, error) {
 		args[i] = interp.IntV(int64(i%5 + 1))
 	}
 
+	// Mux mode: all sessions share a small pool of multiplexed
+	// connections, dialed up front so a dial failure surfaces before any
+	// load is generated. Sessions map onto connections round-robin.
+	var muxConns []*hrt.MuxTransport
+	muxConnCount := 0
+	if cfg.Mux {
+		muxConnCount = cfg.MuxConns
+		if muxConnCount <= 0 {
+			muxConnCount = (cfg.Sessions + 255) / 256
+			if muxConnCount > 64 {
+				muxConnCount = 64
+			}
+		}
+		if muxConnCount < 1 {
+			muxConnCount = 1
+		}
+		if muxConnCount > cfg.Sessions {
+			muxConnCount = cfg.Sessions
+		}
+		for i := 0; i < muxConnCount; i++ {
+			mt, err := hrt.DialMux(hrt.MuxConfig{Addr: addr, Window: cfg.Window})
+			if err != nil {
+				for _, open := range muxConns {
+					open.Close()
+				}
+				return LoadResult{}, fmt.Errorf("loadgen: dial mux connection %d: %w", i, err)
+			}
+			muxConns = append(muxConns, mt)
+			defer mt.Close()
+		}
+	}
+
 	var wg sync.WaitGroup
 	errs := make([]error, cfg.Sessions)
 	start := time.Now()
@@ -218,9 +271,12 @@ func RunLoad(c LoadConfig) (LoadResult, error) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			if cfg.Pipeline {
+			switch {
+			case cfg.Mux:
+				errs[w] = loadWorkerMux(muxConns[w%len(muxConns)], comp, fragID, args, cfg, hist)
+			case cfg.Pipeline:
 				errs[w] = loadWorkerPipelined(addr, comp, fragID, args, cfg, hist)
-			} else {
+			default:
 				errs[w] = loadWorkerSync(addr, comp, fragID, args, cfg, hist)
 			}
 		}(w)
@@ -234,7 +290,10 @@ func RunLoad(c LoadConfig) (LoadResult, error) {
 	}
 
 	mode := "sync"
-	if cfg.Pipeline {
+	switch {
+	case cfg.Mux:
+		mode = "mux"
+	case cfg.Pipeline:
 		mode = "pipelined"
 	}
 	total := int64(cfg.Sessions) * int64(cfg.Ops)
@@ -242,6 +301,7 @@ func RunLoad(c LoadConfig) (LoadResult, error) {
 		Schema:        LoadSchemaVersion,
 		Mode:          mode,
 		Sessions:      cfg.Sessions,
+		MuxConns:      muxConnCount,
 		OpsPerSession: cfg.Ops,
 		TotalOps:      total,
 		Shards:        shards,
@@ -288,6 +348,44 @@ func loadWorkerPipelined(addr, comp string, fragID int, args []interp.Value, cfg
 	as := hrt.NewAsyncSession(tr)
 	if as == nil {
 		return fmt.Errorf("loadgen: pipelined transport is not async-capable")
+	}
+	inst, err := as.EnterAsync(comp, 0)
+	if err != nil {
+		return err
+	}
+	for op := 0; op < cfg.Ops; op++ {
+		if err := as.CallOneWay(comp, inst, fragID, args); err != nil {
+			return err
+		}
+		if (op+1)%cfg.BarrierEvery == 0 {
+			start := time.Now()
+			if err := as.Barrier(); err != nil {
+				return err
+			}
+			hist.Observe(time.Since(start))
+		}
+	}
+	if err := as.ExitAsync(comp, inst); err != nil {
+		return err
+	}
+	start := time.Now()
+	if err := as.Barrier(); err != nil {
+		return err
+	}
+	hist.Observe(time.Since(start))
+	return nil
+}
+
+// loadWorkerMux is one session attached to a shared multiplexed
+// connection: calls go one-way down the session's stream and only the
+// periodic flush barrier blocks, while the connection's writer coalesces
+// this session's frames with every other session riding the same socket.
+func loadWorkerMux(mt *hrt.MuxTransport, comp string, fragID int, args []interp.Value, cfg LoadConfig, hist *obs.Histogram) error {
+	stream := mt.Stream(0, nil)
+	defer stream.Close()
+	as := hrt.NewAsyncSession(stream)
+	if as == nil {
+		return fmt.Errorf("loadgen: mux stream is not async-capable")
 	}
 	inst, err := as.EnterAsync(comp, 0)
 	if err != nil {
@@ -370,6 +468,31 @@ func WriteLoadBenchJSON(w io.Writer, cfg LoadConfig, shardedCount int) error {
 				rep.Rows = append(rep.Rows, r)
 			}
 		}
+	}
+
+	// Multiplexed rows: the same workload at the matrix's session count
+	// (comparable to the per-connection rows above), then the scale point
+	// the shared-connection design exists for — 10k concurrent sessions
+	// over at most 64 TCP connections.
+	runtime.GOMAXPROCS(4)
+	for _, scale := range []struct {
+		sessions, ops int
+	}{
+		{base.Sessions, base.Ops},
+		{10_000, 50},
+	} {
+		run := base
+		run.Mux = true
+		run.Sessions = scale.sessions
+		run.Ops = scale.ops
+		run.Shards = shardedCount
+		run.ExecMode = "vm"
+		r, err := RunLoad(run)
+		if err != nil {
+			return err
+		}
+		r.GOMAXPROCS = 4
+		rep.Rows = append(rep.Rows, r)
 	}
 	runtime.GOMAXPROCS(prev)
 

@@ -3,6 +3,7 @@ package hrt
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -262,6 +263,142 @@ func TestChaosCorpusPipelinedOverFaultyTCP(t *testing.T) {
 	}
 	if totalOneWay == 0 {
 		t.Error("no requests went one-way; the pipelined chaos test degenerated to sync")
+	}
+}
+
+// TestChaosCorpusMuxedOverFaultyTCP repeats the chaos acceptance test over
+// the multiplexed transport: eight interleaved sessions share one muxed
+// connection through the fault-injecting proxy, so every injected fault —
+// a dropped frame of one session, a severed shared connection that takes
+// all eight down at once — is recovered per session. Each session must
+// still produce byte-identical output and the server must have executed
+// every logical operation across all sessions exactly once.
+func TestChaosCorpusMuxedOverFaultyTCP(t *testing.T) {
+	const streams = 8
+	var totalInjected, totalRetries, totalReconnects int64
+	for i, cp := range chaosCorpus(t) {
+		cp := cp
+		seed := int64(211 + i)
+		t.Run(cp.name, func(t *testing.T) {
+			want, _, err := RunOriginal(cp.res.Orig, chaosMaxSteps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			server := NewServer(NewRegistry(cp.res))
+			ts := &TCPServer{Server: server, ReadTimeout: 5 * time.Second, WriteTimeout: 5 * time.Second}
+			addr, err := ts.ListenAndServe("127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ts.Close()
+
+			// The trip counter ticks for every frame of every session in both
+			// directions, so the sever period is per connection, not per
+			// stream: 509 trips is a sever roughly every ~30 frames of each
+			// of the 8 streams — comparable to the single-stream tests —
+			// while leaving room for the post-reconnect replay burst (all
+			// eight windows at once) to complete between severs.
+			proxy := &FaultProxy{
+				Backend: addr.String(),
+				Script: ComposeScripts(
+					SeverEvery(509),
+					SeededScript(seed, FaultRates{
+						DropRequest:  0.002,
+						DropResponse: 0.002,
+						Delay:        0.01,
+						Corrupt:      0.001,
+					}),
+				),
+				Delay: 500 * time.Microsecond,
+			}
+			paddr, err := proxy.Start("127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer proxy.Close()
+
+			connCounters := &Counters{}
+			mt, err := DialMux(MuxConfig{
+				Addr:    paddr.String(),
+				Timeout: 250 * time.Millisecond,
+				Policy: RetryPolicy{
+					Retries:     60,
+					BackoffBase: time.Millisecond,
+					BackoffMax:  8 * time.Millisecond,
+					JitterSeed:  seed,
+				},
+				Window:   16,
+				Counters: connCounters,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer mt.Close()
+
+			outputs := make([]string, streams)
+			counters := make([]*Counters, streams)
+			errs := make(chan error, streams)
+			var wg sync.WaitGroup
+			for s := 0; s < streams; s++ {
+				counters[s] = &Counters{}
+				stream := mt.Stream(0, counters[s])
+				wg.Add(1)
+				go func(s int, stream *MuxStream) {
+					defer wg.Done()
+					as := NewAsyncSession(&Counting{Inner: stream, Counters: counters[s]})
+					if as == nil {
+						errs <- errNotAsync
+						return
+					}
+					var b strings.Builder
+					in := interp.New(cp.res.Open, interp.Options{
+						Out:        &b,
+						MaxSteps:   chaosMaxSteps,
+						Hidden:     as,
+						SplitFuncs: cp.res.SplitSet(),
+					})
+					if err := in.Run(); err != nil {
+						errs <- fmt.Errorf("stream %d under faults: %w", s, err)
+						return
+					}
+					outputs[s] = b.String()
+				}(s, stream)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+			for s, out := range outputs {
+				if out != want {
+					t.Fatalf("stream %d output diverged under faults:\n got %q\nwant %q", s, out, want)
+				}
+			}
+			// Exactly-once across every interleaved session: the server-side
+			// execution gauges must equal the summed client-side logical
+			// counts, no matter how many resends the faults forced.
+			var calls, enters, exits, retries int64
+			for _, c := range counters {
+				calls += c.Calls.Load()
+				enters += c.Enters.Load()
+				exits += c.Exits.Load()
+				retries += c.Retries.Load()
+			}
+			stats := server.Stats()
+			if stats.Calls != calls || stats.Enters != enters || stats.Exits != exits {
+				t.Errorf("hidden state not mutated exactly once: server %+v, clients calls=%d enters=%d exits=%d (retries=%d)",
+					stats, calls, enters, exits, retries)
+			}
+			totalInjected += proxy.TotalInjected()
+			totalRetries += retries + connCounters.Retries.Load()
+			totalReconnects += connCounters.Reconnects.Load()
+		})
+	}
+	if totalInjected == 0 {
+		t.Error("fault injector never fired; the mux chaos test is vacuous")
+	}
+	if totalRetries == 0 || totalReconnects == 0 {
+		t.Errorf("expected fault recoveries across the corpus: retries=%d reconnects=%d", totalRetries, totalReconnects)
 	}
 }
 

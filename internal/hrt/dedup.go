@@ -450,6 +450,27 @@ func (d *Dedup) evictLocked(sh *dedupShard) {
 	}
 }
 
+// HighWater reports a session's replay high-water mark: every sequence
+// number at or below it has been processed in order (executed, skipped on
+// a poisoned session, or drained on a lost one). The multiplexed server's
+// window updates acknowledge exactly this — acknowledging the sequence
+// number of a frame that was silently dropped on a gap would let the
+// client prune requests the server never executed, leaving a hole no
+// resend could ever refill. Unknown sessions report 0.
+func (d *Dedup) HighWater(session uint64) uint64 {
+	if session == 0 {
+		return 0
+	}
+	d.lazyInit()
+	sh := d.shard(session)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e := sh.sessions[session]; e != nil {
+		return e.lastSeq
+	}
+	return 0
+}
+
 // Sessions reports the number of cached sessions across all stripes (for
 // tests and the hrt_dedup_sessions gauge).
 func (d *Dedup) Sessions() int {

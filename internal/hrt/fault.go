@@ -258,6 +258,10 @@ func (p *FaultProxy) serve(client net.Conn) {
 		if err != nil {
 			return
 		}
+		if req.Op == OpMuxHello {
+			p.serveMuxRelay(client, backend, cr, br, cw, bw, req)
+			return
+		}
 		fault := FaultNone
 		if p.Script != nil {
 			fault = p.Script(int(p.trip.Add(1) - 1))
@@ -307,6 +311,114 @@ func (p *FaultProxy) serve(client net.Conn) {
 			time.Sleep(p.Delay)
 		}
 		if err := WriteResponse(cw, resp); err != nil {
+			return
+		}
+		if err := cw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// serveMuxRelay relays a connection that switched to the multiplexed
+// protocol. The strict request→response pairing of serve no longer holds
+// there — the backend emits unsolicited window-update frames, and replies
+// complete out of order across sessions — so the two directions relay
+// independently: an upstream goroutine forwards request frames while the
+// downstream loop forwards mux frames. Each direction consults the script
+// per frame and applies the fault kinds it can express (upstream:
+// drop-request, corrupt, delay, sever; downstream: drop-response, delay,
+// sever), skipping the rest. The hello exchange itself relays untouched —
+// a mux connection that never establishes exercises nothing.
+func (p *FaultProxy) serveMuxRelay(client, backend net.Conn, cr, br *bufio.Reader, cw, bw *bufio.Writer, hello Request) {
+	if err := WriteRequest(bw, hello); err != nil {
+		return
+	}
+	if err := bw.Flush(); err != nil {
+		return
+	}
+	ack, err := ReadResponse(br)
+	if err != nil {
+		return
+	}
+	if err := WriteResponse(cw, ack); err != nil {
+		return
+	}
+	if err := cw.Flush(); err != nil {
+		return
+	}
+	if ack.Err != "" {
+		return
+	}
+	// A sever (from either direction) must unblock both relays: closing
+	// both sockets turns the other side's blocking read into an error.
+	sever := func() {
+		client.Close()
+		backend.Close()
+	}
+	upDone := make(chan struct{})
+	go func() {
+		// Severing on every exit keeps the two relays coupled: when the
+		// client hangs up, the downstream loop would otherwise block on a
+		// backend that has nothing left to say.
+		defer sever()
+		defer close(upDone)
+		for {
+			req, err := ReadRequest(cr)
+			if err != nil {
+				return
+			}
+			fault := FaultNone
+			if p.Script != nil {
+				fault = p.Script(int(p.trip.Add(1) - 1))
+			}
+			switch fault {
+			case FaultSever:
+				p.injected[FaultSever].Add(1)
+				return
+			case FaultDropRequest:
+				p.injected[FaultDropRequest].Add(1)
+				continue
+			case FaultCorrupt:
+				p.injected[FaultCorrupt].Add(1)
+				backend.Write([]byte{0xEE, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+				return
+			case FaultDelay:
+				p.injected[FaultDelay].Add(1)
+				time.Sleep(p.Delay)
+			}
+			if err := WriteRequest(bw, req); err != nil {
+				return
+			}
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		}
+	}()
+	defer func() {
+		sever()
+		<-upDone
+	}()
+	for {
+		session, resp, err := ReadMuxFrame(br)
+		if err != nil {
+			return
+		}
+		fault := FaultNone
+		if p.Script != nil {
+			fault = p.Script(int(p.trip.Add(1) - 1))
+		}
+		switch fault {
+		case FaultSever:
+			p.injected[FaultSever].Add(1)
+			return
+		case FaultDropResponse:
+			p.injected[FaultDropResponse].Add(1)
+			continue
+		case FaultDelay:
+			p.injected[FaultDelay].Add(1)
+			time.Sleep(p.Delay)
+		}
+		if err := WriteMuxFrame(cw, session, resp); err != nil {
 			return
 		}
 		if err := cw.Flush(); err != nil {

@@ -33,6 +33,10 @@ func (op Op) String() string {
 		return "call"
 	case OpFlush:
 		return "flush"
+	case OpRepl:
+		return "repl"
+	case OpMuxHello:
+		return "mux_hello"
 	}
 	return "unknown"
 }

@@ -144,6 +144,11 @@ func (t *PipelineTransport) connectLocked() error {
 	if err != nil {
 		return err
 	}
+	if t.conn != nil {
+		// A re-dial must never orphan a live socket (see the matching guard
+		// in connTransport.connectLocked).
+		t.conn.Close()
+	}
 	t.conn = conn
 	var w io.Writer = conn
 	var r io.Reader = conn

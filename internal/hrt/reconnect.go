@@ -124,6 +124,13 @@ func (t *connTransport) connectLocked() error {
 	if err != nil {
 		return err
 	}
+	if t.conn != nil {
+		// A re-dial must never orphan a live socket: when a resolver-driven
+		// redirect and an idle-timeout disconnect land together, the loser
+		// of that race could otherwise overwrite (and leak) the winner's
+		// freshly installed connection.
+		t.conn.Close()
+	}
 	t.conn = conn
 	t.r = bufio.NewReader(conn)
 	t.w = bufio.NewWriter(conn)

@@ -1,0 +1,254 @@
+package hrt
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"slicehide/internal/core"
+)
+
+// connTracker wraps a dial function so every connection's lifecycle is
+// observable: the leak and double-close regression tests below assert
+// that re-dial paths close exactly what they replace.
+type connTracker struct {
+	mu    sync.Mutex
+	conns []*trackedConn
+}
+
+type trackedConn struct {
+	net.Conn
+	closes atomic.Int32
+}
+
+func (c *trackedConn) Close() error {
+	c.closes.Add(1)
+	return c.Conn.Close()
+}
+
+func (ct *connTracker) dialer(addr string) func() (net.Conn, error) {
+	return func() (net.Conn, error) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		tc := &trackedConn{Conn: conn}
+		ct.mu.Lock()
+		ct.conns = append(ct.conns, tc)
+		ct.mu.Unlock()
+		return tc, nil
+	}
+}
+
+// leaked returns the connections that were dialed but never closed.
+func (ct *connTracker) leaked() int {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	n := 0
+	for _, c := range ct.conns {
+		if c.closes.Load() == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func (ct *connTracker) dialed() int {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	return len(ct.conns)
+}
+
+// flipRouter redirects every stamped request while on; tests flip it to
+// force the resolver-driven re-dial path.
+type flipRouter struct {
+	on    atomic.Bool
+	owner string
+}
+
+func (r *flipRouter) Route(session uint64, known bool) (string, bool) {
+	return r.owner, r.on.Load()
+}
+
+// TestConnTransportRedialNeverOrphans is the leak regression test: a
+// connect that lands while a previous connection is still installed (the
+// racy interleaving of a resolver-driven redirect re-dial with an
+// idle-timeout disconnect) must close the old socket, not overwrite and
+// leak it. Before the fix the first connection was simply dropped on the
+// floor with its file descriptor open.
+func TestConnTransportRedialNeverOrphans(t *testing.T) {
+	res := split(t, testSrc, core.Spec{Func: "f", Seed: "a"})
+	ts := &TCPServer{Server: NewServer(NewRegistry(res))}
+	addr, err := ts.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+
+	tracker := &connTracker{}
+	ct := &connTransport{dial: tracker.dialer(addr.String()), timeout: time.Second}
+	ct.mu.Lock()
+	if err := ct.connectLocked(); err != nil {
+		ct.mu.Unlock()
+		t.Fatal(err)
+	}
+	// Simulate the race loser re-dialing over an installed connection.
+	err = ct.connectLocked()
+	ct.mu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tracker.dialed(); got != 2 {
+		t.Fatalf("dialed %d connections, want 2", got)
+	}
+	if tracker.conns[0].closes.Load() == 0 {
+		t.Error("re-dial orphaned the previous connection (leaked fd)")
+	}
+	if tracker.conns[1].closes.Load() != 0 {
+		t.Error("re-dial closed the fresh connection it just installed")
+	}
+	if err := ct.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tracker.leaked(); got != 0 {
+		t.Errorf("%d connections leaked after Close", got)
+	}
+	if got := tracker.conns[1].closes.Load(); got != 1 {
+		t.Errorf("current connection closed %d times, want exactly 1", got)
+	}
+}
+
+// TestReconnectRedirectThenIdleDisconnect drives the first ordering of
+// the double-close race end to end: an owner redirect discards the
+// connection, and the idle-timeout disconnect of the replacement follows.
+// Every dialed connection must be closed exactly once by teardown and the
+// transport must keep working across both events.
+func TestReconnectRedirectThenIdleDisconnect(t *testing.T) {
+	res := split(t, testSrc, core.Spec{Func: "f", Seed: "a"})
+	router := &flipRouter{owner: "10.0.0.99:7070"}
+	ts := &TCPServer{Server: NewServer(NewRegistry(res)), Router: router, ReadTimeout: 50 * time.Millisecond}
+	addr, err := ts.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+
+	tracker := &connTracker{}
+	counters := &Counters{}
+	tr, err := DialReconnect(ReconnectConfig{
+		Dial:     tracker.dialer(addr.String()),
+		Timeout:  time.Second,
+		Policy:   RetryPolicy{BackoffBase: time.Millisecond, BackoffMax: 4 * time.Millisecond},
+		Counters: counters,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mark the dial as resolving so redirects are retryable: the "resolver"
+	// keeps landing on the same (now non-redirecting) replica.
+	tr.conn.resolving = true
+
+	sess := &Session{T: tr}
+	inst, err := sess.Enter("f", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Ordering 1: redirect lands first. One round trip is refused, the
+	// connection is discarded, and the retry lands after the flag flips
+	// back (a fleet whose membership settled).
+	router.on.Store(true)
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		router.on.Store(false)
+	}()
+	if err := sess.Exit("f", inst); err != nil {
+		t.Fatalf("exit across redirect: %v", err)
+	}
+
+	// ...then the idle timeout severs the replacement connection.
+	time.Sleep(150 * time.Millisecond)
+	inst2, err := sess.Enter("f", 0)
+	if err != nil {
+		t.Fatalf("enter after idle disconnect: %v", err)
+	}
+	if err := sess.Exit("f", inst2); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tracker.leaked(); got != 0 {
+		t.Errorf("%d connections leaked across redirect + idle disconnect", got)
+	}
+	tracker.mu.Lock()
+	defer tracker.mu.Unlock()
+	for i, c := range tracker.conns {
+		// The client closes each connection it owns exactly once; an extra
+		// client-side close would be the double-Close race. (The server's
+		// idle reaper closes its own end, which is invisible here.)
+		if got := c.closes.Load(); got > 1 {
+			t.Errorf("connection %d closed %d times by the client", i, got)
+		}
+	}
+}
+
+// TestReconnectIdleDisconnectThenRedirect drives the opposite ordering:
+// the idle timeout severs the connection first, and the re-dialed
+// replacement is greeted with an owner redirect. Same invariants.
+func TestReconnectIdleDisconnectThenRedirect(t *testing.T) {
+	res := split(t, testSrc, core.Spec{Func: "f", Seed: "a"})
+	router := &flipRouter{owner: "10.0.0.99:7070"}
+	ts := &TCPServer{Server: NewServer(NewRegistry(res)), Router: router, ReadTimeout: 50 * time.Millisecond}
+	addr, err := ts.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+
+	tracker := &connTracker{}
+	tr, err := DialReconnect(ReconnectConfig{
+		Dial:    tracker.dialer(addr.String()),
+		Timeout: time.Second,
+		Policy:  RetryPolicy{BackoffBase: time.Millisecond, BackoffMax: 4 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.conn.resolving = true
+
+	sess := &Session{T: tr}
+	inst, err := sess.Enter("f", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Ordering 2: the idle timeout severs first...
+	time.Sleep(150 * time.Millisecond)
+	// ...and the re-dial runs straight into a redirect before recovering.
+	router.on.Store(true)
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		router.on.Store(false)
+	}()
+	if err := sess.Exit("f", inst); err != nil {
+		t.Fatalf("exit across idle disconnect + redirect: %v", err)
+	}
+
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tracker.leaked(); got != 0 {
+		t.Errorf("%d connections leaked across idle disconnect + redirect", got)
+	}
+	tracker.mu.Lock()
+	defer tracker.mu.Unlock()
+	for i, c := range tracker.conns {
+		if got := c.closes.Load(); got > 1 {
+			t.Errorf("connection %d closed %d times by the client", i, got)
+		}
+	}
+}

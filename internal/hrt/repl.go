@@ -189,6 +189,16 @@ func IsOwnerRedirect(err error) bool {
 	return strings.Contains(err.Error(), ownerRedirectMsg)
 }
 
+// ParseOwnerRedirect upgrades a wire message carrying the redirect marker
+// to the typed error (nil when the marker is absent). addr names the
+// replica that produced the message, for the error text. Fleet-side
+// clients that multiplex sessions over pooled connections (see
+// cluster.MuxPool) parse redirects themselves to re-home a session
+// without tearing the shared connection down.
+func ParseOwnerRedirect(msg, addr string) *OwnerRedirectError {
+	return parseOwnerRedirect(msg, addr)
+}
+
 // parseOwnerRedirect upgrades a wire message carrying the redirect marker
 // to the typed error (nil when the marker is absent).
 func parseOwnerRedirect(msg, addr string) *OwnerRedirectError {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"slicehide/internal/obs"
@@ -37,6 +38,10 @@ type TCPServer struct {
 	// that sends one is closed, forcing the client back to the
 	// synchronous protocol (cmd/hiddend -pipeline=false).
 	DisablePipeline bool
+	// DisableMux refuses multiplexed connections: an OpMuxHello is
+	// answered with an error, forcing each session back onto its own
+	// connection (cmd/hiddend -mux=false).
+	DisableMux bool
 	// EvictGrace protects recently-seen sessions from replay-cache
 	// eviction (see Dedup.EvictGrace).
 	EvictGrace time.Duration
@@ -75,6 +80,16 @@ type TCPServer struct {
 	wg       sync.WaitGroup
 	dedup    *Dedup
 	requests obs.CounterHandle
+
+	// Multiplexing tallies (see serveMux): live mux connections, live
+	// per-session streams across them, hellos accepted, window updates
+	// emitted, and the shared writer's coalescing (frames per flush).
+	muxConns         atomic.Int64
+	muxStreams       atomic.Int64
+	muxHellos        atomic.Int64
+	muxWindowUpdates atomic.Int64
+	muxFrames        atomic.Int64
+	muxFlushes       atomic.Int64
 
 	mu       sync.Mutex
 	closed   bool
@@ -150,6 +165,12 @@ func (ts *TCPServer) RegisterMetrics(reg *obs.Registry) {
 	reg.Gauge("hrt_executed_enters", stats(func(s ServerStats) int64 { return s.Enters }))
 	reg.Gauge("hrt_executed_exits", stats(func(s ServerStats) int64 { return s.Exits }))
 	reg.Gauge("hrt_executed_calls", stats(func(s ServerStats) int64 { return s.Calls }))
+	reg.Gauge("mux_conns", func() int64 { return ts.muxConns.Load() })
+	reg.Gauge("mux_active_streams", func() int64 { return ts.muxStreams.Load() })
+	reg.Gauge("mux_hellos", func() int64 { return ts.muxHellos.Load() })
+	reg.Gauge("mux_window_updates", func() int64 { return ts.muxWindowUpdates.Load() })
+	reg.Gauge("mux_writer_frames", func() int64 { return ts.muxFrames.Load() })
+	reg.Gauge("mux_writer_flushes", func() int64 { return ts.muxFlushes.Load() })
 }
 
 func (ts *TCPServer) acceptLoop() {
@@ -213,6 +234,11 @@ func (ts *TCPServer) serveConn(conn net.Conn) {
 		if req.Op == OpRepl {
 			// The connection becomes a replication stream for its lifetime.
 			ts.serveRepl(conn, r, w)
+			return
+		}
+		if req.Op == OpMuxHello {
+			// The connection becomes multiplexed for its lifetime.
+			ts.serveMux(conn, r, w, req)
 			return
 		}
 		if resp, redirect := ts.routeRedirect(req); redirect {

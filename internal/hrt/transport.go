@@ -40,6 +40,12 @@ const (
 	// one-way request never arrived) and did not execute this request: the
 	// client must resend its in-flight window starting after Ack.
 	RespResend byte = 1 << 0
+	// RespWindow marks an unsolicited per-session window update on a
+	// multiplexed connection: Ack is the highest sequence number the server
+	// has executed for the session, Seq is zero (no exchange is waiting),
+	// and Val/Err are empty. The client prunes its in-flight window so
+	// long pipelined streams self-prune without flush barriers.
+	RespWindow byte = 1 << 1
 )
 
 // Request is one message from the open component to the hidden component.
@@ -329,6 +335,11 @@ type Counters struct {
 	// exactly-once replay state was lost (eviction or a non-durable
 	// restart); see SessionEvictedError.
 	SessionBounces atomic.Int64
+	// MuxBatchedFrames and MuxFlushes tally the multiplexed connection's
+	// shared writer: frames coalesced into the buffer and flushes of it.
+	// Their ratio is the mean coalesce size. Zero on unmuxed transports.
+	MuxBatchedFrames atomic.Int64
+	MuxFlushes       atomic.Int64
 }
 
 // Interactions returns the number of fragment calls observed.

@@ -291,20 +291,25 @@ func ReadRequest(r io.Reader) (Request, error) {
 	return req, nil
 }
 
-// WriteResponse encodes resp onto w as a single Write.
-func WriteResponse(w io.Writer, resp Response) error {
-	bp := getWireBuf()
-	b := append((*bp)[:0], resp.Flags)
+// appendResponse appends resp's encoded body; shared by the plain frame
+// writer and the multiplexed frame writer so the body layout cannot drift.
+func appendResponse(b []byte, resp Response) ([]byte, error) {
+	b = append(b, resp.Flags)
 	b = binary.LittleEndian.AppendUint64(b, resp.Seq)
 	b = binary.LittleEndian.AppendUint64(b, resp.Ack)
 	var err error
 	if b, err = appendValue(b, resp.Val); err != nil {
-		*bp = b
-		putWireBuf(bp)
-		return err
+		return b, err
 	}
 	b = binary.LittleEndian.AppendUint64(b, uint64(resp.Inst))
-	if b, err = appendString(b, resp.Err); err != nil {
+	return appendString(b, resp.Err)
+}
+
+// WriteResponse encodes resp onto w as a single Write.
+func WriteResponse(w io.Writer, resp Response) error {
+	bp := getWireBuf()
+	b, err := appendResponse((*bp)[:0], resp)
+	if err != nil {
 		*bp = b
 		putWireBuf(bp)
 		return err
@@ -315,10 +320,10 @@ func WriteResponse(w io.Writer, resp Response) error {
 	return err
 }
 
-// ReadResponse decodes one response from r.
-func ReadResponse(r io.Reader) (Response, error) {
+// readResponse decodes one response body through d; shared by the plain
+// and multiplexed frame readers.
+func readResponse(d *wireReader) (Response, error) {
 	var resp Response
-	d := newWireReader(r)
 	var err error
 	if resp.Flags, err = d.byte(); err != nil {
 		return resp, err
@@ -339,6 +344,12 @@ func ReadResponse(r io.Reader) (Response, error) {
 	resp.Inst = int64(u)
 	resp.Err, err = d.str()
 	return resp, err
+}
+
+// ReadResponse decodes one response from r.
+func ReadResponse(r io.Reader) (Response, error) {
+	d := newWireReader(r)
+	return readResponse(&d)
 }
 
 // RequestWireSize returns the encoded size of req in bytes. It is kept in

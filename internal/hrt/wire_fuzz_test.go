@@ -97,6 +97,53 @@ func FuzzReadResponse(f *testing.F) {
 	})
 }
 
+// FuzzReadMuxFrame covers the multiplexed frame head: the session stamp
+// prefixed to a response body. The frame faces the visible (untrusted)
+// network between client and hidden server, so arbitrary bytes must never
+// panic the decoder, and whatever decodes must round trip losslessly —
+// a session stamp that shifts in transit would deliver a response to the
+// wrong stream.
+func FuzzReadMuxFrame(f *testing.F) {
+	for _, seed := range []struct {
+		session uint64
+		resp    Response
+	}{
+		{1, Response{Val: interp.NullV(), Seq: 1, Ack: 1}},
+		{1 << 63, Response{Val: interp.IntV(-7), Inst: 3, Seq: 9, Ack: 4, Flags: RespResend}},
+		// Unsolicited window update: Seq 0, RespWindow flag.
+		{42, Response{Val: interp.NullV(), Ack: 31, Flags: RespWindow}},
+		{7, Response{Val: interp.StrV("x\x00y"), Err: "hrt: boom"}},
+	} {
+		var buf bytes.Buffer
+		if err := WriteMuxFrame(&buf, seed.session, seed.resp); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xEE, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}) // truncated session stamp
+	f.Fuzz(func(t *testing.T, data []byte) {
+		session, resp, err := ReadMuxFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteMuxFrame(&buf, session, resp); err != nil {
+			t.Fatalf("decoded mux frame does not re-encode: %v (session=%d %+v)", err, session, resp)
+		}
+		againSession, again, err := ReadMuxFrame(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded mux frame does not decode: %v", err)
+		}
+		if againSession != session || !again.Val.Equal(resp.Val) || again.Inst != resp.Inst ||
+			again.Err != resp.Err || again.Seq != resp.Seq || again.Ack != resp.Ack ||
+			again.Flags != resp.Flags {
+			t.Fatalf("mux frame round trip diverged: session %d->%d, %+v vs %+v",
+				session, againSession, resp, again)
+		}
+	})
+}
+
 // TestWireArgCountCapped pins the over-allocation guard: a frame claiming
 // an enormous argument count is rejected on read, and the writer refuses
 // to produce one.

@@ -2,6 +2,7 @@ package wal
 
 import (
 	"encoding/binary"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sync"
@@ -97,6 +98,158 @@ func TestTailScannerTornTail(t *testing.T) {
 	}
 	if _, err := tail.Next(); err != ErrTailCaughtUp {
 		t.Fatalf("torn tail: got %v, want ErrTailCaughtUp", err)
+	}
+}
+
+// TestTailScannerTornAcrossRotation pins the generation-boundary seam of
+// the replication pump: a record whose append is torn (partially visible)
+// when the journal rotates into a snapshot must be neither dropped nor
+// double-streamed. The pump's protocol — rotation commits only after
+// every append to the old generation completes, and the scanner makes one
+// more pass after observing the rotation — is only sound if the torn read
+// never advances the offset and the completed record is then delivered
+// exactly once, including from a scanner re-opened at the saved offset
+// (a pump that reconnected mid-rotation).
+func TestTailScannerTornAcrossRotation(t *testing.T) {
+	j, path := tailJournal(t)
+	if err := j.Append([]byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	tail, err := OpenTail(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tail.Close()
+	if got, err := tail.Next(); err != nil || string(got) != "before" {
+		t.Fatalf("first record: got %q, %v", got, err)
+	}
+
+	// Tear the boundary record: frame header and half the payload are
+	// visible, the rest of the write has not landed yet.
+	payload := []byte("boundary-record")
+	var frame [frameSize]byte
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(frame[:]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(payload[:7]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// The torn record is "not yet", however many times it is retried, and
+	// retries never advance the offset — advancing here is exactly the bug
+	// that would drop the record on the post-rotation pass.
+	if _, err := tail.Next(); err != ErrTailCaughtUp {
+		t.Fatalf("torn record: got %v, want ErrTailCaughtUp", err)
+	}
+	saved := tail.Offset()
+	if _, err := tail.Next(); err != ErrTailCaughtUp {
+		t.Fatalf("torn record retry: got %v, want ErrTailCaughtUp", err)
+	}
+	if got := tail.Offset(); got != saved {
+		t.Fatalf("caught-up read advanced the offset %d -> %d", saved, got)
+	}
+
+	// Rotation seals the generation only after the append's write(2)
+	// returns, so by the scanner's sealed pass the record is whole.
+	f, err = os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(payload[7:]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// The live scanner delivers the record exactly once...
+	got, err := tail.Next()
+	if err != nil || string(got) != string(payload) {
+		t.Fatalf("sealed pass: got %q, %v", got, err)
+	}
+	if _, err := tail.Next(); err != ErrTailCaughtUp {
+		t.Fatalf("after boundary record: got %v, want ErrTailCaughtUp", err)
+	}
+	// ...and so does a scanner restarted from the offset saved while the
+	// record was torn — no duplicate, no gap.
+	tail2, err := OpenTail(path, saved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tail2.Close()
+	got2, err := tail2.Next()
+	if err != nil || string(got2) != string(payload) {
+		t.Fatalf("restarted scanner: got %q, %v", got2, err)
+	}
+	if _, err := tail2.Next(); err != ErrTailCaughtUp {
+		t.Fatalf("restarted scanner drained: got %v, want ErrTailCaughtUp", err)
+	}
+	if tail2.Offset() != tail.Offset() {
+		t.Fatalf("offsets diverged: restarted %d vs live %d", tail2.Offset(), tail.Offset())
+	}
+}
+
+// TestTailScannerCRCTornThenCompleted covers the other torn-write shape:
+// the frame claims its full length and that many bytes are readable, but
+// the payload bytes are not all there yet (the file was extended by a
+// later write racing the reader, or the page holding the tail is stale).
+// A CRC mismatch on a full-length frame at the tail must read as "not
+// yet" — and the record must arrive intact, once, when the write settles.
+func TestTailScannerCRCTornThenCompleted(t *testing.T) {
+	j, path := tailJournal(t)
+	if err := j.Append([]byte("prefix")); err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("settles-later")
+	var frame [frameSize]byte
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := f.Seek(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full-length frame, but the payload's second half is still zeros.
+	garbled := make([]byte, len(payload))
+	copy(garbled, payload[:6])
+	if _, err := f.WriteAt(frame[:], base); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(garbled, base+frameSize); err != nil {
+		t.Fatal(err)
+	}
+
+	tail, err := OpenTail(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tail.Close()
+	if got, err := tail.Next(); err != nil || string(got) != "prefix" {
+		t.Fatalf("first record: got %q, %v", got, err)
+	}
+	if _, err := tail.Next(); err != ErrTailCaughtUp {
+		t.Fatalf("garbled tail frame: got %v, want ErrTailCaughtUp", err)
+	}
+
+	// The write settles: the true payload bytes land in place.
+	if _, err := f.WriteAt(payload, base+frameSize); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got, err := tail.Next()
+	if err != nil || string(got) != string(payload) {
+		t.Fatalf("settled record: got %q, %v", got, err)
+	}
+	if _, err := tail.Next(); err != ErrTailCaughtUp {
+		t.Fatalf("after settled record: got %v, want ErrTailCaughtUp", err)
 	}
 }
 

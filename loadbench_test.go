@@ -131,7 +131,8 @@ var benchLoadJSONPath = flag.String("bench-load-json", "", "write BENCH_load.jso
 // TestWriteLoadBenchJSON regenerates the committed BENCH_load.json when
 // invoked with -bench-load-json (skipped otherwise, so plain `go test`
 // stays fast): the pipelined socket workload at {1, 4} GOMAXPROCS ×
-// {1 shard, 8 shards}.
+// {1 shard, 8 shards}, plus multiplexed rows — including the
+// 10k-sessions-over-shared-connections point.
 func TestWriteLoadBenchJSON(t *testing.T) {
 	if *benchLoadJSONPath == "" {
 		t.Skip("pass -bench-load-json <path> to write the load report")
@@ -162,6 +163,8 @@ func TestLoadSmoke(t *testing.T) {
 		{"pipelined/serial", experiments.LoadConfig{Sessions: 4, Ops: 50, Shards: 1, Pipeline: true, BarrierEvery: 8}},
 		{"pipelined/sharded", experiments.LoadConfig{Sessions: 4, Ops: 50, Shards: 4, Pipeline: true, BarrierEvery: 8}},
 		{"sync/interp", experiments.LoadConfig{Sessions: 4, Ops: 50, Shards: 4, ExecMode: "interp"}},
+		{"mux/sharded", experiments.LoadConfig{Sessions: 8, Ops: 50, Shards: 4, Mux: true, BarrierEvery: 8}},
+		{"mux/sharedConns", experiments.LoadConfig{Sessions: 32, Ops: 20, Shards: 4, Mux: true, MuxConns: 2, BarrierEvery: 8}},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			r, err := experiments.RunLoad(tc.cfg)
@@ -170,6 +173,14 @@ func TestLoadSmoke(t *testing.T) {
 			}
 			if want := int64(tc.cfg.Sessions) * int64(tc.cfg.Ops); r.TotalOps != want {
 				t.Errorf("TotalOps = %d, want %d", r.TotalOps, want)
+			}
+			if tc.cfg.Mux {
+				if r.Mode != "mux" {
+					t.Errorf("Mode = %q, want mux", r.Mode)
+				}
+				if tc.cfg.MuxConns > 0 && r.MuxConns != tc.cfg.MuxConns {
+					t.Errorf("MuxConns = %d, want %d", r.MuxConns, tc.cfg.MuxConns)
+				}
 			}
 			if r.OpsPerSec <= 0 {
 				t.Errorf("OpsPerSec = %v, want > 0", r.OpsPerSec)
