@@ -12,7 +12,7 @@
 //	slicehide split   -func f [-seed v] [-no-cfh] <file.mj>
 //	slicehide ilp     -func f [-seed v] <file.mj>
 //	slicehide run     [-split f[:v],g[:v],...] [-rtt d] [-server addr | -cluster a1,a2,...] [-timeout d] [-retries n] [-pipeline] [-mux] [-window n] [-stats text|json] [-trace file] <file.mj>
-//	slicehide loadtest [-server addr | -cluster a1,a2,... | -backends n [-kill-primary]] [-sessions m] [-ops k] [-pipeline] [-mux] [-mux-conns n] [-window n] [-shards n] [-split f:v] [-data-dir dir [-fsync]] [-json] [program.mj]
+//	slicehide loadtest [-server addr | -cluster a1,a2,... | -backends n [-kill-primary]] [-sessions m] [-ops k] [-pipeline] [-mux] [-mux-conns n] [-window n] [-shards n] [-split f:v] [-data-dir dir [-fsync] [-commit-bytes n] [-commit-interval d]] [-json] [program.mj]
 //	slicehide attack  -func f [-seed v] [-calls n] [-window k] <file.mj>
 package main
 
@@ -492,6 +492,8 @@ func cmdLoadtest(args []string) error {
 	split := fs.String("split", "", `workload split spec "f:seed" (default: built-in workload; with a program file it must name one of its functions)`)
 	dataDir := fs.String("data-dir", "", "make the self-hosted server durable: journal session state in this directory (measures WAL overhead; ignored with -server)")
 	fsync := fs.Bool("fsync", false, "fsync every journal append on the self-hosted durable server (requires -data-dir)")
+	commitBytes := fs.Int("commit-bytes", 1<<20, "group-commit batch bound in bytes on the self-hosted durable server; 0 writes and fsyncs each append individually (requires -data-dir)")
+	commitInterval := fs.Duration("commit-interval", 0, "let a group-commit batch linger this long for stragglers before fsync (0 = commit as soon as the queue drains; requires -data-dir)")
 	execFlag := fs.String("exec", "vm", "self-hosted server fragment execution engine: vm (compiled bytecode) or interp (tree-walking oracle); ignored with -server")
 	asJSON := fs.Bool("json", false, "emit the schema-versioned LoadResult JSON instead of text")
 	if err := fs.Parse(args); err != nil {
@@ -532,20 +534,22 @@ func cmdLoadtest(args []string) error {
 		})
 	}
 	res, err := experiments.RunLoad(experiments.LoadConfig{
-		Addr:         *server,
-		Sessions:     *sessions,
-		Ops:          *ops,
-		Pipeline:     *pipeline,
-		Mux:          *muxFlag,
-		MuxConns:     *muxConns,
-		Window:       *window,
-		BarrierEvery: *barrier,
-		Shards:       *shards,
-		Source:       source,
-		Split:        *split,
-		DataDir:      *dataDir,
-		Fsync:        *fsync,
-		ExecMode:     *execFlag,
+		Addr:           *server,
+		Sessions:       *sessions,
+		Ops:            *ops,
+		Pipeline:       *pipeline,
+		Mux:            *muxFlag,
+		MuxConns:       *muxConns,
+		Window:         *window,
+		BarrierEvery:   *barrier,
+		Shards:         *shards,
+		Source:         source,
+		Split:          *split,
+		DataDir:        *dataDir,
+		Fsync:          *fsync,
+		CommitBytes:    *commitBytes,
+		CommitInterval: *commitInterval,
+		ExecMode:       *execFlag,
 	})
 	if err != nil {
 		return err
@@ -558,6 +562,9 @@ func cmdLoadtest(args []string) error {
 	durable := ""
 	if res.Durability != "" {
 		durable = ", durability=" + res.Durability
+		if res.CommitBytes > 0 {
+			durable += fmt.Sprintf(", group commit ≤%d bytes", res.CommitBytes)
+		}
 	}
 	mode := res.Mode
 	if res.MuxConns > 0 {
@@ -567,9 +574,13 @@ func cmdLoadtest(args []string) error {
 		res.Sessions, res.OpsPerSession, mode, res.ExecMode, shardsLabel(res.Shards), res.GOMAXPROCS, durable)
 	fmt.Printf("  throughput: %.0f ops/sec (%d ops in %s)\n",
 		res.OpsPerSec, res.TotalOps, time.Duration(res.ElapsedNs))
-	fmt.Printf("  blocking ops: %d, p50 %s, p99 %s, max %s\n",
+	fmt.Printf("  blocking ops: %d, p50 %s, p99 %s, p99.9 %s, max %s\n",
 		res.Blocking.Count, time.Duration(res.Blocking.P50Ns),
-		time.Duration(res.Blocking.P99Ns), time.Duration(res.Blocking.MaxNs))
+		time.Duration(res.Blocking.P99Ns), time.Duration(res.Blocking.P999Ns),
+		time.Duration(res.Blocking.MaxNs))
+	if res.CommitBatchMean > 0 {
+		fmt.Printf("  group commit: %.1f records per fsync batch\n", res.CommitBatchMean)
+	}
 	return nil
 }
 
@@ -624,9 +635,10 @@ func clusterLoadtest(a clusterLoadtestArgs) error {
 		res.Backends, res.Sessions, res.OpsPerSession, res.GOMAXPROCS)
 	fmt.Printf("  throughput: %.0f ops/sec (%d ops in %s)\n",
 		res.OpsPerSec, res.TotalOps, time.Duration(res.ElapsedNs))
-	fmt.Printf("  blocking ops: %d, p50 %s, p99 %s, max %s\n",
+	fmt.Printf("  blocking ops: %d, p50 %s, p99 %s, p99.9 %s, max %s\n",
 		res.Blocking.Count, time.Duration(res.Blocking.P50Ns),
-		time.Duration(res.Blocking.P99Ns), time.Duration(res.Blocking.MaxNs))
+		time.Duration(res.Blocking.P99Ns), time.Duration(res.Blocking.P999Ns),
+		time.Duration(res.Blocking.MaxNs))
 	if res.Killed {
 		fmt.Printf("  failover: primary killed mid-run, promoted in %s (%d owner redirects)\n",
 			time.Duration(res.FailoverNs), res.Redirects)

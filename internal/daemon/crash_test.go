@@ -51,6 +51,19 @@ func chaosMux() bool {
 	return true
 }
 
+// fsyncEnv turns on -fsync for every hiddend child, so the CI chaos leg
+// exercises the group-commit path (batched writes, one flush per batch)
+// under the byte-identical-output referee.
+const fsyncEnv = "SLICEHIDE_CHAOS_FSYNC"
+
+func chaosFsync() bool {
+	switch os.Getenv(fsyncEnv) {
+	case "1", "true", "on":
+		return true
+	}
+	return false
+}
+
 // TestMain re-executes this binary as hiddend when the child marker is
 // set, so subprocess tests exercise the exact daemon.Main code path
 // cmd/hiddend runs.
@@ -141,6 +154,9 @@ func startChild(t *testing.T, args ...string) *child {
 	}
 	if !chaosMux() {
 		args = append([]string{"-mux=false"}, args...)
+	}
+	if chaosFsync() {
+		args = append([]string{"-fsync"}, args...)
 	}
 	c := &child{stderr: &bytes.Buffer{}, ready: make(chan struct{})}
 	c.cmd = exec.Command(os.Args[0], args...)

@@ -60,6 +60,14 @@ type Config struct {
 	// after this many records (0 = default, negative disables periodic
 	// snapshots).
 	SnapshotEvery int
+	// CommitBytes bounds one group-commit batch: appends coalesce into a
+	// single write + fsync up to this many bytes. 0 disables group commit
+	// (every append is its own write and, with -fsync, its own flush).
+	CommitBytes int
+	// CommitInterval lets the committer linger for stragglers after the
+	// queue runs dry before flushing a partial batch (0 = flush as soon
+	// as the queue is empty).
+	CommitInterval time.Duration
 	// DrainTimeout bounds the graceful drain on SIGTERM/SIGINT: how long
 	// to wait for in-flight connections to finish before severing them.
 	DrainTimeout time.Duration
@@ -106,6 +114,8 @@ func ParseFlags(args []string) (Config, error) {
 	fs.StringVar(&cfg.DataDir, "data-dir", "", "journal and snapshot hidden session state in this directory, and recover from it on startup (empty = in-memory only)")
 	fs.BoolVar(&cfg.Fsync, "fsync", false, "fsync every journal append: durable against power loss, not just process death (requires -data-dir)")
 	fs.IntVar(&cfg.SnapshotEvery, "snapshot-every", 0, "rotate to a fresh snapshot after this many journal records (0 = default 4096, negative = only at shutdown; requires -data-dir)")
+	fs.IntVar(&cfg.CommitBytes, "commit-bytes", 1<<20, "group-commit batch bound: coalesce queued journal appends into one write + one fsync up to this many bytes (0 = per-append commit; requires -data-dir)")
+	fs.DurationVar(&cfg.CommitInterval, "commit-interval", 0, "linger this long for more records once the commit queue runs dry before flushing a partial batch (0 = flush immediately; requires -commit-bytes > 0)")
 	fs.DurationVar(&cfg.DrainTimeout, "drain-timeout", 5*time.Second, "on SIGTERM/SIGINT, wait this long for in-flight connections to finish before severing them")
 	fs.StringVar(&cfg.Peers, "peers", "", "comma-separated fleet membership, including this replica's own -listen address; sessions are rendezvous-placed across the members")
 	fs.BoolVar(&cfg.Replicate, "replicate", false, "stream the WAL to every peer and gate responses on follower acknowledgement, so sessions survive this replica's death (requires -peers and -data-dir)")
@@ -211,10 +221,12 @@ func Start(cfg Config) (*Daemon, error) {
 	}
 	if cfg.DataDir != "" {
 		d.persist = hrt.NewDurability(hrt.DurabilityOptions{
-			Dir:           cfg.DataDir,
-			Fsync:         cfg.Fsync,
-			SnapshotEvery: cfg.SnapshotEvery,
-			Tracer:        d.tracer,
+			Dir:            cfg.DataDir,
+			Fsync:          cfg.Fsync,
+			SnapshotEvery:  cfg.SnapshotEvery,
+			CommitBytes:    cfg.CommitBytes,
+			CommitInterval: cfg.CommitInterval,
+			Tracer:         d.tracer,
 		})
 	}
 	exec, err := interp.ParseExecMode(cfg.ExecMode)

@@ -83,6 +83,14 @@ type LoadConfig struct {
 	// Fsync fsyncs each journal append (power-loss durability; requires
 	// DataDir). This is the expensive tier of the durability table.
 	Fsync bool
+	// CommitBytes enables group commit on the self-hosted durable server:
+	// concurrent appends coalesce into one journal write and one fsync per
+	// batch, bounded by this many bytes. 0 keeps the per-append baseline.
+	CommitBytes int
+	// CommitInterval lets a group-commit batch linger for this long to
+	// admit stragglers before it fsyncs (0 = fsync as soon as the queue
+	// drains).
+	CommitInterval time.Duration
 	// ExecMode selects the self-hosted server's fragment execution engine:
 	// "vm" (default, compiled bytecode) or "interp" (the tree-walking
 	// oracle). Ignored when Addr is set — a remote server picks its own.
@@ -110,8 +118,15 @@ type LoadResult struct {
 	Blocking obs.HistSnapshot `json:"blocking_latency"`
 	// Durability records the self-hosted server's persistence tier:
 	// "" (in-memory), "wal" (journaled), or "wal+fsync" (journaled with
-	// per-append fsync).
+	// fsync before reply release).
 	Durability string `json:"durability,omitempty"`
+	// CommitBytes echoes the group-commit batch bound the durable server
+	// ran with (0 = per-append writes, the pre-group-commit behavior).
+	CommitBytes int `json:"commit_bytes,omitempty"`
+	// CommitBatchMean is the mean records-per-batch the group-commit
+	// pipeline achieved (0 when group commit was off); >1 means appends
+	// actually coalesced under this load.
+	CommitBatchMean float64 `json:"commit_batch_mean,omitempty"`
 	// ExecMode records the fragment execution engine the server ran:
 	// "vm" (compiled bytecode) or "interp" (tree-walking oracle);
 	// "remote" when targeting a server whose engine this client can't see.
@@ -120,8 +135,10 @@ type LoadResult struct {
 
 // LoadSchemaVersion is bumped when LoadResult's shape changes. Version 2
 // added exec_mode when fragment execution moved to compiled bytecode;
-// version 3 added the "mux" mode and its mux_conns count.
-const LoadSchemaVersion = 3
+// version 3 added the "mux" mode and its mux_conns count; version 4 added
+// p99.9 to latency snapshots and the group-commit fields (commit_bytes,
+// commit_batch_mean) alongside dedicated durability rows in the report.
+const LoadSchemaVersion = 4
 
 func (c *LoadConfig) withDefaults() LoadConfig {
 	cfg := *c
@@ -187,15 +204,20 @@ func RunLoad(c LoadConfig) (LoadResult, error) {
 	shards := cfg.Shards
 	durability := ""
 	execLabel := "remote"
+	var persist *hrt.Durability
 	if addr == "" {
 		exec, err := interp.ParseExecMode(cfg.ExecMode)
 		if err != nil {
 			return LoadResult{}, fmt.Errorf("loadgen: %w", err)
 		}
 		execLabel = exec.String()
-		var persist *hrt.Durability
 		if cfg.DataDir != "" {
-			persist = hrt.NewDurability(hrt.DurabilityOptions{Dir: cfg.DataDir, Fsync: cfg.Fsync})
+			persist = hrt.NewDurability(hrt.DurabilityOptions{
+				Dir:            cfg.DataDir,
+				Fsync:          cfg.Fsync,
+				CommitBytes:    cfg.CommitBytes,
+				CommitInterval: cfg.CommitInterval,
+			})
 			durability = "wal"
 			if cfg.Fsync {
 				durability = "wal+fsync"
@@ -296,21 +318,31 @@ func RunLoad(c LoadConfig) (LoadResult, error) {
 	case cfg.Pipeline:
 		mode = "pipelined"
 	}
+	batchMean := 0.0
+	commitBytes := 0
+	if persist != nil {
+		commitBytes = cfg.CommitBytes
+		if batches, records := persist.CommitBatchStats(); batches > 0 {
+			batchMean = float64(records) / float64(batches)
+		}
+	}
 	total := int64(cfg.Sessions) * int64(cfg.Ops)
 	return LoadResult{
-		Schema:        LoadSchemaVersion,
-		Mode:          mode,
-		Sessions:      cfg.Sessions,
-		MuxConns:      muxConnCount,
-		OpsPerSession: cfg.Ops,
-		TotalOps:      total,
-		Shards:        shards,
-		GOMAXPROCS:    runtime.GOMAXPROCS(0),
-		ElapsedNs:     elapsed.Nanoseconds(),
-		OpsPerSec:     float64(total) / elapsed.Seconds(),
-		Blocking:      hist.Snapshot(),
-		Durability:    durability,
-		ExecMode:      execLabel,
+		Schema:          LoadSchemaVersion,
+		Mode:            mode,
+		Sessions:        cfg.Sessions,
+		MuxConns:        muxConnCount,
+		OpsPerSession:   cfg.Ops,
+		TotalOps:        total,
+		Shards:          shards,
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		ElapsedNs:       elapsed.Nanoseconds(),
+		OpsPerSec:       float64(total) / elapsed.Seconds(),
+		Blocking:        hist.Snapshot(),
+		Durability:      durability,
+		CommitBytes:     commitBytes,
+		CommitBatchMean: batchMean,
+		ExecMode:        execLabel,
 	}, nil
 }
 
@@ -493,6 +525,50 @@ func WriteLoadBenchJSON(w io.Writer, cfg LoadConfig, shardedCount int) error {
 		}
 		r.GOMAXPROCS = 4
 		rep.Rows = append(rep.Rows, r)
+	}
+
+	// Durability rows: the workload against a journaled server in three
+	// tiers — wal (no fsync), wal+fsync with per-append fsync
+	// (CommitBytes 0, the pre-group-commit behavior), and wal+fsync with
+	// group commit — under both the blocking and pipelined transports.
+	// The fsync pair is the headline: group commit coalesces concurrent
+	// sessions' appends into one fsync per batch, so its ops/sec should
+	// sit a multiple above the per-append baseline and its
+	// commit_batch_mean above 1. 64 sessions with a stripe per session,
+	// so the fsync queue — not the replay cache's stripe locks (which
+	// hold the journal call) — is what the pair measures.
+	const durSessions = 64
+	for _, pipeline := range []bool{false, true} {
+		for _, tier := range []struct {
+			fsync       bool
+			commitBytes int
+		}{
+			{false, 1 << 20},
+			{true, 0},
+			{true, 1 << 20},
+		} {
+			dir, err := os.MkdirTemp("", "loadbench-wal-*")
+			if err != nil {
+				return err
+			}
+			run := base
+			run.Pipeline = pipeline
+			run.Mux = false
+			run.Sessions = durSessions
+			run.Ops = 200
+			run.Shards = durSessions
+			run.ExecMode = "vm"
+			run.DataDir = dir
+			run.Fsync = tier.fsync
+			run.CommitBytes = tier.commitBytes
+			r, err := RunLoad(run)
+			os.RemoveAll(dir)
+			if err != nil {
+				return err
+			}
+			r.GOMAXPROCS = 4
+			rep.Rows = append(rep.Rows, r)
+		}
 	}
 	runtime.GOMAXPROCS(prev)
 

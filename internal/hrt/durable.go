@@ -6,10 +6,12 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"slicehide/internal/interp"
@@ -67,15 +69,48 @@ type Durability struct {
 	committer ReplCommitter
 	notify    chan struct{}
 
+	// Group commit (CommitBytes > 0): workers enqueue encoded records on
+	// commitq and block on their walCommit.done; the committer goroutine
+	// drains the queue, writes the batch in one coalesced write, fsyncs
+	// once, and releases every waiter. While a waiter blocks it holds the
+	// quiesce read lock, so under the quiesce write lock the queue is
+	// empty and the committer idle — rotation never races a batch.
+	commitq       chan *walCommit
+	commitStop    chan struct{}
+	commitDone    chan struct{}
+	commitBatches atomic.Int64
+	commitRecords atomic.Int64
+
+	// Background snapshot writing: snapshotting claims the single
+	// in-flight slot, snapWG tracks the writer goroutine so Close can
+	// wait for a landing snapshot before taking its final one.
+	snapshotting atomic.Bool
+	snapWG       sync.WaitGroup
+	// testHookSnapshotWrite, when set by tests, runs on the background
+	// writer goroutine before serialization begins.
+	testHookSnapshotWrite func()
+
 	recovered RecoveryStats
 
-	appends      obs.CounterHandle
-	appendErrors obs.CounterHandle
-	snapshots    obs.CounterHandle
-	snapErrors   obs.CounterHandle
-	appendBytes  obs.CounterHandle
-	appendNS     *obs.Histogram
-	snapshotNS   *obs.Histogram
+	appends         obs.CounterHandle
+	appendErrors    obs.CounterHandle
+	snapshots       obs.CounterHandle
+	snapErrors      obs.CounterHandle
+	appendBytes     obs.CounterHandle
+	appendNS        *obs.Histogram
+	snapshotNS      *obs.Histogram
+	commitBatchRecs *obs.Histogram
+	commitWaitNS    *obs.Histogram
+	snapPauseNS     *obs.Histogram
+}
+
+// walCommit is one encoded record waiting in the group-commit queue.
+// done (buffered) receives the batch's outcome once the committer has
+// made the record durable — nil, or the write/fsync error that poisoned
+// the batch.
+type walCommit struct {
+	payload []byte
+	done    chan error
 }
 
 // DurabilityOptions configures a Durability layer.
@@ -92,6 +127,18 @@ type DurabilityOptions struct {
 	// this many journaled records. 0 means the default (4096); negative
 	// disables periodic snapshots (one is still taken at Close).
 	SnapshotEvery int
+	// CommitBytes enables group commit: appends queue to a dedicated
+	// committer goroutine that coalesces up to this many bytes into one
+	// write + one fsync, so N concurrent sessions share one disk flush.
+	// 0 keeps the legacy per-append path (each append is its own write,
+	// and with Fsync its own flush) — the right choice for a single
+	// session, which a batch cannot help.
+	CommitBytes int
+	// CommitInterval, with group commit enabled, lets the committer
+	// linger this long for stragglers after the queue runs dry before
+	// flushing a partial batch. 0 flushes as soon as the queue is empty
+	// (natural batching from fsync backpressure only).
+	CommitInterval time.Duration
 	// Tracer, when set, receives recovery, snapshot, and append-failure
 	// events.
 	Tracer *obs.Tracer
@@ -141,6 +188,19 @@ func (p *Durability) RegisterMetrics(reg *obs.Registry) {
 	p.snapErrors = reg.Counter("wal_snapshot_errors_total")
 	p.appendNS = reg.Histogram("wal_append_ns")
 	p.snapshotNS = reg.Histogram("wal_snapshot_ns")
+	// wal_commit_batch_records counts records per durable batch (stored
+	// in the histogram's ns field, so mean = sum/count = records/batch).
+	p.commitBatchRecs = reg.Histogram("wal_commit_batch_records")
+	p.commitWaitNS = reg.Histogram("wal_commit_wait_ns")
+	p.snapPauseNS = reg.Histogram("wal_snapshot_pause_ns")
+	reg.Gauge("wal_commit_batches_total", p.commitBatches.Load)
+	reg.Gauge("wal_commit_records_total", p.commitRecords.Load)
+	reg.Gauge("wal_dir_sync_unsupported", func() int64 {
+		if wal.DirSyncUnsupported() {
+			return 1
+		}
+		return 0
+	})
 	reg.Gauge("wal_generation", func() int64 {
 		p.mu.Lock()
 		defer p.mu.Unlock()
@@ -188,38 +248,96 @@ func (p *Durability) start(server *Server, dedup *Dedup) error {
 		return err
 	}
 	res := newVarResolver(server.reg)
-	validLen, records, err := p.replayJournal(p.journalPath(gen), res, sessions)
+	// Background snapshot writing means a crash can leave a journal chain:
+	// journal-(g+1) rotated into service before snap-(g+1) landed (or with
+	// the snapshot write failed outright). Replay therefore continues
+	// across contiguous generations above the snapshot base — each journal
+	// was sealed exactly where the next one took over, so the chain
+	// reproduces the same state the missing snapshots would have. A
+	// non-tip journal whose scan stopped short of the file's end is
+	// corrupt history the later generations were built on; the chain is
+	// cut there and everything above discarded.
+	_, journalGens, err := p.listGenerations()
 	if err != nil {
 		return err
+	}
+	onDisk := make(map[uint64]bool, len(journalGens))
+	for _, g := range journalGens {
+		onDisk[g] = true
+	}
+	tip := gen
+	validLen, tipRecords, err := p.replayJournal(p.journalPath(tip), res, sessions)
+	if err != nil {
+		return err
+	}
+	records := tipRecords
+	for onDisk[tip+1] {
+		if short, err := scanStoppedShort(p.journalPath(tip), validLen); err != nil {
+			return err
+		} else if short {
+			p.opts.Tracer.Emit(obs.LevelWarn, "wal_chain_cut", obs.Uint("generation", tip))
+			break
+		}
+		tip++
+		if validLen, tipRecords, err = p.replayJournal(p.journalPath(tip), res, sessions); err != nil {
+			return err
+		}
+		records += tipRecords
 	}
 	list := make([]dedupSessionState, 0, len(sessions))
 	for _, ss := range sessions {
 		list = append(list, *ss)
 	}
 	dedup.restoreSessions(list)
-	j, err := wal.Open(p.journalPath(gen), validLen, p.opts.Fsync)
+	j, err := wal.Open(p.journalPath(tip), validLen, p.opts.Fsync)
 	if err != nil {
 		return err
 	}
 	p.mu.Lock()
 	p.wlog = j
-	p.gen = gen
-	p.sinceSnap = int(records)
+	p.gen = tip
+	p.sinceSnap = int(tipRecords)
 	p.mu.Unlock()
-	p.pruneAbove(gen)
+	p.pruneAbove(tip)
+	if p.opts.CommitBytes > 0 {
+		p.commitq = make(chan *walCommit, 1024)
+		p.commitStop = make(chan struct{})
+		p.commitDone = make(chan struct{})
+		go p.commitLoop(p.commitq, p.commitStop, p.commitDone)
+	}
+	wal.OnDirSyncUnsupported(func(dir string, err error) {
+		p.opts.Tracer.Emit(obs.LevelWarn, "wal_dir_sync_unsupported",
+			obs.Str("dir", dir), obs.Err(err))
+	})
 	p.recovered = RecoveryStats{
-		Generation:   gen,
+		Generation:   tip,
 		SnapshotUsed: snapUsed,
 		Records:      records,
 		Sessions:     len(sessions),
 		Took:         time.Since(begin),
 	}
 	p.opts.Tracer.Emit(obs.LevelInfo, "wal_recover",
-		obs.Uint("generation", gen),
+		obs.Uint("generation", tip),
 		obs.Int("records", records),
 		obs.Int("sessions", int64(len(sessions))),
 		obs.Dur("took", p.recovered.Took))
 	return nil
+}
+
+// scanStoppedShort reports whether the journal at path holds bytes past
+// its valid prefix — a torn or corrupt suffix. For the tip journal that
+// suffix is simply truncated; for a non-tip journal in a recovery chain
+// it means later generations were built on records that cannot be
+// reproduced, so the chain must be cut.
+func scanStoppedShort(path string, validLen int64) (bool, error) {
+	info, err := os.Stat(path)
+	if os.IsNotExist(err) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return info.Size() > validLen, nil
 }
 
 // loadBase picks the newest generation with a readable snapshot (falling
@@ -527,9 +645,9 @@ func (p *Durability) journal(req Request, resp Response, eff *recEffects) error 
 		p.mu.Unlock()
 		return err
 	}
-	j := p.wlog
+	open := p.wlog != nil
 	p.mu.Unlock()
-	if j == nil {
+	if !open {
 		return fmt.Errorf("hrt: journal not open")
 	}
 	rec := journalRecord{
@@ -551,7 +669,7 @@ func (p *Durability) journal(req Request, resp Response, eff *recEffects) error 
 	payload, err := appendRecord(nil, &rec)
 	if err == nil {
 		start := time.Now()
-		err = j.Append(payload)
+		err = p.append(payload)
 		p.appendNS.Observe(time.Since(start))
 	}
 	if err != nil {
@@ -565,11 +683,166 @@ func (p *Durability) journal(req Request, resp Response, eff *recEffects) error 
 	}
 	p.appends.Add(1)
 	p.appendBytes.Add(int64(len(payload)))
+	return nil
+}
+
+// append routes one encoded record into the journal: through the
+// group-commit queue when the committer is running (the calling worker
+// blocks until the batch carrying its record is durable), or as a
+// direct per-record append otherwise. Position bookkeeping (sinceSnap,
+// follower wakeups) advances only after the record is durable, so
+// replication acks and snapshot triggers never run ahead of disk.
+func (p *Durability) append(payload []byte) error {
+	p.mu.Lock()
+	if p.failed != nil {
+		err := p.failed
+		p.mu.Unlock()
+		return err
+	}
+	j := p.wlog
+	q := p.commitq
+	p.mu.Unlock()
+	if j == nil {
+		return fmt.Errorf("hrt: journal not open")
+	}
+	if q != nil {
+		w := &walCommit{payload: payload, done: make(chan error, 1)}
+		start := time.Now()
+		q <- w
+		err := <-w.done
+		p.commitWaitNS.Observe(time.Since(start))
+		return err
+	}
+	if err := j.Append(payload); err != nil {
+		return err
+	}
 	p.mu.Lock()
 	p.sinceSnap++
 	p.mu.Unlock()
 	p.notifyAppend()
 	return nil
+}
+
+// commitLoop is the dedicated WAL committer goroutine: it blocks for
+// the first queued record, gathers whatever else is pending into a
+// batch, and commits the batch with one coalesced write and one fsync.
+// Natural batching comes from backpressure — while batch k's fsync is
+// on the platter, batch k+1's records pile up in the queue. The
+// channels are bound at spawn so stopCommitter can clear the struct
+// fields without racing this goroutine.
+func (p *Durability) commitLoop(q chan *walCommit, stop, done chan struct{}) {
+	defer close(done)
+	for {
+		select {
+		case <-stop:
+			return
+		case w := <-q:
+			p.commitBatch(p.fillBatch(w, q, stop))
+		}
+	}
+}
+
+// fillBatch drains the queue behind first, up to CommitBytes of
+// payload; with CommitInterval > 0 it lingers that long for stragglers
+// once the queue runs dry, trading a bounded latency hit for fuller
+// batches.
+func (p *Durability) fillBatch(first *walCommit, q chan *walCommit, stop chan struct{}) []*walCommit {
+	batch := []*walCommit{first}
+	size := len(first.payload)
+	// With the queue dry, give the goroutines blocked on this batch a
+	// few scheduler turns to publish their records before the fsync is
+	// paid — on a starved scheduler the committer can otherwise wake the
+	// instant the first record lands and degenerate into one-record
+	// batches. Bounded and timer-free, so a lone append on an idle
+	// server still commits promptly.
+	yields := 4
+	var deadline <-chan time.Time
+	for size < p.opts.CommitBytes {
+		select {
+		case w := <-q:
+			batch = append(batch, w)
+			size += len(w.payload)
+			continue
+		default:
+		}
+		if yields > 0 {
+			yields--
+			runtime.Gosched()
+			continue
+		}
+		if p.opts.CommitInterval <= 0 {
+			break
+		}
+		if deadline == nil {
+			t := time.NewTimer(p.opts.CommitInterval)
+			defer t.Stop()
+			deadline = t.C
+		}
+		select {
+		case w := <-q:
+			batch = append(batch, w)
+			size += len(w.payload)
+		case <-deadline:
+			return batch
+		case <-stop:
+			// Commit what is queued before the loop exits; waiters hold
+			// the quiesce read lock, so shutdown is still behind them.
+			return batch
+		}
+	}
+	return batch
+}
+
+// commitBatch makes one batch durable — one write, one fsync, one
+// position advance — then releases every waiter at once.
+func (p *Durability) commitBatch(batch []*walCommit) {
+	p.mu.Lock()
+	j := p.wlog
+	err := p.failed
+	p.mu.Unlock()
+	if err == nil && j == nil {
+		err = fmt.Errorf("hrt: journal not open")
+	}
+	if err == nil {
+		payloads := make([][]byte, len(batch))
+		for i, w := range batch {
+			payloads[i] = w.payload
+		}
+		err = j.AppendBatch(payloads)
+	}
+	if err == nil {
+		p.mu.Lock()
+		p.sinceSnap += len(batch)
+		p.mu.Unlock()
+		p.notifyAppend()
+		p.commitBatches.Add(1)
+		p.commitRecords.Add(int64(len(batch)))
+		p.commitBatchRecs.Observe(time.Duration(len(batch)))
+	}
+	for _, w := range batch {
+		w.done <- err
+	}
+}
+
+// stopCommitter shuts down the group-commit goroutine. Called under the
+// quiesce write lock (Close) or with traffic otherwise drained, so the
+// queue is empty and no waiter can be stranded.
+func (p *Durability) stopCommitter() {
+	p.mu.Lock()
+	stop, done := p.commitStop, p.commitDone
+	p.commitStop, p.commitDone, p.commitq = nil, nil, nil
+	p.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}
+
+// CommitBatchStats reports how many group-commit batches and records
+// the committer has made durable; records/batches is the mean batch
+// size (the batching-engaged number the loadtest reports).
+func (p *Durability) CommitBatchStats() (batches, records int64) {
+	return p.commitBatches.Load(), p.commitRecords.Load()
 }
 
 // roundTrip is the durable request path: the whole dedup round trip runs
@@ -601,7 +874,7 @@ func (p *Durability) roundTrip(d *Dedup, req Request) (Response, error) {
 }
 
 func (p *Durability) snapshotDue() bool {
-	if p.opts.SnapshotEvery <= 0 {
+	if p.opts.SnapshotEvery <= 0 || p.snapshotting.Load() {
 		return false
 	}
 	p.mu.Lock()
@@ -609,63 +882,139 @@ func (p *Durability) snapshotDue() bool {
 	return p.failed == nil && p.sinceSnap >= p.opts.SnapshotEvery
 }
 
-// Snapshot quiesces request traffic, writes a fresh snapshot of the full
-// server + replay-cache state as generation gen+1, rotates the journal to
-// that generation, and prunes generations older than gen (the immediately
-// previous generation is kept as the corruption fallback).
+// Snapshot rotates to a fresh snapshot + journal generation without
+// stopping the world: the quiesce write-hold covers only the journal
+// swap and flat clones of the live stores (O(live state) memcpy — no
+// serialization, no disk I/O), so the pause is independent of how many
+// records accumulated since the last snapshot. Serialization, fsync,
+// rename, and pruning run on a background goroutine while traffic
+// continues; the journal chain (see start) keeps recovery correct if
+// the process dies before the snapshot file lands. Returns once the cut
+// is captured; at most one snapshot is in flight at a time.
 func (p *Durability) Snapshot() error {
-	p.quiesce.Lock()
-	defer p.quiesce.Unlock()
-	return p.snapshotLocked()
-}
-
-func (p *Durability) snapshotLocked() error {
 	if p.server == nil {
 		return fmt.Errorf("hrt: durability not started")
 	}
-	start := time.Now()
-	payload, err := encodeSnapshot(p.server, p.dedup)
-	if err != nil {
-		return err
-	}
-	next := p.gen + 1
-	if err := wal.WriteSnapshot(p.snapPath(next), payload); err != nil {
-		return err
-	}
-	j, err := wal.Open(p.journalPath(next), 0, p.opts.Fsync)
-	if err != nil {
-		return err
+	if !p.snapshotting.CompareAndSwap(false, true) {
+		return nil // one already in flight; its journal chain covers us
 	}
 	p.mu.Lock()
-	old := p.wlog
-	p.wlog = j
-	p.gen = next
-	p.sinceSnap = 0
+	err := p.failed
+	open := p.wlog != nil
+	next := p.gen + 1
 	p.mu.Unlock()
+	if err == nil && !open {
+		err = fmt.Errorf("hrt: journal not open")
+	}
+	var j *wal.Journal
+	if err == nil {
+		// Open the next generation's journal before taking the write
+		// hold, keeping file creation (and its fsync) out of the pause.
+		j, err = wal.Open(p.journalPath(next), 0, p.opts.Fsync)
+	}
+	if err != nil {
+		p.snapshotting.Store(false)
+		return err
+	}
+	begin := time.Now()
+	p.quiesce.Lock()
+	if p.wlog == nil { // closed while we were opening the next generation
+		p.quiesce.Unlock()
+		p.snapshotting.Store(false)
+		j.Close()
+		os.Remove(p.journalPath(next))
+		return fmt.Errorf("hrt: journal not open")
+	}
+	cut := p.rotateAndCut(j)
+	p.quiesce.Unlock()
+	cut.begin = begin
+	cut.pause = time.Since(begin)
+	p.snapPauseNS.Observe(cut.pause)
 	p.notifyAppend() // wake replication pumps so they roll to the new generation
-	if old != nil {
-		old.Close()
-	}
-	if next >= 1 {
-		p.pruneBelow(next - 1)
-	}
-	took := time.Since(start)
-	p.snapshots.Add(1)
-	p.snapshotNS.Observe(took)
-	p.opts.Tracer.Emit(obs.LevelInfo, "wal_snapshot",
-		obs.Uint("generation", next), obs.Int("bytes", int64(len(payload))), obs.Dur("took", took))
+	p.snapWG.Add(1)
+	go func() {
+		defer p.snapWG.Done()
+		p.writeSnapshot(cut)
+	}()
 	return nil
 }
 
-// Close takes a final snapshot (so the next boot recovers without journal
-// replay) and closes the journal. Called by TCPServer.Close after the
-// serving goroutines drained.
+// rotateAndCut seals the current journal generation, installs next as
+// its successor, and captures the consistent cut the snapshot will
+// serialize. Caller holds the quiesce write lock (so no request is
+// half-applied and the commit queue is drained) and owns p.snapshotting.
+func (p *Durability) rotateAndCut(next *wal.Journal) *stateCut {
+	p.mu.Lock()
+	gen := p.gen + 1
+	old := p.wlog
+	p.wlog = next
+	p.gen = gen
+	p.sinceSnap = 0
+	p.mu.Unlock()
+	cut := captureCut(p.server, p.dedup)
+	cut.gen = gen
+	cut.sealed = old
+	return cut
+}
+
+// writeSnapshot serializes and installs a captured cut as generation
+// cut.gen, then prunes older generations. Runs on the background writer
+// goroutine (or synchronously at Close). A failure here does not poison
+// the layer: the journal chain above the last good snapshot still
+// reproduces every committed record, and the next due snapshot retries.
+func (p *Durability) writeSnapshot(cut *stateCut) error {
+	defer p.snapshotting.Store(false)
+	if cut.sealed != nil {
+		cut.sealed.Close() // final flush of the sealed generation
+	}
+	if p.testHookSnapshotWrite != nil {
+		p.testHookSnapshotWrite()
+	}
+	payload, err := encodeCut(cut)
+	if err == nil {
+		err = wal.WriteSnapshot(p.snapPath(cut.gen), payload)
+	}
+	if err != nil {
+		p.snapErrors.Add(1)
+		p.opts.Tracer.Emit(obs.LevelError, "wal_snapshot_error",
+			obs.Uint("generation", cut.gen), obs.Err(err))
+		return err
+	}
+	if cut.gen >= 1 {
+		p.pruneBelow(cut.gen - 1)
+	}
+	took := time.Since(cut.begin)
+	p.snapshots.Add(1)
+	p.snapshotNS.Observe(took)
+	p.opts.Tracer.Emit(obs.LevelInfo, "wal_snapshot",
+		obs.Uint("generation", cut.gen), obs.Int("bytes", int64(len(payload))),
+		obs.Dur("took", took), obs.Dur("pause", cut.pause))
+	return nil
+}
+
+// Close waits out any in-flight background snapshot, stops the
+// committer, takes a final synchronous snapshot (so the next boot
+// recovers without journal replay), and closes the journal. Called by
+// TCPServer.Close after the serving goroutines drained.
 func (p *Durability) Close() error {
+	p.snapWG.Wait()
 	p.quiesce.Lock()
 	defer p.quiesce.Unlock()
+	p.stopCommitter()
 	var err error
-	if p.wlog != nil {
-		err = p.snapshotLocked()
+	if p.wlog != nil && p.snapshotting.CompareAndSwap(false, true) {
+		p.mu.Lock()
+		next := p.gen + 1
+		p.mu.Unlock()
+		j, jerr := wal.Open(p.journalPath(next), 0, p.opts.Fsync)
+		if jerr != nil {
+			p.snapshotting.Store(false)
+			err = jerr
+		} else {
+			cut := p.rotateAndCut(j)
+			cut.begin = time.Now()
+			err = p.writeSnapshot(cut)
+		}
 	}
 	p.mu.Lock()
 	j := p.wlog

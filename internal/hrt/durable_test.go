@@ -74,6 +74,7 @@ func startDurable(t *testing.T, res *core.Result, dir string, opts DurabilityOpt
 // write, so the next boot must recover from the journal like after SIGKILL.
 func crash(t *testing.T, p *Durability) {
 	t.Helper()
+	p.stopCommitter()
 	if err := p.wlog.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -180,12 +181,16 @@ func TestDurableSnapshotRotationAndRecovery(t *testing.T) {
 		seq++
 		roundTrip(Request{Op: OpCall, Session: 9, Seq: seq, Fn: "f", Inst: inst,
 			Frag: initFrag, Args: []interp.Value{interp.IntV(int64(100 + i))}})
+		// Snapshots write in the background; let each one land so the
+		// next due-check can rotate again (at most one is in flight).
+		p1.snapWG.Wait()
 	}
 	seq++
 	fetched := roundTrip(Request{Op: OpCall, Session: 9, Seq: seq, Fn: "f", Inst: inst, Frag: fetchFrag})
 	if fetched.Err != "" {
 		t.Fatalf("fetch: %s", fetched.Err)
 	}
+	p1.snapWG.Wait()
 	liveStats := server1.Stats()
 	gen := p1.gen
 	if gen < 2 {

@@ -575,13 +575,9 @@ func (p *Durability) appendReplicated(payload []byte) error {
 		p.mu.Unlock()
 		return err
 	}
-	j := p.wlog
 	p.mu.Unlock()
-	if j == nil {
-		return fmt.Errorf("hrt: journal not open")
-	}
 	start := time.Now()
-	if err := j.Append(payload); err != nil {
+	if err := p.append(payload); err != nil {
 		err = fmt.Errorf("hrt: replicated journal append failed: %w", err)
 		p.appendErrors.Add(1)
 		p.opts.Tracer.Emit(obs.LevelError, "wal_append_error", obs.Err(err))
@@ -593,9 +589,5 @@ func (p *Durability) appendReplicated(payload []byte) error {
 	p.appendNS.Observe(time.Since(start))
 	p.appends.Add(1)
 	p.appendBytes.Add(int64(len(payload)))
-	p.mu.Lock()
-	p.sinceSnap++
-	p.mu.Unlock()
-	p.notifyAppend()
 	return nil
 }

@@ -5,10 +5,12 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"time"
 
 	"slicehide/internal/core"
 	"slicehide/internal/interp"
 	"slicehide/internal/vm"
+	"slicehide/internal/wal"
 )
 
 // Snapshot codec and replay application: the full hidden-server state
@@ -188,19 +190,131 @@ func (s *Server) applyGlobalDeltas(res *varResolver, deltas []globalDelta) error
 }
 
 // ---------------------------------------------------------------------------
-// Snapshot encode
+// Snapshot capture + encode
+//
+// Capture and serialization are split so the durability layer can hold
+// the quiesce write lock only for captureCut — flat clones of every
+// store, an O(live state) memcpy — and run encodeCut plus the disk I/O
+// on a background goroutine while request traffic continues.
 
-// encodeSnapshot serializes the full server + replay-cache state. Called
-// under the durability quiesce lock, so no request is half-applied; the
+// stateCut is the consistent cut one snapshot serializes: cloned values
+// of every live store plus the replay cache, pinned to the journal
+// generation that took over at the cut.
+type stateCut struct {
+	gen    uint64
+	sealed *wal.Journal // the generation the cut sealed; closed by the writer
+	begin  time.Time
+	pause  time.Duration
+
+	prog                 *vm.Program
+	enters, exits, calls int64
+	globalsVersion       uint64
+	globals              []interp.Value
+	acts                 []actCut
+	insts                []instCut
+	maxInst              int64
+	sessions             []dedupSessionState
+}
+
+type actCut struct {
+	fn      string
+	session uint64
+	inst    int64
+	obj     int64
+	vals    []interp.Value
+}
+
+type instCut struct {
+	session uint64
+	class   string
+	obj     int64
+	vals    []interp.Value
+}
+
+// captureCut clones the full server + replay-cache state. Called under
+// the durability quiesce lock, so no request is half-applied; the
 // per-structure locks are still taken for memory visibility.
-func encodeSnapshot(s *Server, d *Dedup) ([]byte, error) {
-	b, err := s.exportState(make([]byte, 0, 4096))
-	if err != nil {
+func captureCut(s *Server, d *Dedup) *stateCut {
+	cut := &stateCut{prog: s.reg.Prog}
+	st := s.Stats()
+	cut.enters, cut.exits, cut.calls = st.Enters, st.Exits, st.Calls
+
+	s.globalsMu.Lock()
+	cut.globalsVersion = s.globalsVersion
+	cut.globals = append([]interp.Value(nil), s.globals.vals...)
+	s.globalsMu.Unlock()
+
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		if sh.nextInst > cut.maxInst {
+			cut.maxInst = sh.nextInst
+		}
+		for fn, m := range sh.stores {
+			for k, act := range m {
+				cut.acts = append(cut.acts, actCut{
+					fn: fn, session: k.session, inst: k.inst, obj: act.obj,
+					vals: append([]interp.Value(nil), act.vals...),
+				})
+			}
+		}
+		for k, inst := range sh.instances {
+			cut.insts = append(cut.insts, instCut{
+				session: k.session, class: k.class, obj: k.obj,
+				vals: append([]interp.Value(nil), inst.vals...),
+			})
+		}
+		sh.mu.Unlock()
+	}
+	cut.sessions = d.exportSessions()
+	return cut
+}
+
+// encodeCut serializes a captured cut into the snapshot payload layout
+// importSnapshot reads. Runs outside every lock.
+func encodeCut(cut *stateCut) ([]byte, error) {
+	prog := cut.prog
+	b := make([]byte, 0, 4096)
+	b = binary.LittleEndian.AppendUint32(b, snapshotFormat)
+	b = binary.LittleEndian.AppendUint64(b, prog.Hash)
+	b = binary.LittleEndian.AppendUint64(b, uint64(cut.enters))
+	b = binary.LittleEndian.AppendUint64(b, uint64(cut.exits))
+	b = binary.LittleEndian.AppendUint64(b, uint64(cut.calls))
+
+	var err error
+	b = binary.LittleEndian.AppendUint64(b, cut.globalsVersion)
+	if b, err = appendVals(b, prog.Globals, cut.globals); err != nil {
 		return nil, err
 	}
-	sessions := d.exportSessions()
-	b = binary.LittleEndian.AppendUint32(b, uint32(len(sessions)))
-	for _, ss := range sessions {
+
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(cut.acts)))
+	for _, a := range cut.acts {
+		if b, err = appendString(b, a.fn); err != nil {
+			return nil, err
+		}
+		b = binary.LittleEndian.AppendUint64(b, a.session)
+		b = binary.LittleEndian.AppendUint64(b, uint64(a.inst))
+		b = binary.LittleEndian.AppendUint64(b, uint64(a.obj))
+		if b, err = appendVals(b, prog.Comps[a.fn].Act, a.vals); err != nil {
+			return nil, err
+		}
+	}
+
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(cut.insts)))
+	for _, in := range cut.insts {
+		b = binary.LittleEndian.AppendUint64(b, in.session)
+		if b, err = appendString(b, in.class); err != nil {
+			return nil, err
+		}
+		b = binary.LittleEndian.AppendUint64(b, uint64(in.obj))
+		if b, err = appendVals(b, prog.Fields[in.class], in.vals); err != nil {
+			return nil, err
+		}
+	}
+
+	b = binary.LittleEndian.AppendUint64(b, uint64(cut.maxInst))
+
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(cut.sessions)))
+	for _, ss := range cut.sessions {
 		b = binary.LittleEndian.AppendUint64(b, ss.Session)
 		b = binary.LittleEndian.AppendUint64(b, ss.LastSeq)
 		b = binary.LittleEndian.AppendUint64(b, ss.RespSeq)
@@ -221,81 +335,6 @@ func encodeSnapshot(s *Server, d *Dedup) ([]byte, error) {
 			return nil, err
 		}
 	}
-	return b, nil
-}
-
-func (s *Server) exportState(b []byte) ([]byte, error) {
-	prog := s.reg.Prog
-	b = binary.LittleEndian.AppendUint32(b, snapshotFormat)
-	b = binary.LittleEndian.AppendUint64(b, prog.Hash)
-	st := s.Stats()
-	b = binary.LittleEndian.AppendUint64(b, uint64(st.Enters))
-	b = binary.LittleEndian.AppendUint64(b, uint64(st.Exits))
-	b = binary.LittleEndian.AppendUint64(b, uint64(st.Calls))
-
-	var err error
-	s.globalsMu.Lock()
-	b = binary.LittleEndian.AppendUint64(b, s.globalsVersion)
-	if b, err = appendVals(b, prog.Globals, s.globals.vals); err != nil {
-		s.globalsMu.Unlock()
-		return nil, err
-	}
-	s.globalsMu.Unlock()
-
-	// Activation stores. The count prefix is patched in after the walk.
-	actCountOff := len(b)
-	b = append(b, 0, 0, 0, 0)
-	var acts uint32
-	var maxInst int64
-	for _, sh := range s.shards {
-		sh.mu.Lock()
-		if sh.nextInst > maxInst {
-			maxInst = sh.nextInst
-		}
-		for fn, m := range sh.stores {
-			for k, act := range m {
-				if b, err = appendString(b, fn); err != nil {
-					sh.mu.Unlock()
-					return nil, err
-				}
-				b = binary.LittleEndian.AppendUint64(b, k.session)
-				b = binary.LittleEndian.AppendUint64(b, uint64(k.inst))
-				b = binary.LittleEndian.AppendUint64(b, uint64(act.obj))
-				if b, err = appendVals(b, prog.Comps[fn].Act, act.vals); err != nil {
-					sh.mu.Unlock()
-					return nil, err
-				}
-				acts++
-			}
-		}
-		sh.mu.Unlock()
-	}
-	binary.LittleEndian.PutUint32(b[actCountOff:], acts)
-
-	// Per-object hidden-field stores.
-	instCountOff := len(b)
-	b = append(b, 0, 0, 0, 0)
-	var insts uint32
-	for _, sh := range s.shards {
-		sh.mu.Lock()
-		for k, inst := range sh.instances {
-			b = binary.LittleEndian.AppendUint64(b, k.session)
-			if b, err = appendString(b, k.class); err != nil {
-				sh.mu.Unlock()
-				return nil, err
-			}
-			b = binary.LittleEndian.AppendUint64(b, uint64(k.obj))
-			if b, err = appendVals(b, prog.Fields[k.class], inst.vals); err != nil {
-				sh.mu.Unlock()
-				return nil, err
-			}
-			insts++
-		}
-		sh.mu.Unlock()
-	}
-	binary.LittleEndian.PutUint32(b[instCountOff:], insts)
-
-	b = binary.LittleEndian.AppendUint64(b, uint64(maxInst))
 	return b, nil
 }
 

@@ -92,12 +92,17 @@ type HistBucket struct {
 // HistSnapshot is a point-in-time view of a histogram, the form exported
 // on /metrics and in `slicehide run -stats json`.
 type HistSnapshot struct {
-	Count   int64        `json:"count"`
-	SumNs   int64        `json:"sum_ns"`
-	MinNs   int64        `json:"min_ns"`
-	MaxNs   int64        `json:"max_ns"`
-	P50Ns   int64        `json:"p50_ns"`
-	P99Ns   int64        `json:"p99_ns"`
+	Count int64 `json:"count"`
+	SumNs int64 `json:"sum_ns"`
+	MinNs int64 `json:"min_ns"`
+	MaxNs int64 `json:"max_ns"`
+	P50Ns int64 `json:"p50_ns"`
+	P99Ns int64 `json:"p99_ns"`
+	// P999Ns is the p99.9 estimate — the SLO tail a serving system is
+	// judged by once p99 stops moving. Below 1000 observations it equals
+	// the observed maximum (the ceil-rank quantile of a small population
+	// is its last sample), which is the honest small-sample answer.
+	P999Ns  int64        `json:"p999_ns"`
 	Buckets []HistBucket `json:"buckets,omitempty"`
 }
 
@@ -121,6 +126,7 @@ func (h *Histogram) Snapshot() HistSnapshot {
 	}
 	s.P50Ns = quantileNs(counts, s.Count, s.MaxNs, 0.50)
 	s.P99Ns = quantileNs(counts, s.Count, s.MaxNs, 0.99)
+	s.P999Ns = quantileNs(counts, s.Count, s.MaxNs, 0.999)
 	return s
 }
 

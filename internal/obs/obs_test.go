@@ -69,11 +69,35 @@ func TestHistogramSnapshot(t *testing.T) {
 	if s.P99Ns != s.MaxNs {
 		t.Errorf("p99 = %d (max %d)", s.P99Ns, s.MaxNs)
 	}
+	// At 100 samples the p99.9 ceil-rank is the last sample: the maximum.
+	if s.P999Ns != s.MaxNs {
+		t.Errorf("p99.9 = %d (max %d)", s.P999Ns, s.MaxNs)
+	}
 	// Quantiles and overflow stay clamped to the observed maximum.
 	h2 := &Histogram{}
 	h2.Observe(10 * time.Minute)
 	if s2 := h2.Snapshot(); s2.P50Ns != s2.MaxNs || s2.Buckets[0].LeNs != -1 {
 		t.Errorf("overflow snapshot: %+v", s2)
+	}
+}
+
+// TestHistogramP999SeparatesFromP99: with 10k observations and a 1-in-
+// 1000 slow tail, p99 stays in the fast bucket while p99.9 reaches the
+// tail — the separation ROADMAP item 3's SLO reporting exists for.
+func TestHistogramP999SeparatesFromP99(t *testing.T) {
+	h := &Histogram{}
+	for i := 0; i < 9980; i++ {
+		h.Observe(10 * time.Microsecond)
+	}
+	for i := 0; i < 20; i++ {
+		h.Observe(500 * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.P99Ns >= int64(time.Millisecond) {
+		t.Errorf("p99 = %v, want inside the fast bucket", time.Duration(s.P99Ns))
+	}
+	if s.P999Ns < int64(100*time.Millisecond) {
+		t.Errorf("p99.9 = %v, want in the slow tail", time.Duration(s.P999Ns))
 	}
 }
 

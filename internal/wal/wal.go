@@ -36,6 +36,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 )
 
 // journalMagic opens every journal file; snapMagic opens every snapshot.
@@ -67,6 +68,30 @@ type Journal struct {
 	size    int64
 	records int64
 	scratch []byte
+	// syncFn, when set, replaces f.Sync for every flush this handle
+	// issues. It exists for crash testing: a test can observe exactly
+	// which byte offsets were made durable, or suppress the flush to
+	// simulate a machine dying between a batch's coalesced write and its
+	// fsync.
+	syncFn func(*os.File) error
+}
+
+// SetSyncFunc installs fn in place of the file's own Sync for every
+// flush this journal issues (Append, AppendBatch, Sync, Close). Passing
+// nil restores the real fsync. Test hook: the group-commit crash tests
+// use it to record the last durable boundary and to inject sync faults.
+func (j *Journal) SetSyncFunc(fn func(*os.File) error) {
+	j.mu.Lock()
+	j.syncFn = fn
+	j.mu.Unlock()
+}
+
+// syncLocked flushes through the hook. Caller holds j.mu.
+func (j *Journal) syncLocked() error {
+	if j.syncFn != nil {
+		return j.syncFn(j.f)
+	}
+	return j.f.Sync()
 }
 
 // Open opens (creating if absent) the journal at path for appending.
@@ -142,12 +167,56 @@ func (j *Journal) Append(payload []byte) error {
 		return fmt.Errorf("wal: append record: %w", err)
 	}
 	if j.sync {
-		if err := j.f.Sync(); err != nil {
+		if err := j.syncLocked(); err != nil {
 			return fmt.Errorf("wal: fsync record: %w", err)
 		}
 	}
 	j.size += int64(need)
 	j.records++
+	return nil
+}
+
+// AppendBatch frames every payload and hands the whole batch to the
+// kernel in one write, then — under the sync policy — issues a single
+// fsync covering all of it. This is the group-commit primitive: N
+// records queued by concurrent sessions share one write(2) and one
+// flush instead of paying one each. Like Append, a record is either
+// wholly before or wholly after any crash point; a machine crash
+// between the write and the fsync can lose any suffix of the batch,
+// which recovery truncates away at the last intact record.
+func (j *Journal) AppendBatch(payloads [][]byte) error {
+	need := 0
+	for _, p := range payloads {
+		if len(p) > MaxRecord {
+			return fmt.Errorf("wal: record of %d bytes exceeds limit %d", len(p), MaxRecord)
+		}
+		need += frameSize + len(p)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("wal: journal closed")
+	}
+	if cap(j.scratch) < need {
+		j.scratch = make([]byte, 0, need+need/2)
+	}
+	b := j.scratch[:0]
+	for _, p := range payloads {
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(p)))
+		b = binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(p))
+		b = append(b, p...)
+	}
+	j.scratch = b
+	if _, err := j.f.Write(b); err != nil {
+		return fmt.Errorf("wal: append batch: %w", err)
+	}
+	if j.sync {
+		if err := j.syncLocked(); err != nil {
+			return fmt.Errorf("wal: fsync batch: %w", err)
+		}
+	}
+	j.size += int64(need)
+	j.records += int64(len(payloads))
 	return nil
 }
 
@@ -159,7 +228,7 @@ func (j *Journal) Sync() error {
 	if j.f == nil {
 		return nil
 	}
-	return j.f.Sync()
+	return j.syncLocked()
 }
 
 // Close syncs and closes the journal.
@@ -169,7 +238,7 @@ func (j *Journal) Close() error {
 	if j.f == nil {
 		return nil
 	}
-	err := j.f.Sync()
+	err := j.syncLocked()
 	if cerr := j.f.Close(); err == nil {
 		err = cerr
 	}
@@ -322,18 +391,54 @@ func ReadSnapshot(path string) ([]byte, error) {
 	return payload, nil
 }
 
+// Directory-fsync degradation reporting. Some filesystems refuse to
+// fsync a directory; when that happens the durability of file creation
+// and rename degrades to the OS's own metadata flushing. That is the
+// best available and not a reason to fail the write — but it is a
+// weaker guarantee than the one advertised, so instead of swallowing
+// the refusal this package records it process-wide (it is a property of
+// the filesystem, not of one journal) and reports it once through an
+// optional handler, which the durability layer turns into a
+// wal_dir_sync_unsupported gauge and a trace event for operators.
+var (
+	dirSyncRefused atomic.Bool
+	dirSyncOnce    sync.Once
+	dirSyncHandler atomic.Pointer[func(dir string, err error)]
+)
+
+// DirSyncUnsupported reports whether any directory fsync has been
+// refused by the filesystem since process start.
+func DirSyncUnsupported() bool { return dirSyncRefused.Load() }
+
+// OnDirSyncUnsupported installs a handler invoked the first time a
+// directory fsync is refused (at most once per process).
+func OnDirSyncUnsupported(fn func(dir string, err error)) {
+	dirSyncHandler.Store(&fn)
+}
+
+func reportDirSyncRefused(dir string, err error) {
+	dirSyncOnce.Do(func() {
+		dirSyncRefused.Store(true)
+		if fn := dirSyncHandler.Load(); fn != nil && *fn != nil {
+			(*fn)(dir, err)
+		}
+	})
+}
+
 // syncDir fsyncs the directory containing path, making a just-created or
-// just-renamed file durable against machine crash.
+// just-renamed file durable against machine crash. A filesystem that
+// refuses directory fsync degrades the guarantee rather than failing
+// the write; the refusal is surfaced through DirSyncUnsupported and the
+// OnDirSyncUnsupported handler instead of being silently swallowed.
 func syncDir(path string) error {
-	d, err := os.Open(filepath.Dir(path))
+	dir := filepath.Dir(path)
+	d, err := os.Open(dir)
 	if err != nil {
 		return fmt.Errorf("wal: open dir for sync: %w", err)
 	}
 	defer d.Close()
 	if err := d.Sync(); err != nil {
-		// Some filesystems refuse directory fsync; durability degrades to
-		// the OS's own metadata flushing, which is the best available.
-		return nil
+		reportDirSyncRefused(dir, err)
 	}
 	return nil
 }

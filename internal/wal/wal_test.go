@@ -234,3 +234,94 @@ func TestJournalManyRecords(t *testing.T) {
 		}
 	}
 }
+
+// TestAppendBatchCoalesces pins the group-commit primitive: a batch of
+// records lands as one coalesced write that scans back identically to
+// the same records appended one by one, with size/record accounting and
+// a single fsync (observed through the sync hook) for the whole batch.
+func TestAppendBatchCoalesces(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	j, err := Open(path, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var syncs int
+	j.SetSyncFunc(func(f *os.File) error {
+		syncs++
+		return f.Sync()
+	})
+	batch := [][]byte{[]byte("alpha"), {}, bytes.Repeat([]byte("b"), 5000), []byte("tail")}
+	if err := j.AppendBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if syncs != 1 {
+		t.Errorf("batch issued %d fsyncs, want 1", syncs)
+	}
+	if got := j.Records(); got != int64(len(batch)) {
+		t.Errorf("Records() = %d, want %d", got, len(batch))
+	}
+	wantSize := int64(headerSize)
+	for _, p := range batch {
+		wantSize += frameSize + int64(len(p))
+	}
+	if got := j.Size(); got != wantSize {
+		t.Errorf("Size() = %d, want %d", got, wantSize)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := scanAll(t, path)
+	if len(got) != len(batch) {
+		t.Fatalf("scanned %d records, want %d", len(got), len(batch))
+	}
+	for i := range batch {
+		if !bytes.Equal(got[i], batch[i]) {
+			t.Errorf("record %d: got %q want %q", i, got[i], batch[i])
+		}
+	}
+}
+
+// TestAppendBatchOversizeRefused: one oversized record fails the whole
+// batch before any bytes reach the file.
+func TestAppendBatchOversizeRefused(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	j, err := Open(path, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	huge := make([]byte, MaxRecord+1)
+	if err := j.AppendBatch([][]byte{[]byte("ok"), huge}); err == nil {
+		t.Fatal("oversized batch record accepted")
+	}
+	if got := j.Records(); got != 0 {
+		t.Errorf("failed batch advanced record count to %d", got)
+	}
+	if got := scanAll(t, path); len(got) != 0 {
+		t.Errorf("failed batch left %d records on disk", len(got))
+	}
+}
+
+// TestDirSyncRefusalSurfaced pins the degradation report: a refused
+// directory fsync flips the process-wide flag and invokes the handler
+// exactly once, instead of being silently swallowed.
+func TestDirSyncRefusalSurfaced(t *testing.T) {
+	var calls int
+	var gotDir string
+	OnDirSyncUnsupported(func(dir string, err error) {
+		calls++
+		gotDir = dir
+	})
+	defer OnDirSyncUnsupported(nil)
+	reportDirSyncRefused("/data/x", fmt.Errorf("EINVAL"))
+	reportDirSyncRefused("/data/y", fmt.Errorf("EINVAL"))
+	if !DirSyncUnsupported() {
+		t.Error("DirSyncUnsupported() = false after a refusal")
+	}
+	if calls != 1 {
+		t.Errorf("handler invoked %d times, want once", calls)
+	}
+	if calls == 1 && gotDir != "/data/x" {
+		t.Errorf("handler saw dir %q, want /data/x", gotDir)
+	}
+}
