@@ -4,7 +4,9 @@ package slicehide
 // cluster harness (internal/experiments.RunClusterLoad) to regenerate the
 // committed BENCH_cluster.json — the same workload against 1, 2, and 4
 // backends, with a mid-run primary kill on the multi-backend rows so each
-// report carries a measured failover. Run with:
+// report carries a measured failover, plus a join-under-load row where a
+// cold replica joins a two-founder fleet mid-run via snapshot catch-up
+// transfer. Run with:
 //
 //	make bench-cluster
 
@@ -52,22 +54,29 @@ func TestClusterSmoke(t *testing.T) {
 		name     string
 		backends int
 		kill     bool
+		join     bool
+		ops      int
 	}{
-		{"single", 1, false},
-		{"fleet3", 3, false},
-		{"fleet3-kill", 3, true},
+		{"single", 1, false, false, 40},
+		{"fleet3", 3, false, false, 40},
+		{"fleet3-kill", 3, true, false, 40},
+		// Enough ops that the two founders rotate past (and prune)
+		// generation 0 before the halfway join, so the cold replica's
+		// catch-up must cross a snapshot transfer.
+		{"fleet2-join", 2, false, true, 200},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			res, err := experiments.RunClusterLoad(experiments.ClusterLoadConfig{
 				Backends:    tc.backends,
 				Sessions:    6,
-				Ops:         40,
+				Ops:         tc.ops,
 				KillPrimary: tc.kill,
+				JoinMidRun:  tc.join,
 			})
 			if err != nil {
 				t.Fatal(err)
 			}
-			if want := int64(6 * 40); res.TotalOps != want {
+			if want := int64(6 * tc.ops); res.TotalOps != want {
 				t.Fatalf("TotalOps = %d, want %d", res.TotalOps, want)
 			}
 			if res.OpsPerSec <= 0 {
@@ -81,6 +90,20 @@ func TestClusterSmoke(t *testing.T) {
 			}
 			if tc.kill && res.FailoverNs <= 0 {
 				t.Fatalf("FailoverNs = %d, want > 0 after a kill", res.FailoverNs)
+			}
+			if res.Joined != tc.join {
+				t.Fatalf("Joined = %v, want %v", res.Joined, tc.join)
+			}
+			if tc.join {
+				if res.Backends != tc.backends+1 {
+					t.Fatalf("Backends = %d after a join, want %d", res.Backends, tc.backends+1)
+				}
+				if res.MembershipEpoch < 2 {
+					t.Fatalf("MembershipEpoch = %d after a join, want >= 2", res.MembershipEpoch)
+				}
+				if res.SnapXferBytes <= 0 || res.SnapXferNs <= 0 {
+					t.Fatalf("snapshot transfer not observed: bytes=%d ns=%d", res.SnapXferBytes, res.SnapXferNs)
+				}
 			}
 		})
 	}

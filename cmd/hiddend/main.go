@@ -19,6 +19,17 @@
 // SIGTERM/SIGINT the server drains in-flight connections (bounded by
 // -drain-timeout) before shutting down.
 //
+// With -peers and -replicate, N hiddend processes serve as one
+// replicating fleet (rendezvous session placement, full-mesh journal
+// streaming, semi-synchronous commits, client-driven failover). The
+// fleet is elastic: -join seed-addr starts this replica as a new member
+// of a running fleet instead of a founder — membership is
+// epoch-versioned, gossiped over liveness probes, and persisted in
+// -data-dir — and a joiner that missed pruned history is caught up via
+// a chunked, resumable snapshot transfer. The admin endpoint's POST
+// /join and /leave mutate membership under operator control, and
+// /readyz reports 503 until this replica has genuinely converged.
+//
 // When -admin is set, an HTTP observability endpoint serves /healthz
 // (liveness), /metrics (counters, gauges, and latency histograms as
 // JSON), /trace (recent redacted runtime events), and /debug/pprof/.

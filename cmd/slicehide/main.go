@@ -12,7 +12,7 @@
 //	slicehide split   -func f [-seed v] [-no-cfh] <file.mj>
 //	slicehide ilp     -func f [-seed v] <file.mj>
 //	slicehide run     [-split f[:v],g[:v],...] [-rtt d] [-server addr | -cluster a1,a2,...] [-timeout d] [-retries n] [-pipeline] [-mux] [-window n] [-stats text|json] [-trace file] <file.mj>
-//	slicehide loadtest [-server addr | -cluster a1,a2,... | -backends n [-kill-primary]] [-sessions m] [-ops k] [-pipeline] [-mux] [-mux-conns n] [-window n] [-shards n] [-split f:v] [-data-dir dir [-fsync] [-commit-bytes n] [-commit-interval d]] [-json] [program.mj]
+//	slicehide loadtest [-server addr | -cluster a1,a2,... | -backends n [-kill-primary] [-join-mid-run]] [-sessions m] [-ops k] [-pipeline] [-mux] [-mux-conns n] [-window n] [-shards n] [-split f:v] [-data-dir dir [-fsync] [-commit-bytes n] [-commit-interval d]] [-json] [program.mj]
 //	slicehide attack  -func f [-seed v] [-calls n] [-window k] <file.mj>
 package main
 
@@ -481,6 +481,7 @@ func cmdLoadtest(args []string) error {
 	clusterList := fs.String("cluster", "", "comma-separated membership of a running replicating fleet to target (every member's address)")
 	backends := fs.Int("backends", 0, "self-host a replicating fleet of N loopback backends and drive it (0 = plain single-server loadtest)")
 	killPrimary := fs.Bool("kill-primary", false, "fleet mode: kill the busiest self-hosted backend at half-run and measure failover (requires -backends)")
+	joinMidRun := fs.Bool("join-mid-run", false, "fleet mode: boot one extra cold backend at half-run; it joins via snapshot catch-up transfer while the load keeps running (requires -backends)")
 	sessions := fs.Int("sessions", 8, "concurrent client sessions")
 	ops := fs.Int("ops", 1000, "hidden fragment calls per session")
 	pipeline := fs.Bool("pipeline", false, "drive the pipelined transport (one-way calls + flush barriers)")
@@ -517,11 +518,12 @@ func cmdLoadtest(args []string) error {
 	default:
 		return fmt.Errorf("loadtest: unexpected arguments %v", fs.Args()[1:])
 	}
-	if *clusterList != "" || *backends > 0 || *killPrimary {
+	if *clusterList != "" || *backends > 0 || *killPrimary || *joinMidRun {
 		return clusterLoadtest(clusterLoadtestArgs{
 			addrs:       splitPeerList(*clusterList),
 			backends:    *backends,
 			killPrimary: *killPrimary,
+			joinMidRun:  *joinMidRun,
 			sessions:    *sessions,
 			ops:         *ops,
 			source:      source,
@@ -588,6 +590,7 @@ type clusterLoadtestArgs struct {
 	addrs       []string
 	backends    int
 	killPrimary bool
+	joinMidRun  bool
 	sessions    int
 	ops         int
 	source      string
@@ -609,8 +612,8 @@ func clusterLoadtest(a clusterLoadtestArgs) error {
 	if a.pipeline {
 		return fmt.Errorf("loadtest: -pipeline is not fleet-aware; fleet mode drives the synchronous transport")
 	}
-	if a.killPrimary && len(a.addrs) > 0 {
-		return fmt.Errorf("loadtest: -kill-primary only works on self-hosted backends (-backends), not a running fleet")
+	if (a.killPrimary || a.joinMidRun) && len(a.addrs) > 0 {
+		return fmt.Errorf("loadtest: -kill-primary and -join-mid-run only work on self-hosted backends (-backends), not a running fleet")
 	}
 	res, err := experiments.RunClusterLoad(experiments.ClusterLoadConfig{
 		Addrs:       a.addrs,
@@ -618,6 +621,7 @@ func clusterLoadtest(a clusterLoadtestArgs) error {
 		Sessions:    a.sessions,
 		Ops:         a.ops,
 		KillPrimary: a.killPrimary,
+		JoinMidRun:  a.joinMidRun,
 		Source:      a.source,
 		Split:       a.split,
 		DataDir:     a.dataDir,
@@ -642,6 +646,10 @@ func clusterLoadtest(a clusterLoadtestArgs) error {
 	if res.Killed {
 		fmt.Printf("  failover: primary killed mid-run, promoted in %s (%d owner redirects)\n",
 			time.Duration(res.FailoverNs), res.Redirects)
+	}
+	if res.Joined {
+		fmt.Printf("  join: cold replica added mid-run, caught up via %d snapshot-transfer bytes in %s (membership epoch %d)\n",
+			res.SnapXferBytes, time.Duration(res.SnapXferNs), res.MembershipEpoch)
 	}
 	return nil
 }

@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"net"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -16,17 +15,34 @@ import (
 
 // Config describes one replica's view of the fleet.
 type Config struct {
-	// Self is this replica's serving address; it must appear in Peers.
+	// Self is this replica's serving address; it must appear in Peers
+	// unless JoinSeed is set (a joiner boots as a fleet of one and asks
+	// the seed to admit it).
 	Self string
-	// Peers is the full fleet membership (including Self), identical on
-	// every replica — rendezvous placement only agrees across the fleet
-	// when the member list does.
+	// Peers is the initial fleet membership. The live membership is the
+	// epoch-versioned table gossiped over the liveness probes; Peers only
+	// seeds epoch 1 (a newer table persisted in MembershipPath wins at
+	// boot).
 	Peers []string
 	// Replicate enables WAL streaming to peers and semi-synchronous commit
 	// gating. It requires the server to have a durability layer.
 	Replicate bool
+	// JoinSeed, when set, makes Start ask the fleet member at this address
+	// to admit Self; the adopted membership then propagates everywhere via
+	// gossip. The replica reports not-ready until it has joined and caught
+	// up.
+	JoinSeed string
+	// MembershipPath, when set, persists the membership table (epoch and
+	// member list) so a restarted replica rejoins the fleet it last knew,
+	// not the one its flags describe.
+	MembershipPath string
+	// SnapChunk bounds a snapshot-transfer chunk (default 256 KiB). Small
+	// chunks keep any single write short so a transfer never stalls live
+	// streams behind a multi-megabyte frame.
+	SnapChunk int
 	// ProbeInterval is how often peer liveness is re-checked (default
-	// 150ms). Detection latency bounds failover latency.
+	// 150ms). Detection latency bounds failover latency. Probes are OpPing
+	// exchanges that double as membership gossip.
 	ProbeInterval time.Duration
 	// DialTimeout bounds liveness probes and pump dials (default 500ms).
 	DialTimeout time.Duration
@@ -35,9 +51,12 @@ type Config struct {
 	// (default 5s). A wedged follower slows the fleet; it must not stop it.
 	CommitTimeout time.Duration
 	// Tracer, when set, receives fleet events (peer death, promotion,
-	// pump reconnects).
+	// pump reconnects, membership changes, snapshot transfers).
 	Tracer *obs.Tracer
 }
+
+// defaultSnapChunk bounds snapshot-transfer chunks at 256 KiB.
+const defaultSnapChunk = 256 << 10
 
 func (c *Config) fill() error {
 	if c.Self == "" {
@@ -58,7 +77,10 @@ func (c *Config) fill() error {
 		}
 	}
 	if !found {
-		return fmt.Errorf("cluster: Self %s is not in the peer list", c.Self)
+		if c.JoinSeed == "" {
+			return fmt.Errorf("cluster: Self %s is not in the peer list", c.Self)
+		}
+		c.Peers = append(append([]string(nil), c.Peers...), c.Self)
 	}
 	if c.ProbeInterval <= 0 {
 		c.ProbeInterval = 150 * time.Millisecond
@@ -69,24 +91,37 @@ func (c *Config) fill() error {
 	if c.CommitTimeout <= 0 {
 		c.CommitTimeout = 5 * time.Second
 	}
+	if c.SnapChunk <= 0 {
+		c.SnapChunk = defaultSnapChunk
+	}
 	return nil
 }
 
-// Group runs one replica's fleet machinery: the liveness prober, the
-// session router, and — when replication is on — one streaming pump per
-// peer plus the semi-synchronous commit gate. It installs itself into the
-// server's Router/ReplHandler hooks at construction and starts its
-// background loops on Start.
+// Group runs one replica's fleet machinery: the liveness prober (which
+// doubles as the membership gossip), the session router, and — when
+// replication is on — one streaming pump per peer plus the semi-
+// synchronous commit gate. It installs itself into the server's
+// Router/ReplHandler/ReplResume/Gossip hooks at construction and starts
+// its background loops on Start.
 type Group struct {
 	cfg     Config
 	ts      *hrt.TCPServer
 	tracker *wal.OffsetTracker
 
 	mu        sync.Mutex
+	members   Membership
+	leaving   bool // Self asked to leave; do not auto-rejoin
+	closed    bool // Close started; no new pumps may spawn
 	alive     map[string]bool
 	fails     map[string]int // consecutive failed probes per peer
 	deadSince map[string]time.Time
-	promoted  map[string]bool // failover_ns recorded for this death
+	promoted  map[string]bool          // failover_ns recorded for this death
+	pumps     map[string]chan struct{} // per-peer pump stop channels
+
+	// changeMu serializes local membership mutations (Join/Leave), so two
+	// concurrent admin calls cannot race to the same epoch and drop one
+	// change on the tiebreak.
+	changeMu sync.Mutex
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -94,6 +129,24 @@ type Group struct {
 
 	pumpMu    sync.Mutex
 	pumpConns map[string]net.Conn
+
+	// Inbound-stream bookkeeping (recvMu): per-sender applied positions
+	// (the OpRepl handshake's resume source), per-sender catch-up targets
+	// (from ReplFrameTarget; /readyz holds until met), the single active
+	// snapshot-transfer stage, and which senders hold an open stream.
+	recvMu     sync.Mutex
+	recvPos    map[string]wal.Position
+	targets    map[string]wal.Position
+	stage      *snapStage
+	recvActive map[string]int
+	// recvAnnounced counts, per sender, inbound streams that have announced
+	// the sender's journal position (the ReplFrameTarget after the
+	// handshake). Readiness requires one from every live peer: a replica
+	// that has not heard where each peer's journal stands cannot know it
+	// is caught up — a restarted joiner with an empty journal would
+	// otherwise report ready (zero lag, zero targets) purely out of
+	// ignorance, and serve stale state until the first sender reconnected.
+	recvAnnounced map[string]int
 
 	redirects  atomic.Int64
 	replBytes  atomic.Int64
@@ -106,12 +159,17 @@ type Group struct {
 	// counterpart of the sender's repl_lag_records.
 	replReceived atomic.Int64
 	replApplied  atomic.Int64
+	// Snapshot catch-up transfer accounting, both directions.
+	snapXferBytes atomic.Int64
+	snapXferNS    atomic.Int64
+	snapResumes   atomic.Int64
 }
 
 // New builds the group and wires it into ts: the Router hook (owner
-// redirects), the ReplHandler hook (inbound streams), and — with
-// Replicate — the durability layer's commit gate. Call Start once the
-// server is listening.
+// redirects), the ReplHandler/ReplResume hooks (inbound streams and their
+// resume positions), the Gossip hook (membership exchange over liveness
+// pings), and — with Replicate — the durability layer's commit gate. Call
+// Start once the server is listening.
 func New(cfg Config, ts *hrt.TCPServer) (*Group, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
@@ -122,42 +180,53 @@ func New(cfg Config, ts *hrt.TCPServer) (*Group, error) {
 	if cfg.Replicate && ts.Persist == nil {
 		return nil, errors.New("cluster: replication requires a durable server (-wal)")
 	}
+	members := NewMembership(cfg.Peers)
+	if cfg.MembershipPath != "" {
+		if persisted, ok := LoadMembership(cfg.MembershipPath); ok && persisted.Supersedes(members) {
+			members = persisted
+		}
+	}
 	g := &Group{
-		cfg:       cfg,
-		ts:        ts,
-		tracker:   wal.NewOffsetTracker(),
-		alive:     make(map[string]bool, len(cfg.Peers)),
-		fails:     make(map[string]int, len(cfg.Peers)),
-		deadSince: make(map[string]time.Time),
-		promoted:  make(map[string]bool),
-		stop:      make(chan struct{}),
-		pumpConns: make(map[string]net.Conn),
+		cfg:           cfg,
+		ts:            ts,
+		tracker:       wal.NewOffsetTracker(),
+		members:       members,
+		alive:         make(map[string]bool, len(members.Members)),
+		fails:         make(map[string]int, len(members.Members)),
+		deadSince:     make(map[string]time.Time),
+		promoted:      make(map[string]bool),
+		pumps:         make(map[string]chan struct{}),
+		stop:          make(chan struct{}),
+		pumpConns:     make(map[string]net.Conn),
+		recvPos:       make(map[string]wal.Position),
+		targets:       make(map[string]wal.Position),
+		recvActive:    make(map[string]int),
+		recvAnnounced: make(map[string]int),
 	}
 	// Boot optimistic: a fleet starting together must not redirect-flail
 	// while the first probe round is still in flight.
-	for _, p := range cfg.Peers {
+	for _, p := range members.Members {
 		g.alive[p] = true
 	}
 	ts.Router = g
 	ts.ReplHandler = g.handleRepl
+	ts.ReplResume = g.replResume
+	ts.Gossip = g
 	if cfg.Replicate {
 		ts.Persist.SetCommitter(g)
 	}
 	return g, nil
 }
 
-// Start launches the prober and, with replication on, one pump per peer.
+// Start launches the prober, the join loop (with JoinSeed), and — with
+// replication on — one pump per current member.
 func (g *Group) Start() {
 	g.wg.Add(1)
 	go g.probeLoop()
-	if g.cfg.Replicate {
-		for _, peer := range g.cfg.Peers {
-			if peer == g.cfg.Self {
-				continue
-			}
-			g.wg.Add(1)
-			go g.pumpLoop(peer)
-		}
+	g.syncPumps()
+	if g.cfg.JoinSeed != "" {
+		g.wg.Add(1)
+		go g.joinLoop()
 	}
 }
 
@@ -168,6 +237,9 @@ func (g *Group) Start() {
 // swapping them mid-serve would race the accept loop.
 func (g *Group) Close() {
 	g.stopOnce.Do(func() { close(g.stop) })
+	g.mu.Lock()
+	g.closed = true
+	g.mu.Unlock()
 	g.pumpMu.Lock()
 	for _, c := range g.pumpConns {
 		c.Close()
@@ -176,6 +248,221 @@ func (g *Group) Close() {
 	g.wg.Wait()
 	if g.cfg.Replicate {
 		g.ts.Persist.SetCommitter(nil)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Membership
+
+// Membership returns a copy of the current member table.
+func (g *Group) Membership() Membership {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.members.Clone()
+}
+
+// Epoch returns the current membership epoch.
+func (g *Group) Epoch() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.members.Epoch
+}
+
+// adopt installs m if it supersedes the current table, persists it,
+// reconciles the pump set, and reports whether it was installed.
+func (g *Group) adopt(m Membership, source string) bool {
+	g.mu.Lock()
+	if !m.Supersedes(g.members) {
+		g.mu.Unlock()
+		return false
+	}
+	g.members = m.Clone()
+	for _, p := range m.Members {
+		if _, ok := g.alive[p]; !ok {
+			// New members start optimistically alive, like at boot.
+			g.alive[p] = true
+		}
+	}
+	// Forget liveness state for ex-members so gauges and the router stop
+	// seeing them.
+	for p := range g.alive {
+		if !m.Has(p) {
+			delete(g.alive, p)
+			delete(g.fails, p)
+			delete(g.deadSince, p)
+			delete(g.promoted, p)
+		}
+	}
+	excluded := !m.Has(g.cfg.Self) && !g.leaving
+	g.mu.Unlock()
+	g.recvMu.Lock()
+	for sender := range g.targets {
+		if !m.Has(sender) {
+			delete(g.targets, sender)
+		}
+	}
+	for sender := range g.recvAnnounced {
+		if !m.Has(sender) {
+			delete(g.recvAnnounced, sender)
+		}
+	}
+	if g.stage != nil && !m.Has(g.stage.sender) {
+		g.stage = nil
+	}
+	g.recvMu.Unlock()
+	g.cfg.Tracer.Emit(obs.LevelInfo, "cluster_membership",
+		obs.Uint("epoch", m.Epoch), obs.Str("members", m.Encode()), obs.Str("source", source))
+	if g.cfg.MembershipPath != "" {
+		if err := m.Save(g.cfg.MembershipPath); err != nil {
+			g.cfg.Tracer.Emit(obs.LevelWarn, "cluster_membership_persist_error", obs.Err(err))
+		}
+	}
+	if excluded {
+		// Evicted without asking to leave (an operator removed a replica
+		// they believed dead, or we lost a concurrent-join tiebreak). The
+		// prober re-requests admission; until then we are not ready.
+		g.cfg.Tracer.Emit(obs.LevelWarn, "cluster_evicted", obs.Uint("epoch", m.Epoch))
+	}
+	g.syncPumps()
+	return true
+}
+
+// Join adds addr to the membership (idempotent) and returns the resulting
+// table. The bump propagates to the rest of the fleet via gossip.
+func (g *Group) Join(addr string) (Membership, error) {
+	g.changeMu.Lock()
+	defer g.changeMu.Unlock()
+	cur := g.Membership()
+	next, changed := cur.WithJoined(addr)
+	if !changed {
+		if cur.Has(addr) {
+			return cur, nil
+		}
+		return cur, fmt.Errorf("cluster: invalid member address %q", addr)
+	}
+	g.adopt(next, "join")
+	return g.Membership(), nil
+}
+
+// Leave removes addr from the membership (idempotent) and returns the
+// resulting table. Leaving Self marks this replica as draining: it will
+// not auto-rejoin, and its router redirects sessions to the survivors.
+func (g *Group) Leave(addr string) (Membership, error) {
+	g.changeMu.Lock()
+	defer g.changeMu.Unlock()
+	if addr == g.cfg.Self {
+		g.mu.Lock()
+		g.leaving = true
+		g.mu.Unlock()
+	}
+	cur := g.Membership()
+	next, changed := cur.WithLeft(addr)
+	if !changed {
+		return cur, nil
+	}
+	g.adopt(next, "leave")
+	return g.Membership(), nil
+}
+
+// GossipSync implements hrt.GossipHandler: merge the prober's table,
+// answer with ours.
+func (g *Group) GossipSync(from, remote string) string {
+	if remote != "" {
+		if m, err := ParseMembership(remote); err == nil {
+			g.adopt(m, "gossip:"+from)
+		}
+	}
+	return g.Membership().Encode()
+}
+
+// GossipJoin implements hrt.GossipHandler for the join verb.
+func (g *Group) GossipJoin(addr string) (string, error) {
+	if addr == "" {
+		return "", errors.New("cluster: join requires an address")
+	}
+	m, err := g.Join(addr)
+	return m.Encode(), err
+}
+
+// GossipLeave implements hrt.GossipHandler for the leave verb.
+func (g *Group) GossipLeave(addr string) (string, error) {
+	if addr == "" {
+		return "", errors.New("cluster: leave requires an address")
+	}
+	m, err := g.Leave(addr)
+	return m.Encode(), err
+}
+
+// syncPumps reconciles the running pump set with the current membership:
+// a pump per member other than Self (replication on and Self a member),
+// none otherwise. Removed members' pumps are stopped, their connections
+// severed, and their tracker entries dropped so the commit gate never
+// waits on an ex-member.
+func (g *Group) syncPumps() {
+	if !g.cfg.Replicate {
+		return
+	}
+	var started, stopped []string
+	g.mu.Lock()
+	want := make(map[string]bool)
+	if g.members.Has(g.cfg.Self) && !g.closed {
+		for _, p := range g.members.Others(g.cfg.Self) {
+			want[p] = true
+		}
+	}
+	for peer, stopCh := range g.pumps {
+		if !want[peer] {
+			close(stopCh)
+			delete(g.pumps, peer)
+			stopped = append(stopped, peer)
+		}
+	}
+	for peer := range want {
+		if _, ok := g.pumps[peer]; !ok {
+			stopCh := make(chan struct{})
+			g.pumps[peer] = stopCh
+			g.wg.Add(1)
+			go g.pumpLoop(peer, stopCh)
+			started = append(started, peer)
+		}
+	}
+	g.mu.Unlock()
+	for _, peer := range stopped {
+		g.releaseDeadPeer(peer) // drop tracker entry + sever the pump conn
+		g.cfg.Tracer.Emit(obs.LevelInfo, "cluster_pump_stop", obs.Str("peer", peer))
+	}
+	for _, peer := range started {
+		g.cfg.Tracer.Emit(obs.LevelInfo, "cluster_pump_start", obs.Str("peer", peer))
+	}
+}
+
+// joinLoop asks the seed to admit Self until the fleet's table says so.
+func (g *Group) joinLoop() {
+	defer g.wg.Done()
+	backoff := pumpBackoffMin
+	for {
+		g.mu.Lock()
+		joined := g.members.Has(g.cfg.Self) && (g.members.Epoch > 1 || len(g.members.Members) > 1)
+		g.mu.Unlock()
+		if joined {
+			return
+		}
+		reply, err := hrt.GossipExchange(g.cfg.JoinSeed, g.cfg.Self, hrt.PingJoin, g.cfg.Self, g.cfg.DialTimeout)
+		if err == nil {
+			if m, perr := ParseMembership(reply); perr == nil {
+				g.adopt(m, "join-seed")
+			} else {
+				err = perr
+			}
+		}
+		if err != nil {
+			g.cfg.Tracer.Emit(obs.LevelWarn, "cluster_join_retry",
+				obs.Str("seed", g.cfg.JoinSeed), obs.Err(err))
+		}
+		if !g.sleepCh(backoff, nil) {
+			return
+		}
+		backoff = min(backoff*2, pumpBackoffMax)
 	}
 }
 
@@ -202,16 +489,22 @@ func (g *Group) probeLoop() {
 }
 
 func (g *Group) probeOnce() {
-	for _, peer := range g.cfg.Peers {
-		if peer == g.cfg.Self {
-			continue
-		}
-		conn, err := net.DialTimeout("tcp", peer, g.cfg.DialTimeout)
+	members := g.Membership()
+	enc := members.Encode()
+	for _, peer := range members.Others(g.cfg.Self) {
+		reply, err := hrt.GossipExchange(peer, g.cfg.Self, hrt.PingSync, enc, g.cfg.DialTimeout)
 		up := err == nil
-		if conn != nil {
-			conn.Close()
+		if up && reply != "" {
+			if m, perr := ParseMembership(reply); perr == nil {
+				g.adopt(m, "probe:"+peer)
+			}
 		}
 		g.mu.Lock()
+		if !g.members.Has(peer) {
+			// The peer left the fleet while we probed it.
+			g.mu.Unlock()
+			continue
+		}
 		was := g.alive[peer]
 		died := false
 		if up {
@@ -242,6 +535,34 @@ func (g *Group) probeOnce() {
 			g.releaseDeadPeer(peer)
 		}
 	}
+	g.rejoinIfEvicted()
+}
+
+// rejoinIfEvicted re-requests admission when a table excluding Self was
+// adopted without Self asking to leave — the flip side of letting any
+// member evict an address it believes dead: a live evictee simply joins
+// back, so only genuinely dead replicas stay removed.
+func (g *Group) rejoinIfEvicted() {
+	g.mu.Lock()
+	excluded := !g.members.Has(g.cfg.Self) && !g.leaving
+	var via string
+	if excluded {
+		for _, p := range g.members.Members {
+			if g.alive[p] {
+				via = p
+				break
+			}
+		}
+	}
+	g.mu.Unlock()
+	if !excluded || via == "" {
+		return
+	}
+	if reply, err := hrt.GossipExchange(via, g.cfg.Self, hrt.PingJoin, g.cfg.Self, g.cfg.DialTimeout); err == nil {
+		if m, perr := ParseMembership(reply); perr == nil {
+			g.adopt(m, "rejoin")
+		}
+	}
 }
 
 // releaseDeadPeer severs a prober-declared-dead peer from the commit path
@@ -263,12 +584,13 @@ func (g *Group) releaseDeadPeer(peer string) {
 	g.pumpMu.Unlock()
 }
 
-// livePeers returns the members currently believed alive (Self always is).
+// livePeers returns the members currently believed alive (Self always is,
+// while a member).
 func (g *Group) livePeers() []string {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	out := make([]string, 0, len(g.cfg.Peers))
-	for _, p := range g.cfg.Peers {
+	out := make([]string, 0, len(g.members.Members))
+	for _, p := range g.members.Members {
 		if p == g.cfg.Self || g.alive[p] {
 			out = append(out, p)
 		}
@@ -289,7 +611,10 @@ func (g *Group) AlivePeers() int { return len(g.livePeers()) }
 // redial, and keeping a single writer per session keeps the fleet's
 // journals append-consistent. Without replication a session's state exists
 // only where it executed, so known sessions are always served locally and
-// only unknown ones redirect.
+// only unknown ones redirect. Membership epochs re-rank placement: a
+// session whose owner moved is handed off by the same typed redirect a
+// failover uses, and HRW hashing guarantees survivor-owned sessions never
+// move when the fleet grows or shrinks by one.
 func (g *Group) Route(session uint64, known bool) (string, bool) {
 	select {
 	case <-g.stop:
@@ -316,12 +641,12 @@ func (g *Group) Route(session uint64, known bool) (string, bool) {
 // detection plus re-resolution, the window the session's client was
 // stalled.
 func (g *Group) observePromotion(session uint64) {
-	staticOwner := Owner(session, g.cfg.Peers)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	staticOwner := Owner(session, g.members.Members)
 	if staticOwner == g.cfg.Self {
 		return
 	}
-	g.mu.Lock()
-	defer g.mu.Unlock()
 	since, dead := g.deadSince[staticOwner]
 	if !dead || g.promoted[staticOwner] {
 		return
@@ -341,7 +666,10 @@ func (g *Group) observePromotion(session uint64) {
 // follower has acknowledged the journal position, or the commit timeout
 // passes (degrading that response to asynchronous replication). With no
 // followers connected — a fleet of one, or all peers down — it returns
-// immediately: the fleet cannot demand acknowledgement from nobody.
+// immediately: the fleet cannot demand acknowledgement from nobody. A
+// joining replica mid-catch-up is not yet registered in the tracker (the
+// pump registers it only once its snapshot transfer completes), so a join
+// never stalls the fleet's commit path.
 func (g *Group) WaitCommitted(gen uint64, records int64) {
 	g.syncWaits.Add(1)
 	_, ok := g.tracker.WaitForTimeout(wal.Position{Gen: gen, Records: records}, g.cfg.CommitTimeout)
@@ -378,21 +706,51 @@ func (g *Group) Lag() int64 {
 	return records + 1
 }
 
-// Ready reports whether this replica should receive traffic: a
-// replication stream established to every live peer, and catch-up lag
-// zero. The stream requirement matters at boot — the commit gate only
-// holds responses for *connected* followers, so serving before the pumps
-// are up would hand out acknowledgements nothing replicates. The daemon
-// layer additionally gates on recovery having finished before the group
-// even exists.
+// Ready reports whether this replica should receive traffic: a fleet
+// member (joined, not evicted, not leaving), no snapshot transfer or
+// record catch-up in progress on the inbound side, a replication stream
+// established to every live peer, and outbound lag zero. The stream
+// requirement matters at boot — the commit gate only holds responses for
+// *connected* followers, so serving before the pumps are up would hand
+// out acknowledgements nothing replicates. The daemon layer additionally
+// gates on recovery having finished before the group even exists.
 func (g *Group) Ready() (bool, string) {
 	if !g.cfg.Replicate {
 		return true, ""
 	}
+	g.mu.Lock()
+	isMember := g.members.Has(g.cfg.Self)
+	leaving := g.leaving
+	joining := g.cfg.JoinSeed != "" && g.members.Epoch == 1 && len(g.members.Members) == 1
+	g.mu.Unlock()
+	if leaving {
+		return false, "leaving the fleet"
+	}
+	if !isMember {
+		return false, "not a fleet member (evicted; rejoin pending)"
+	}
+	if joining {
+		return false, fmt.Sprintf("joining the fleet via %s", g.cfg.JoinSeed)
+	}
+	if reason := g.catchingUp(); reason != "" {
+		return false, reason
+	}
 	remote := 0
 	for _, p := range g.livePeers() {
-		if p != g.cfg.Self {
-			remote++
+		if p == g.cfg.Self {
+			continue
+		}
+		remote++
+		// The inbound mirror of the stream-count check below: every live
+		// peer must hold an open stream to us that has announced its
+		// journal position. Until then we cannot distinguish "caught up"
+		// from "have not yet been told how far behind we are" — the
+		// restarted-joiner trap.
+		g.recvMu.Lock()
+		announced := g.recvAnnounced[p]
+		g.recvMu.Unlock()
+		if announced == 0 {
+			return false, fmt.Sprintf("awaiting inbound replication stream from %s", p)
 		}
 	}
 	if _, n := g.tracker.Min(); n < remote {
@@ -404,12 +762,39 @@ func (g *Group) Ready() (bool, string) {
 	return true, ""
 }
 
+// catchingUp reports a non-empty reason while the inbound side is behind:
+// a snapshot transfer is staged, or a sender's announced stream target has
+// not been reached yet. Met targets are cleared as a side effect.
+func (g *Group) catchingUp() string {
+	g.recvMu.Lock()
+	defer g.recvMu.Unlock()
+	if st := g.stage; st != nil {
+		return fmt.Sprintf("snapshot transfer from %s in progress (%d bytes staged)", st.sender, len(st.buf))
+	}
+	for sender, tgt := range g.targets {
+		if pos := g.recvPos[sender]; pos.Before(tgt) {
+			return fmt.Sprintf("catching up on %s: applied (%d,%d), stream target (%d,%d)",
+				sender, pos.Gen, pos.Records, tgt.Gen, tgt.Records)
+		}
+		delete(g.targets, sender)
+	}
+	return ""
+}
+
 // FailoverNS reports the last observed failover latency (death of a peer
 // to first promoted serve of one of its sessions), 0 if none happened.
 func (g *Group) FailoverNS() int64 { return g.failoverNS.Load() }
 
 // Redirects reports how many requests were redirected to their owner.
 func (g *Group) Redirects() int64 { return g.redirects.Load() }
+
+// SnapXferBytes reports the snapshot-transfer bytes moved (both
+// directions), 0 when no transfer ran.
+func (g *Group) SnapXferBytes() int64 { return g.snapXferBytes.Load() }
+
+// SnapXferNS reports the cumulative wall-clock time spent in snapshot
+// transfers.
+func (g *Group) SnapXferNS() int64 { return g.snapXferNS.Load() }
 
 // RegisterMetrics exports the fleet gauges.
 func (g *Group) RegisterMetrics(reg *obs.Registry) {
@@ -421,20 +806,23 @@ func (g *Group) RegisterMetrics(reg *obs.Registry) {
 	reg.Gauge("repl_sync_waits", g.syncWaits.Load)
 	reg.Gauge("repl_sync_stalls", g.syncStalls.Load)
 	reg.Gauge("cluster_peers_alive", func() int64 { return int64(g.AlivePeers()) })
+	reg.Gauge("cluster_membership_epoch", func() int64 { return int64(g.Epoch()) })
+	reg.Gauge("snap_xfer_bytes", g.snapXferBytes.Load)
+	reg.Gauge("snap_xfer_ns", g.snapXferNS.Load)
+	reg.Gauge("snap_xfer_resumes", g.snapResumes.Load)
 }
 
 // Info describes the fleet for the daemon banner and /healthz.
 func (g *Group) Info() map[string]string {
-	rank := make([]string, len(g.cfg.Peers))
-	copy(rank, g.cfg.Peers)
-	sort.Strings(rank)
+	m := g.Membership()
 	mode := "route-only"
 	if g.cfg.Replicate {
 		mode = "replicate"
 	}
 	return map[string]string{
 		"cluster_self":  g.cfg.Self,
-		"cluster_peers": fmt.Sprintf("%v", rank),
+		"cluster_peers": fmt.Sprintf("%v", m.Members),
+		"cluster_epoch": fmt.Sprintf("%d", m.Epoch),
 		"cluster_mode":  mode,
 	}
 }

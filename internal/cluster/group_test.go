@@ -35,14 +35,20 @@ func testGroup(t *testing.T, peer string, commitTimeout time.Duration) *Group {
 		t.Fatal(err)
 	}
 	g := &Group{
-		cfg:       cfg,
-		tracker:   wal.NewOffsetTracker(),
-		alive:     map[string]bool{peer: true},
-		fails:     make(map[string]int),
-		deadSince: make(map[string]time.Time),
-		promoted:  make(map[string]bool),
-		stop:      make(chan struct{}),
-		pumpConns: make(map[string]net.Conn),
+		cfg:           cfg,
+		tracker:       wal.NewOffsetTracker(),
+		members:       NewMembership(cfg.Peers),
+		alive:         map[string]bool{peer: true},
+		fails:         make(map[string]int),
+		deadSince:     make(map[string]time.Time),
+		promoted:      make(map[string]bool),
+		pumps:         make(map[string]chan struct{}),
+		stop:          make(chan struct{}),
+		pumpConns:     make(map[string]net.Conn),
+		recvPos:       make(map[string]wal.Position),
+		targets:       make(map[string]wal.Position),
+		recvActive:    make(map[string]int),
+		recvAnnounced: make(map[string]int),
 	}
 	return g
 }

@@ -1,0 +1,84 @@
+package cluster
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestMembershipEncodeParseRoundTrip(t *testing.T) {
+	m := NewMembership([]string{"c:1", "a:1", "b:1", "a:1", " "})
+	if got := m.Encode(); got != "1|a:1,b:1,c:1" {
+		t.Fatalf("Encode = %q", got)
+	}
+	back, err := ParseMembership(m.Encode())
+	if err != nil {
+		t.Fatalf("ParseMembership: %v", err)
+	}
+	if !reflect.DeepEqual(back, m) {
+		t.Fatalf("round trip: got %+v want %+v", back, m)
+	}
+	if _, err := ParseMembership("nope"); err == nil {
+		t.Fatal("missing separator accepted")
+	}
+	if _, err := ParseMembership("x|a"); err == nil {
+		t.Fatal("bad epoch accepted")
+	}
+	empty, err := ParseMembership("7|")
+	if err != nil || empty.Epoch != 7 || len(empty.Members) != 0 {
+		t.Fatalf("empty list: %+v err=%v", empty, err)
+	}
+}
+
+func TestMembershipJoinLeave(t *testing.T) {
+	m := NewMembership([]string{"a:1", "b:1"})
+	j, changed := m.WithJoined("c:1")
+	if !changed || j.Epoch != 2 || !j.Has("c:1") {
+		t.Fatalf("join: %+v changed=%v", j, changed)
+	}
+	if _, changed := j.WithJoined("c:1"); changed {
+		t.Fatal("re-join of a member bumped the epoch")
+	}
+	if _, changed := j.WithJoined("bad,addr"); changed {
+		t.Fatal("address with codec separator accepted")
+	}
+	l, changed := j.WithLeft("a:1")
+	if !changed || l.Epoch != 3 || l.Has("a:1") || !l.Has("b:1") || !l.Has("c:1") {
+		t.Fatalf("leave: %+v changed=%v", l, changed)
+	}
+	if _, changed := l.WithLeft("a:1"); changed {
+		t.Fatal("leave of a non-member bumped the epoch")
+	}
+}
+
+func TestMembershipSupersedes(t *testing.T) {
+	a := NewMembership([]string{"a:1"})
+	b, _ := a.WithJoined("b:1")
+	if !b.Supersedes(a) || a.Supersedes(b) {
+		t.Fatal("higher epoch must supersede")
+	}
+	// Same epoch, different sets: exactly one side wins, both agree on it.
+	x := Membership{Epoch: 5, Members: []string{"a:1", "b:1"}}
+	y := Membership{Epoch: 5, Members: []string{"a:1", "c:1"}}
+	if x.Supersedes(y) == y.Supersedes(x) {
+		t.Fatal("equal-epoch tiebreak must pick exactly one winner")
+	}
+	if a.Supersedes(a) {
+		t.Fatal("a table must not supersede itself")
+	}
+}
+
+func TestMembershipSaveLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "membership")
+	m, _ := NewMembership([]string{"a:1", "b:1"}).WithJoined("c:1")
+	if err := m.Save(path); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, ok := LoadMembership(path)
+	if !ok || !reflect.DeepEqual(got, m) {
+		t.Fatalf("Load: got %+v ok=%v want %+v", got, ok, m)
+	}
+	if _, ok := LoadMembership(path + ".missing"); ok {
+		t.Fatal("missing file loaded")
+	}
+}

@@ -43,6 +43,7 @@ type MuxPool struct {
 	cfg MuxPoolConfig
 
 	mu     sync.Mutex
+	peers  []string
 	conns  map[string]*hrt.MuxTransport
 	closed bool
 }
@@ -50,7 +51,29 @@ type MuxPool struct {
 // NewMuxPool returns an empty pool over cfg.Peers; no connection is
 // opened until a session's first exchange needs one.
 func NewMuxPool(cfg MuxPoolConfig) *MuxPool {
-	return &MuxPool{cfg: cfg, conns: make(map[string]*hrt.MuxTransport)}
+	return &MuxPool{
+		cfg:   cfg,
+		peers: append([]string(nil), cfg.Peers...),
+		conns: make(map[string]*hrt.MuxTransport),
+	}
+}
+
+// Peers returns the pool's current fleet membership.
+func (p *MuxPool) Peers() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]string(nil), p.peers...)
+}
+
+// UpdatePeers replaces the pool's view of the fleet membership. Existing
+// session transports re-rank on their next round trip — a session whose
+// rendezvous owner is a newly joined replica migrates there (via the
+// fleet's owner redirect if it lands elsewhere first), while upstreams to
+// removed replicas linger until closed and are simply no longer routed to.
+func (p *MuxPool) UpdatePeers(peers []string) {
+	p.mu.Lock()
+	p.peers = append([]string(nil), peers...)
+	p.mu.Unlock()
 }
 
 // transport returns the pooled upstream to addr, dialing it on first use.
@@ -131,7 +154,7 @@ func (p *MuxPool) SessionTransport(session uint64) hrt.Transport {
 		session = hrt.NewSessionID()
 	}
 	return &hrt.Retry{
-		Inner:    &poolConn{p: p, rank: Rank(session, p.cfg.Peers)},
+		Inner:    &poolConn{p: p, session: session},
 		Policy:   p.cfg.Policy,
 		Session:  session,
 		Counters: p.cfg.Counters,
@@ -141,12 +164,14 @@ func (p *MuxPool) SessionTransport(session uint64) hrt.Transport {
 
 // poolConn is one session's view of the pool: a single attempt picks the
 // session's current home (sticky once a replica answers), exchanges over
-// the pooled upstream, and re-homes on owner redirects. All errors it
-// returns are retryable except pool shutdown — the hrt.Retry layer above
-// decides whether the next attempt happens.
+// the pooled upstream, and re-homes on owner redirects. The rendezvous
+// rank is recomputed from the pool's live membership on every attempt, so
+// an UpdatePeers call re-routes existing sessions without re-attaching
+// them. All errors it returns are retryable except pool shutdown — the
+// hrt.Retry layer above decides whether the next attempt happens.
 type poolConn struct {
-	p    *MuxPool
-	rank []string
+	p       *MuxPool
+	session uint64
 
 	mu sync.Mutex
 	// home is the replica that last answered for this session ("" probes
@@ -158,11 +183,12 @@ func (c *poolConn) RoundTrip(req hrt.Request) (hrt.Response, error) {
 	c.mu.Lock()
 	home := c.home
 	c.mu.Unlock()
-	candidates := c.rank
+	rank := Rank(c.session, c.p.Peers())
+	candidates := rank
 	if home != "" {
-		candidates = make([]string, 0, len(c.rank)+1)
+		candidates = make([]string, 0, len(rank)+1)
 		candidates = append(candidates, home)
-		for _, a := range c.rank {
+		for _, a := range rank {
 			if a != home {
 				candidates = append(candidates, a)
 			}
@@ -201,7 +227,7 @@ func (c *poolConn) RoundTrip(req hrt.Request) (hrt.Response, error) {
 		lastErr = fmt.Errorf("cluster: empty fleet membership")
 	}
 	return hrt.Response{}, fmt.Errorf("cluster: session %d found no live replica among %v: %w",
-		req.Session, c.rank, lastErr)
+		req.Session, rank, lastErr)
 }
 
 func (c *poolConn) setHome(addr string) {

@@ -107,3 +107,68 @@ func TestOwnerEmpty(t *testing.T) {
 		t.Fatalf("Owner(empty) = %q, want empty", got)
 	}
 }
+
+// TestRendezvousStabilityAcrossMembershipEpochs walks a fleet through the
+// elastic lifecycle — 3 replicas, a 4th joins, then leaves again — using
+// the epoch-versioned membership table the gossip layer ships, and pins
+// the surgical-placement property at each transition: growing the fleet
+// moves sessions only ONTO the joiner (never between incumbents), and no
+// more than roughly its fair HRW share; shrinking moves only the leaver's
+// sessions back, landing the fleet on exactly the owners it started with.
+func TestRendezvousStabilityAcrossMembershipEpochs(t *testing.T) {
+	const sessions = 5000
+	joiner := "10.0.0.99:7070"
+
+	m3 := NewMembership(replicaSet(3))
+	m4, ok := m3.WithJoined(joiner)
+	if !ok {
+		t.Fatal("join rejected")
+	}
+	m3b, ok := m4.WithLeft(joiner)
+	if !ok {
+		t.Fatal("leave rejected")
+	}
+	if !(m4.Epoch > m3.Epoch && m3b.Epoch > m4.Epoch) {
+		t.Fatalf("epochs must strictly increase: %d, %d, %d", m3.Epoch, m4.Epoch, m3b.Epoch)
+	}
+	if !m4.Supersedes(m3) || !m3b.Supersedes(m4) || m3.Supersedes(m4) {
+		t.Fatal("Supersedes must follow the epoch order")
+	}
+
+	ownersAt := func(m Membership) map[uint64]string {
+		owners := make(map[uint64]string, sessions)
+		for s := uint64(1); s <= sessions; s++ {
+			owners[s] = Owner(s, m.Members)
+		}
+		return owners
+	}
+	before := ownersAt(m3)
+	grown := ownersAt(m4)
+	shrunk := ownersAt(m3b)
+
+	moved := 0
+	for s := uint64(1); s <= sessions; s++ {
+		if grown[s] != before[s] {
+			if grown[s] != joiner {
+				t.Fatalf("join moved session %d between incumbents: %s -> %s",
+					s, before[s], grown[s])
+			}
+			moved++
+		}
+	}
+	// The joiner's fair HRW share is 1/4 of the keyspace; allow generous
+	// sampling slack but reject wholesale reshuffles.
+	if share := float64(moved) / sessions; share > 0.35 {
+		t.Errorf("join re-homed %.0f%% of sessions, want about 25%%", share*100)
+	}
+	if moved == 0 {
+		t.Error("joiner received no sessions — it would idle forever")
+	}
+
+	for s := uint64(1); s <= sessions; s++ {
+		if shrunk[s] != before[s] {
+			t.Fatalf("3->4->3 round trip moved session %d: %s -> %s (joiner had %s)",
+				s, before[s], shrunk[s], grown[s])
+		}
+	}
+}

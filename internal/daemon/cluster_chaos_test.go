@@ -202,8 +202,18 @@ func TestClusterFailoverChaos(t *testing.T) {
 		if gauges["failover_ns"] > 0 {
 			sawFailover = true
 		}
-		if gauges["repl_lag_records"] != 0 {
-			t.Errorf("survivor %d: repl_lag_records = %d after quiescence, want 0", i, gauges["repl_lag_records"])
+		// A replica that served no client this run appends its replicated
+		// records asynchronously (nothing commit-gates them), so its lag is
+		// legitimately nonzero for the instant after the last response.
+		// What must hold is convergence: the lag drains to zero and stays
+		// there, rather than sticking (a stuck follower registration or a
+		// rotation-boundary phantom would hold it at a nonzero floor).
+		if lag := waitGaugeZero(t, children[i].adminAddr(), "repl_lag_records"); lag != 0 {
+			t.Errorf("survivor %d: repl_lag_records = %d after quiescence, want 0", i, lag)
+			for j := 1; j < len(children); j++ {
+				t.Logf("survivor %d gauges: %v", j, scrapeGauges(t, children[j].adminAddr()))
+				t.Logf("survivor %d trace:\n%s", j, dumpClusterTrace(t, children[j].adminAddr()))
+			}
 		}
 	}
 	if !sawFailover {

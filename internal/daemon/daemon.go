@@ -6,10 +6,12 @@
 package daemon
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -79,8 +81,15 @@ type Config struct {
 	Peers string
 	// Replicate streams this replica's WAL to every peer and gates
 	// responses on follower acknowledgement, so a peer can take over a
-	// session when this replica dies (requires -data-dir and -peers).
+	// session when this replica dies (requires -data-dir, and -peers or
+	// -join).
 	Replicate bool
+	// Join makes this replica ask the fleet member at this address to
+	// admit it: membership is adopted from the fleet's epoch-versioned
+	// table rather than -peers, and the replica catches up — via snapshot
+	// transfer if the fleet has pruned the history it needs — before
+	// reporting ready (requires -replicate).
+	Join string
 	// ReplAckTimeout bounds how long a response waits for follower
 	// acknowledgement before degrading to asynchronous replication
 	// (0 = the cluster default, 5s).
@@ -118,7 +127,8 @@ func ParseFlags(args []string) (Config, error) {
 	fs.DurationVar(&cfg.CommitInterval, "commit-interval", 0, "linger this long for more records once the commit queue runs dry before flushing a partial batch (0 = flush immediately; requires -commit-bytes > 0)")
 	fs.DurationVar(&cfg.DrainTimeout, "drain-timeout", 5*time.Second, "on SIGTERM/SIGINT, wait this long for in-flight connections to finish before severing them")
 	fs.StringVar(&cfg.Peers, "peers", "", "comma-separated fleet membership, including this replica's own -listen address; sessions are rendezvous-placed across the members")
-	fs.BoolVar(&cfg.Replicate, "replicate", false, "stream the WAL to every peer and gate responses on follower acknowledgement, so sessions survive this replica's death (requires -peers and -data-dir)")
+	fs.BoolVar(&cfg.Replicate, "replicate", false, "stream the WAL to every peer and gate responses on follower acknowledgement, so sessions survive this replica's death (requires -data-dir, and -peers or -join)")
+	fs.StringVar(&cfg.Join, "join", "", "join the running fleet via the member at this address: adopt its membership table and catch up (snapshot transfer + WAL streaming) before reporting ready (requires -replicate)")
 	fs.DurationVar(&cfg.ReplAckTimeout, "repl-ack-timeout", 0, "how long a response may wait for follower acknowledgement before degrading to asynchronous replication (0 = default 5s; requires -replicate)")
 	fs.StringVar(&cfg.ExecMode, "exec", "vm", "fragment execution engine: vm (compiled bytecode) or interp (tree-walking oracle)")
 	if err := fs.Parse(args); err != nil {
@@ -130,11 +140,14 @@ func ParseFlags(args []string) (Config, error) {
 	if cfg.Split == "" || fs.NArg() != 1 {
 		return Config{}, fmt.Errorf("usage: hiddend -listen addr -split f[:seed],... [-data-dir dir] [-peers addr,...] program.mj")
 	}
-	if cfg.Replicate && cfg.Peers == "" {
-		return Config{}, fmt.Errorf("hiddend: -replicate requires -peers")
+	if cfg.Replicate && cfg.Peers == "" && cfg.Join == "" {
+		return Config{}, fmt.Errorf("hiddend: -replicate requires -peers or -join")
 	}
 	if cfg.Replicate && cfg.DataDir == "" {
 		return Config{}, fmt.Errorf("hiddend: -replicate requires -data-dir (replication streams the journal)")
+	}
+	if cfg.Join != "" && !cfg.Replicate {
+		return Config{}, fmt.Errorf("hiddend: -join requires -replicate (a joiner catches up via snapshot transfer and WAL streaming)")
 	}
 	cfg.Program = fs.Arg(0)
 	return cfg, nil
@@ -272,8 +285,11 @@ func Start(cfg Config) (*Daemon, error) {
 			"listen":    cfg.Listen,
 			"split":     cfg.Split,
 		}
-		if len(peers) > 0 {
+		if len(peers) > 0 || cfg.Join != "" {
 			info["cluster_peers"] = cfg.Peers
+			if cfg.Join != "" {
+				info["cluster_join"] = cfg.Join
+			}
 			if cfg.Replicate {
 				info["cluster_mode"] = "replicate"
 			} else {
@@ -286,6 +302,11 @@ func Start(cfg Config) (*Daemon, error) {
 			Info:     info,
 			Ready:    d.readiness,
 		})
+		// Membership administration: grow or shrink the live fleet without
+		// restarting anything. The epoch bump propagates to every replica
+		// over the liveness-probe gossip.
+		mux.HandleFunc("/join", d.membershipHandler((*cluster.Group).Join, false))
+		mux.HandleFunc("/leave", d.membershipHandler((*cluster.Group).Leave, true))
 		d.admin, err = obs.ServeAdmin(cfg.Admin, mux)
 		if err != nil {
 			d.closeTrace()
@@ -301,14 +322,22 @@ func Start(cfg Config) (*Daemon, error) {
 	// entry in -peers — the fleet identity is needed before the bound
 	// address exists.
 	var group *cluster.Group
-	if len(peers) > 0 {
-		group, err = cluster.New(cluster.Config{
+	if len(peers) > 0 || cfg.Join != "" {
+		gc := cluster.Config{
 			Self:          cfg.Listen,
 			Peers:         peers,
 			Replicate:     cfg.Replicate,
+			JoinSeed:      cfg.Join,
 			CommitTimeout: cfg.ReplAckTimeout,
 			Tracer:        d.tracer,
-		}, d.server)
+		}
+		if cfg.DataDir != "" {
+			// Persist the membership table beside the journal: a restarted
+			// replica rejoins the fleet it last knew, not the one its flags
+			// described at first boot.
+			gc.MembershipPath = cluster.MembershipPath(cfg.DataDir)
+		}
+		group, err = cluster.New(gc, d.server)
 		if err != nil {
 			if d.admin != nil {
 				d.admin.Close()
@@ -329,7 +358,9 @@ func Start(cfg Config) (*Daemon, error) {
 	if group != nil {
 		group.Start()
 		d.group.Store(group)
-		fmt.Fprintf(out, "fleet member %s of %d replicas (replicate=%v)\n", cfg.Listen, len(peers), cfg.Replicate)
+		m := group.Membership()
+		fmt.Fprintf(out, "fleet member %s of %d replicas (replicate=%v, epoch=%d)\n",
+			cfg.Listen, len(m.Members), cfg.Replicate, m.Epoch)
 	}
 	d.ready.Store(true)
 	for _, name := range res.SplitNames() {
@@ -344,6 +375,39 @@ func Start(cfg Config) (*Daemon, error) {
 	}
 	fmt.Fprintf(out, "hiddend listening on %s (%d session shards)\n", d.addr, d.server.Server.Shards())
 	return d, nil
+}
+
+// membershipHandler backs the admin POST /join and /leave endpoints with
+// one of the group's membership mutations. defaultSelf makes a missing
+// addr parameter mean this replica (the natural way to drain a node:
+// POST its own /leave).
+func (d *Daemon) membershipHandler(mutate func(*cluster.Group, string) (cluster.Membership, error), defaultSelf bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		g := d.group.Load()
+		if g == nil {
+			http.Error(w, "fleet group not running", http.StatusServiceUnavailable)
+			return
+		}
+		addr := r.URL.Query().Get("addr")
+		if addr == "" {
+			if !defaultSelf {
+				http.Error(w, "addr query parameter required", http.StatusBadRequest)
+				return
+			}
+			addr = d.cfg.Listen
+		}
+		m, err := mutate(g, addr)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{"epoch": m.Epoch, "members": m.Members})
+	}
 }
 
 func (d *Daemon) closeTrace() {

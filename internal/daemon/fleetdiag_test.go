@@ -1,0 +1,56 @@
+package daemon
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// waitGaugeZero polls the admin /metrics endpoint until the named gauge
+// reads zero (returning 0) or the deadline passes (returning the last
+// observed value). Use it for gauges that are only *eventually* zero —
+// e.g. replication lag, which is transiently nonzero right after an
+// asynchronously replicated append.
+func waitGaugeZero(t *testing.T, admin, name string) int64 {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	last := int64(-1)
+	for time.Now().Before(deadline) {
+		last = scrapeGauges(t, admin)[name]
+		if last == 0 {
+			return 0
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return last
+}
+
+// dumpClusterTrace fetches the admin trace ring and keeps only the
+// cluster-level events — the ones that matter when a fleet assertion
+// fails (everything else drowns them out).
+func dumpClusterTrace(t *testing.T, admin string) string {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("http://%s/trace", admin))
+	if err != nil {
+		return err.Error()
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	var events []map[string]any
+	if err := json.Unmarshal(b, &events); err != nil {
+		return fmt.Sprintf("unmarshal trace: %v", err)
+	}
+	var out []string
+	for _, e := range events {
+		kind, _ := e["kind"].(string)
+		if strings.HasPrefix(kind, "cluster_") || strings.HasPrefix(kind, "wal_recover") ||
+			strings.HasPrefix(kind, "wal_snapshot_adopted") {
+			out = append(out, fmt.Sprintf("%v %v %v", e["t"], kind, e["attrs"]))
+		}
+	}
+	return strings.Join(out, "\n")
+}

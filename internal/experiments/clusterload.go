@@ -43,6 +43,13 @@ type ClusterLoadConfig struct {
 	// the total ops have completed (self-hosted only): the surviving
 	// replicas promote, and displaced sessions resume against them.
 	KillPrimary bool
+	// JoinMidRun boots one extra cold replica once half the total ops have
+	// completed (self-hosted only): it joins via the first founder, catches
+	// up through snapshot transfer + journal streaming, and the load keeps
+	// running while the fleet re-ranks — the elastic-growth counterpart of
+	// KillPrimary. Sessions are placed over the post-join fleet, so the
+	// joiner inherits live traffic the moment it is ready.
+	JoinMidRun bool
 	// Source and Split override the workload (defaults: the RunLoad
 	// workload). Every replica must host the same program.
 	Source string
@@ -79,10 +86,21 @@ type ClusterLoadResult struct {
 	FailoverNs int64 `json:"failover_ns"`
 	// Redirects counts owner redirects served across the fleet.
 	Redirects int64 `json:"redirects"`
+	// Joined reports whether a cold replica was added mid-run.
+	Joined bool `json:"joined"`
+	// MembershipEpoch is the fleet's final membership epoch (1 for a fleet
+	// that never grew or shrank; each join or leave bumps it by one).
+	MembershipEpoch int64 `json:"cluster_membership_epoch"`
+	// SnapXferBytes / SnapXferNs measure the joiner's snapshot catch-up
+	// transfer (frame bytes received, transfer wall time); 0 when no join
+	// happened or the joiner caught up by journal streaming alone.
+	SnapXferBytes int64 `json:"snap_xfer_bytes"`
+	SnapXferNs    int64 `json:"snap_xfer_ns"`
 }
 
 // ClusterSchemaVersion is bumped when ClusterLoadResult's shape changes.
-const ClusterSchemaVersion = 1
+// 2: added joined, cluster_membership_epoch, snap_xfer_bytes, snap_xfer_ns.
+const ClusterSchemaVersion = 2
 
 func (c *ClusterLoadConfig) withDefaults() ClusterLoadConfig {
 	cfg := *c
@@ -144,8 +162,11 @@ func RunClusterLoad(c ClusterLoadConfig) (ClusterLoadResult, error) {
 
 	addrs := cfg.Addrs
 	var backends []*clusterBackend
+	var joinerAddr string
+	var base string
+	var startJoiner func(seed string) (*clusterBackend, error)
 	if len(addrs) == 0 {
-		base := cfg.DataDir
+		base = cfg.DataDir
 		if base == "" {
 			base, err = os.MkdirTemp("", "slicehide-cluster-*")
 			if err != nil {
@@ -153,30 +174,56 @@ func RunClusterLoad(c ClusterLoadConfig) (ClusterLoadResult, error) {
 			}
 			defer os.RemoveAll(base)
 		}
-		addrs, err = reserveAddrs(cfg.Backends)
+		reserve := cfg.Backends
+		if cfg.JoinMidRun {
+			reserve++
+		}
+		addrs, err = reserveAddrs(reserve)
 		if err != nil {
 			return ClusterLoadResult{}, err
 		}
-		for i, addr := range addrs {
+		founders := addrs[:cfg.Backends]
+		if cfg.JoinMidRun {
+			// The last reserved address is the cold replica that joins at the
+			// halfway mark. Sessions are placed (and routed) over the full
+			// post-join fleet; until the joiner is up, rendezvous fall-down
+			// serves its sessions from the founders.
+			joinerAddr = addrs[cfg.Backends]
+		}
+		// A join run rotates aggressively so the founders prune generation 0
+		// before the joiner appears — the catch-up must cross a snapshot
+		// transfer, not just re-stream a fully retained journal.
+		snapEvery := 0
+		if cfg.JoinMidRun {
+			snapEvery = 128
+		}
+		startReplica := func(i int, addr string, peers []string, seed string) (*clusterBackend, error) {
 			srv := &hrt.TCPServer{
 				Server: hrt.NewServerShards(hrt.NewRegistry(res), runtime.GOMAXPROCS(0)),
 				Shards: runtime.GOMAXPROCS(0),
 				Persist: hrt.NewDurability(hrt.DurabilityOptions{
-					Dir: filepath.Join(base, fmt.Sprintf("replica-%d", i)),
+					Dir:           filepath.Join(base, fmt.Sprintf("replica-%d", i)),
+					SnapshotEvery: snapEvery,
 				}),
 			}
 			// Wire the group before the listener: a peer's pump may connect
 			// the instant the port opens, and the server's fleet hooks must
 			// already be installed when it does.
-			g, err := cluster.New(cluster.Config{Self: addr, Peers: addrs, Replicate: true}, srv)
+			g, err := cluster.New(cluster.Config{Self: addr, Peers: peers, Replicate: true, JoinSeed: seed}, srv)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := srv.ListenAndServe(addr); err != nil {
+				return nil, fmt.Errorf("clusterload: start replica %s: %w", addr, err)
+			}
+			g.Start()
+			return &clusterBackend{addr: addr, srv: srv, group: g}, nil
+		}
+		for i, addr := range founders {
+			b, err := startReplica(i, addr, founders, "")
 			if err != nil {
 				return ClusterLoadResult{}, err
 			}
-			if _, err := srv.ListenAndServe(addr); err != nil {
-				return ClusterLoadResult{}, fmt.Errorf("clusterload: start replica %s: %w", addr, err)
-			}
-			g.Start()
-			b := &clusterBackend{addr: addr, srv: srv, group: g}
 			backends = append(backends, b)
 			defer func() {
 				b.group.Close()
@@ -200,8 +247,13 @@ func RunClusterLoad(c ClusterLoadConfig) (ClusterLoadResult, error) {
 				time.Sleep(2 * time.Millisecond)
 			}
 		}
-	} else if cfg.KillPrimary {
-		return ClusterLoadResult{}, fmt.Errorf("clusterload: KillPrimary requires self-hosted backends")
+		if cfg.JoinMidRun {
+			startJoiner = func(seed string) (*clusterBackend, error) {
+				return startReplica(cfg.Backends, joinerAddr, nil, seed)
+			}
+		}
+	} else if cfg.KillPrimary || cfg.JoinMidRun {
+		return ClusterLoadResult{}, fmt.Errorf("clusterload: KillPrimary and JoinMidRun require self-hosted backends")
 	}
 
 	// Stamp sessions deterministically so placement (and the kill victim)
@@ -256,6 +308,73 @@ func RunClusterLoad(c ClusterLoadConfig) (ClusterLoadResult, error) {
 		defer pool.Close()
 	}
 
+	// Mid-run join: boot the cold replica once enough of the corpus has
+	// landed, wait out its catch-up (snapshot transfer + stream), then hand
+	// the pool the grown fleet so live sessions re-rank onto it.
+	joined := make(chan struct{})
+	var joinBackend *clusterBackend
+	var joinErr error
+	if startJoiner != nil {
+		joinAt := total / 2
+		if victim >= 0 {
+			// With a kill at total/2, join earlier: the fleet grows, then
+			// shrinks, and the joiner must be ready before the victim dies.
+			joinAt = total / 3
+		}
+		go func() {
+			defer close(joined)
+			for done.Load() < joinAt {
+				time.Sleep(2 * time.Millisecond)
+			}
+			// Hold the join until every founder has pruned generation 0, so
+			// the catch-up demonstrably crosses a snapshot transfer (bounded
+			// wait: a workload too small to ever rotate falls back to plain
+			// journal streaming rather than wedging the run).
+			pruneDeadline := time.Now().Add(5 * time.Second)
+			for time.Now().Before(pruneDeadline) {
+				pruned := true
+				for _, b := range backends {
+					gens, gerr := b.srv.Persist.Generations()
+					if gerr != nil || len(gens) == 0 || gens[0] == 0 {
+						pruned = false
+						break
+					}
+				}
+				if pruned {
+					break
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+			seed := backends[0].addr
+			if victim == 0 && len(backends) > 1 {
+				seed = backends[1].addr
+			}
+			b, err := startJoiner(seed)
+			if err != nil {
+				joinErr = err
+				return
+			}
+			joinBackend = b
+			deadline := time.Now().Add(20 * time.Second)
+			for {
+				if ok, _ := b.group.Ready(); ok {
+					break
+				}
+				if time.Now().After(deadline) {
+					_, reason := b.group.Ready()
+					joinErr = fmt.Errorf("clusterload: joiner %s never became ready: %s", b.addr, reason)
+					return
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+			if pool != nil {
+				pool.UpdatePeers(addrs)
+			}
+		}()
+	} else {
+		close(joined)
+	}
+
 	var wg sync.WaitGroup
 	errs := make([]error, cfg.Sessions)
 	start := time.Now()
@@ -271,37 +390,61 @@ func RunClusterLoad(c ClusterLoadConfig) (ClusterLoadResult, error) {
 	if victim >= 0 {
 		<-killed
 	}
+	<-joined
+	if joinBackend != nil {
+		defer func() {
+			joinBackend.group.Close()
+			joinBackend.srv.Close()
+		}()
+	}
+	if joinErr != nil {
+		return ClusterLoadResult{}, joinErr
+	}
 	for _, err := range errs {
 		if err != nil {
 			return ClusterLoadResult{}, err
 		}
 	}
 
-	var failoverNS, redirects int64
-	for i, b := range backends {
+	var failoverNS, redirects, epoch int64
+	survivors := backends
+	if joinBackend != nil {
+		survivors = append(append([]*clusterBackend{}, backends...), joinBackend)
+	}
+	for i, b := range survivors {
 		if i == victim {
 			continue
 		}
 		if ns := b.group.FailoverNS(); ns > failoverNS {
 			failoverNS = ns
 		}
+		if e := int64(b.group.Epoch()); e > epoch {
+			epoch = e
+		}
 		redirects += b.group.Redirects()
 	}
 
-	return ClusterLoadResult{
-		Schema:        ClusterSchemaVersion,
-		Backends:      len(addrs),
-		Sessions:      cfg.Sessions,
-		OpsPerSession: cfg.Ops,
-		TotalOps:      total,
-		GOMAXPROCS:    runtime.GOMAXPROCS(0),
-		ElapsedNs:     elapsed.Nanoseconds(),
-		OpsPerSec:     float64(total) / elapsed.Seconds(),
-		Blocking:      hist.Snapshot(),
-		Killed:        victim >= 0,
-		FailoverNs:    failoverNS,
-		Redirects:     redirects,
-	}, nil
+	result := ClusterLoadResult{
+		Schema:          ClusterSchemaVersion,
+		Backends:        len(addrs),
+		Sessions:        cfg.Sessions,
+		OpsPerSession:   cfg.Ops,
+		TotalOps:        total,
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		ElapsedNs:       elapsed.Nanoseconds(),
+		OpsPerSec:       float64(total) / elapsed.Seconds(),
+		Blocking:        hist.Snapshot(),
+		Killed:          victim >= 0,
+		FailoverNs:      failoverNS,
+		Redirects:       redirects,
+		Joined:          joinBackend != nil,
+		MembershipEpoch: epoch,
+	}
+	if joinBackend != nil {
+		result.SnapXferBytes = joinBackend.group.SnapXferBytes()
+		result.SnapXferNs = joinBackend.group.SnapXferNS()
+	}
+	return result, nil
 }
 
 // clusterWorker is one session against the fleet: either a reconnecting
@@ -345,7 +488,9 @@ func clusterWorker(addrs []string, session uint64, pool *cluster.MuxPool, comp s
 // same workload against 1, 2, and 4 replicating backends, so fleet
 // scaling (and the cost of semi-synchronous commits) is tracked release
 // over release. Multi-backend rows run with KillPrimary, so every row
-// past the first also carries a measured failover.
+// past the first also carries a measured failover; a final join-under-load
+// row grows a two-founder fleet mid-run and records the snapshot
+// catch-up transfer (joined, cluster_membership_epoch, snap_xfer_*).
 type ClusterBenchReport struct {
 	Schema int `json:"schema"`
 	NumCPU int `json:"num_cpu"`
@@ -357,7 +502,8 @@ type ClusterBenchReport struct {
 }
 
 // WriteClusterBenchJSON runs the backend-scaling matrix and writes the
-// report: 1, 2, and 4 backends (kill-free single, kill-included multi).
+// report: 1, 2, and 4 backends (kill-free single, kill-included multi),
+// plus a join-under-load row (two founders grown to three mid-run).
 func WriteClusterBenchJSON(w io.Writer, cfg ClusterLoadConfig) error {
 	base := cfg.withDefaults()
 	var rep ClusterBenchReport
@@ -376,6 +522,20 @@ func WriteClusterBenchJSON(w io.Writer, cfg ClusterLoadConfig) error {
 		}
 		rep.Rows = append(rep.Rows, r)
 	}
+	// Join-under-load row: two founders serve the first half of the load,
+	// then a cold third replica joins mid-run and catches up via snapshot
+	// transfer while the hammering continues (joined=true, epoch 2, and
+	// nonzero snap_xfer_* distinguish it from the scaling rows).
+	join := base
+	join.Addrs = nil
+	join.Backends = 2
+	join.KillPrimary = false
+	join.JoinMidRun = true
+	r, err := RunClusterLoad(join)
+	if err != nil {
+		return err
+	}
+	rep.Rows = append(rep.Rows, r)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)

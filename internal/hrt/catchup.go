@@ -1,0 +1,73 @@
+package hrt
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Snapshot catch-up import: the receiving half of the cluster's snapshot
+// transfer. A cold joiner whose resume position predates the sender's
+// journal retention cannot be caught up by record streaming alone; the
+// sender ships its newest snapshot instead, and the joiner imports it here
+// as its own state base.
+
+// ErrNotEmpty reports that a snapshot import was refused because this
+// replica already holds state (an earlier import, or applied records).
+var ErrNotEmpty = errors.New("hrt: replica state is not empty")
+
+// StateEmpty reports whether this replica holds no hidden state at all:
+// zero execution tallies and an empty replay cache. Only an empty replica
+// may import a catch-up snapshot — importSnapshot overwrites rather than
+// merges, so importing over applied records would lose them.
+func (ts *TCPServer) StateEmpty() bool {
+	if ts.dedup == nil {
+		return false
+	}
+	st := ts.Server.Stats()
+	return st.Enters == 0 && st.Exits == 0 && st.Calls == 0 && ts.dedup.Sessions() == 0
+}
+
+// ImportCatchupSnapshot installs a snapshot streamed by a fleet peer: the
+// payload is imported into the live server through the same
+// importSnapshot/program-hash refusal path recovery uses, the dedup
+// replay cache is seeded with the snapshot's sessions, and the payload is
+// re-journaled as this replica's own durable base (Durability.
+// AdoptSnapshot), so the adopted state survives this replica's restarts.
+// The whole import runs under the quiesce write hold, with the emptiness
+// precondition re-checked inside it — a record another sender applied
+// between the caller's check and the hold would otherwise be clobbered.
+func (ts *TCPServer) ImportCatchupSnapshot(payload []byte) error {
+	if ts.dedup == nil {
+		return errors.New("hrt: server is not serving")
+	}
+	if ts.Persist == nil {
+		return errors.New("hrt: snapshot import requires a durable server")
+	}
+	p := ts.Persist
+	// Lock order matches ApplyReplicated (replMu, then quiesce) so a
+	// concurrent record apply from another stream can never deadlock the
+	// import. Holding replMu also serializes the import against every
+	// other stream's applies.
+	ts.replMu.Lock()
+	defer ts.replMu.Unlock()
+	p.quiesce.Lock()
+	defer p.quiesce.Unlock()
+	if !ts.StateEmpty() {
+		return ErrNotEmpty
+	}
+	sessions, err := importSnapshot(ts.Server, payload)
+	if err != nil {
+		return fmt.Errorf("hrt: catch-up snapshot: %w", err)
+	}
+	list := make([]dedupSessionState, 0, len(sessions))
+	for _, ss := range sessions {
+		list = append(list, *ss)
+	}
+	ts.dedup.restoreSessions(list)
+	// Reset the replicated-apply resolver state: the import replaced the
+	// globals wholesale, so stale per-variable version guards from any
+	// pre-import applies must not suppress post-import writes.
+	ts.replRes = nil
+	ts.replGlobalSeen = nil
+	return p.AdoptSnapshot(payload)
+}

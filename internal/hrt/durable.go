@@ -3,6 +3,7 @@ package hrt
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -92,10 +93,19 @@ type Durability struct {
 
 	recovered RecoveryStats
 
+	// pins holds per-generation refcounts taken by replication streams
+	// and snapshot transfers; pruneBelow skips pinned generations, so a
+	// snapshot landing mid-stream can never delete the journal a tail
+	// scanner (or a catch-up read) is following. A released generation is
+	// removed by the next prune pass.
+	pinMu sync.Mutex
+	pins  map[uint64]int
+
 	appends         obs.CounterHandle
 	appendErrors    obs.CounterHandle
 	snapshots       obs.CounterHandle
 	snapErrors      obs.CounterHandle
+	snapCorrupt     obs.CounterHandle
 	appendBytes     obs.CounterHandle
 	appendNS        *obs.Histogram
 	snapshotNS      *obs.Histogram
@@ -186,6 +196,7 @@ func (p *Durability) RegisterMetrics(reg *obs.Registry) {
 	p.appendBytes = reg.Counter("wal_append_bytes_total")
 	p.snapshots = reg.Counter("wal_snapshots_total")
 	p.snapErrors = reg.Counter("wal_snapshot_errors_total")
+	p.snapCorrupt = reg.Counter("wal_snapshot_corrupt_total")
 	p.appendNS = reg.Histogram("wal_append_ns")
 	p.snapshotNS = reg.Histogram("wal_snapshot_ns")
 	// wal_commit_batch_records counts records per durable batch (stored
@@ -367,6 +378,7 @@ func (p *Durability) loadBase() (uint64, bool, map[uint64]*dedupSessionState, er
 		if err != nil {
 			// Corrupt snapshot: fall back to the previous generation, whose
 			// snapshot+journal reproduce the state this one was taken from.
+			p.snapCorrupt.Add(1)
 			p.opts.Tracer.Emit(obs.LevelWarn, "wal_snapshot_unreadable",
 				obs.Uint("generation", g), obs.Err(err))
 			continue
@@ -438,22 +450,52 @@ func (p *Durability) pruneAbove(gen uint64) {
 }
 
 // pruneBelow removes generations older than keep (the previous generation
-// is retained as the corruption fallback). Best-effort.
+// is retained as the corruption fallback). Best-effort; generations pinned
+// by an active replication stream or snapshot transfer are skipped and
+// reaped by a later prune pass.
 func (p *Durability) pruneBelow(keep uint64) {
 	snaps, journals, err := p.listGenerations()
 	if err != nil {
 		return
 	}
 	for _, g := range snaps {
-		if g < keep {
+		if g < keep && !p.pinnedGen(g) {
 			os.Remove(p.snapPath(g))
 		}
 	}
 	for _, g := range journals {
-		if g < keep {
+		if g < keep && !p.pinnedGen(g) {
 			os.Remove(p.journalPath(g))
 		}
 	}
+}
+
+// PinGeneration protects generation gen's snapshot and journal files from
+// pruneBelow until the returned release function runs. Pins stack; calling
+// the release more than once is safe.
+func (p *Durability) PinGeneration(gen uint64) (release func()) {
+	p.pinMu.Lock()
+	if p.pins == nil {
+		p.pins = make(map[uint64]int)
+	}
+	p.pins[gen]++
+	p.pinMu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			p.pinMu.Lock()
+			if p.pins[gen]--; p.pins[gen] <= 0 {
+				delete(p.pins, gen)
+			}
+			p.pinMu.Unlock()
+		})
+	}
+}
+
+func (p *Durability) pinnedGen(gen uint64) bool {
+	p.pinMu.Lock()
+	defer p.pinMu.Unlock()
+	return p.pins[gen] > 0
 }
 
 // replayJournal applies the journal's valid prefix to the server and the
@@ -989,6 +1031,94 @@ func (p *Durability) writeSnapshot(cut *stateCut) error {
 	p.opts.Tracer.Emit(obs.LevelInfo, "wal_snapshot",
 		obs.Uint("generation", cut.gen), obs.Int("bytes", int64(len(payload))),
 		obs.Dur("took", took), obs.Dur("pause", cut.pause))
+	return nil
+}
+
+// ErrNoSnapshot reports that no readable snapshot exists on disk (for the
+// catch-up sender, which then falls back to journal streaming).
+var ErrNoSnapshot = errors.New("hrt: no readable snapshot on disk")
+
+// NewestSnapshot returns the newest readable on-disk snapshot: its
+// generation, its payload (CRC-verified by wal.ReadSnapshot), and a
+// release function for the pin that keeps the generation's journal from
+// being pruned while the caller streams it. Corrupt snapshots are counted
+// (wal_snapshot_corrupt_total), warned about, and skipped in favor of the
+// next older one — the same fallback recovery uses.
+func (p *Durability) NewestSnapshot() (gen uint64, payload []byte, release func(), err error) {
+	snaps, _, err := p.listGenerations()
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] > snaps[j] })
+	for _, g := range snaps {
+		rel := p.PinGeneration(g)
+		payload, err := wal.ReadSnapshot(p.snapPath(g))
+		if err != nil {
+			p.snapCorrupt.Add(1)
+			p.opts.Tracer.Emit(obs.LevelWarn, "wal_snapshot_unreadable",
+				obs.Uint("generation", g), obs.Err(err))
+			rel()
+			continue
+		}
+		if payload == nil {
+			rel()
+			continue
+		}
+		return g, payload, rel, nil
+	}
+	return 0, nil, nil, ErrNoSnapshot
+}
+
+// AdoptSnapshot installs a snapshot payload received from a fleet peer as
+// this replica's own durable base: the payload is written as the next
+// generation's snapshot file, then the journal rotates to that generation.
+// The ordering is crash-safe — a death between the two steps leaves a
+// readable snapshot that recovery prefers, a death before it leaves the
+// old (empty) state. The caller holds the quiesce write lock and has
+// already imported the payload into the live server, so from here on the
+// in-memory state and the durable base agree. Older generations (the
+// pre-import empty history) are pruned.
+func (p *Durability) AdoptSnapshot(payload []byte) error {
+	if p.server == nil {
+		return fmt.Errorf("hrt: durability not started")
+	}
+	p.snapWG.Wait()
+	if !p.snapshotting.CompareAndSwap(false, true) {
+		return fmt.Errorf("hrt: snapshot in flight")
+	}
+	defer p.snapshotting.Store(false)
+	p.mu.Lock()
+	err := p.failed
+	open := p.wlog != nil
+	next := p.gen + 1
+	p.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if !open {
+		return fmt.Errorf("hrt: journal not open")
+	}
+	if err := wal.WriteSnapshot(p.snapPath(next), payload); err != nil {
+		return fmt.Errorf("hrt: adopt snapshot: %w", err)
+	}
+	j, err := wal.Open(p.journalPath(next), 0, p.opts.Fsync)
+	if err != nil {
+		return fmt.Errorf("hrt: adopt snapshot journal: %w", err)
+	}
+	p.mu.Lock()
+	old := p.wlog
+	p.wlog = j
+	p.gen = next
+	p.sinceSnap = 0
+	p.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+	p.pruneBelow(next)
+	p.snapshots.Add(1)
+	p.notifyAppend()
+	p.opts.Tracer.Emit(obs.LevelInfo, "wal_snapshot_adopted",
+		obs.Uint("generation", next), obs.Int("bytes", int64(len(payload))))
 	return nil
 }
 

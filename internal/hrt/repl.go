@@ -42,6 +42,53 @@ const (
 	// ReplFrameAck acknowledges that every record up to (Gen, Index) has
 	// been applied and journaled by the follower.
 	ReplFrameAck byte = 2
+
+	// Snapshot catch-up transfer (the OpSnapXfer sub-protocol): when the
+	// receiver's resume position predates the sender's oldest retained
+	// journal generation, the sender ships its newest snapshot in bounded
+	// chunks before any record frames flow. The transfer is CRC-framed at
+	// both chunk and whole-payload granularity and resumable at chunk
+	// granularity across reconnects (the receiver reports its staged
+	// contiguous chunk count in the SnapAck answering SnapBegin).
+
+	// ReplFrameSnapBegin offers a snapshot: Gen is the snapshot's
+	// generation (the journal cut), Payload a snapXfer meta block (total
+	// length, payload CRC, chunk size, sender tail position).
+	ReplFrameSnapBegin byte = 3
+	// ReplFrameSnapChunk carries chunk Index (0-based) of snapshot Gen;
+	// Payload is [crc32 u32][chunk bytes].
+	ReplFrameSnapChunk byte = 4
+	// ReplFrameSnapAck flows receiver→sender: answering SnapBegin, Index
+	// is the chunk to resume from; thereafter Index acknowledges staged
+	// chunks, and Index == total chunk count confirms the snapshot was
+	// imported and re-journaled.
+	ReplFrameSnapAck byte = 5
+	// ReplFrameSnapNack declines a snapshot offer; Payload is a reason
+	// string starting with SnapNackProceed or SnapNackRetry.
+	ReplFrameSnapNack byte = 6
+	// ReplFrameTarget announces the sender's current journal position at
+	// stream start; the receiver holds /readyz until its applied position
+	// for this sender reaches it, so a catching-up replica never reports
+	// ready while known records are still in flight.
+	ReplFrameTarget byte = 7
+	// ReplFrameSeal announces that the sender's generation Gen sealed at
+	// Index records: positions (Gen, Index) and (Gen+1, 0) are the same
+	// point in the stream. The receiver lifts its applied position across
+	// the boundary, so a Target announced in new-generation coordinates —
+	// (G, 0) right after a rotation — is recognizable as already met even
+	// when no further record ever arrives to advance the applied position
+	// past it.
+	ReplFrameSeal byte = 8
+)
+
+// SnapNack reason prefixes. Proceed means the receiver already holds a
+// state base (an earlier import or a complete record stream), so the
+// sender should fall back to streaming from its oldest retained
+// generation; Retry means the receiver is mid-transfer with another
+// sender, so this sender should drop the stream and reconnect later.
+const (
+	SnapNackProceed = "proceed"
+	SnapNackRetry   = "retry"
 )
 
 // ReplFrame is one message of the replication stream.
@@ -99,7 +146,7 @@ func ReadReplFrame(r io.Reader) (ReplFrame, error) {
 		Gen:   binary.LittleEndian.Uint64(head[1:9]),
 		Index: int64(binary.LittleEndian.Uint64(head[9:17])),
 	}
-	if f.Type != ReplFrameRecord && f.Type != ReplFrameAck {
+	if f.Type < ReplFrameRecord || f.Type > ReplFrameSeal {
 		return ReplFrame{}, fmt.Errorf("hrt: unknown replication frame type %d", f.Type)
 	}
 	if f.Index < 0 {
@@ -366,11 +413,15 @@ func (ts *TCPServer) applyReplicatedGlobals(deltas []globalDelta) error {
 }
 
 // serveRepl switches a serving connection into replication-stream mode
-// after an OpRepl handshake: the handshake is acknowledged with an empty
-// response, the idle deadline is lifted (streams legitimately sit quiet),
-// and the connection is handed to the ReplHandler for the stream's
-// lifetime.
-func (ts *TCPServer) serveRepl(conn net.Conn, r *bufio.Reader, w *bufio.Writer) {
+// after an OpRepl handshake: the handshake is acknowledged with a response
+// carrying this replica's resume position for the sender (Seq = journal
+// generation, Ack = record index — both zero for a sender never heard
+// from, which asks for the stream from the beginning), the idle deadline
+// is lifted (streams legitimately sit quiet), and the connection is handed
+// to the ReplHandler for the stream's lifetime. req.Fn carries the
+// sender's self-declared fleet address; resume positions are tracked per
+// sender, so a reconnecting pump streams only the delta.
+func (ts *TCPServer) serveRepl(conn net.Conn, r *bufio.Reader, w *bufio.Writer, req Request) {
 	if ts.ReplHandler == nil {
 		resp := Response{Err: "hrt: this server does not accept replication streams"}
 		if WriteResponse(w, resp) == nil {
@@ -378,14 +429,20 @@ func (ts *TCPServer) serveRepl(conn net.Conn, r *bufio.Reader, w *bufio.Writer) 
 		}
 		return
 	}
-	if err := WriteResponse(w, Response{}); err != nil {
+	resp := Response{}
+	if ts.ReplResume != nil {
+		gen, index := ts.ReplResume(req.Fn)
+		resp.Seq = gen
+		resp.Ack = uint64(index)
+	}
+	if err := WriteResponse(w, resp); err != nil {
 		return
 	}
 	if err := w.Flush(); err != nil {
 		return
 	}
 	conn.SetReadDeadline(time.Time{})
-	ts.ReplHandler(conn, r)
+	ts.ReplHandler(conn, r, req.Fn)
 }
 
 // ---------------------------------------------------------------------------

@@ -65,8 +65,18 @@ type TCPServer struct {
 	Router Router
 	// ReplHandler, when set, accepts incoming replication streams: a
 	// connection whose first request is OpRepl is handed to it after the
-	// handshake response (see internal/cluster).
-	ReplHandler func(conn net.Conn, r *bufio.Reader)
+	// handshake response, along with the sender's self-declared fleet
+	// address (see internal/cluster).
+	ReplHandler func(conn net.Conn, r *bufio.Reader, sender string)
+	// ReplResume, when set, supplies the resume position encoded into the
+	// OpRepl handshake response: the highest (generation, index) in the
+	// sender's stream coordinates this replica has already applied. Zero
+	// values ask for the stream from the beginning.
+	ReplResume func(sender string) (gen uint64, index int64)
+	// Gossip, when set, answers membership gossip pings (OpPing). A server
+	// without one still acknowledges pings, so a plain liveness probe
+	// against a non-fleet server succeeds.
+	Gossip GossipHandler
 
 	// replMu serializes ApplyReplicated across incoming streams; replRes
 	// and replGlobalSeen are its lazily built resolver and per-global
@@ -233,8 +243,14 @@ func (ts *TCPServer) serveConn(conn net.Conn) {
 		ts.requests.Add(1)
 		if req.Op == OpRepl {
 			// The connection becomes a replication stream for its lifetime.
-			ts.serveRepl(conn, r, w)
+			ts.serveRepl(conn, r, w, req)
 			return
+		}
+		if req.Op == OpPing {
+			if !ts.serveGossip(conn, w, req) {
+				return
+			}
+			continue
 		}
 		if req.Op == OpMuxHello {
 			// The connection becomes multiplexed for its lifetime.

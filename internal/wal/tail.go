@@ -147,8 +147,16 @@ func NewOffsetTracker() *OffsetTracker {
 // Register adds a follower at position zero (nothing acknowledged).
 // Registering an existing follower resets its position.
 func (t *OffsetTracker) Register(peer string) {
+	t.RegisterAt(peer, Position{})
+}
+
+// RegisterAt registers a follower at a known starting position — the
+// resume point of a reconnecting stream, or a catch-up transfer's cut.
+// Registering a joiner at its true position (instead of zero) keeps the
+// commit gate from stalling on history the follower already holds.
+func (t *OffsetTracker) RegisterAt(peer string, pos Position) {
 	t.mu.Lock()
-	t.acked[peer] = Position{}
+	t.acked[peer] = pos
 	t.mu.Unlock()
 	t.cond.Broadcast()
 }
